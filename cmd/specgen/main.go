@@ -1,0 +1,75 @@
+// Command specgen emits the paper's benchmark suite as core/communication
+// specification files that cmd/sunfloor3d can consume. For every benchmark it
+// writes four files: <name>_3d.cores, <name>_3d.comm, <name>_2d.cores and
+// <name>_2d.comm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sunfloor3d/internal/bench"
+	"sunfloor3d/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "specgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name   = flag.String("bench", "all", "benchmark name (e.g. D_26_media) or 'all'")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		outDir = flag.String("out", "specs", "output directory")
+	)
+	flag.Parse()
+
+	var benches []bench.Benchmark
+	if *name == "all" {
+		benches = bench.All(*seed)
+	} else {
+		b, err := bench.ByName(*name, *seed)
+		if err != nil {
+			return err
+		}
+		benches = []bench.Benchmark{b}
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	for _, b := range benches {
+		base := strings.ToLower(b.Name)
+		if err := writeSpecs(filepath.Join(*outDir, base+"_3d"), b.Graph3D); err != nil {
+			return err
+		}
+		if err := writeSpecs(filepath.Join(*outDir, base+"_2d"), b.Graph2D); err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %s\n", b.Name, b.Graph3D.Summary())
+	}
+	fmt.Println("spec files written to", *outDir)
+	return nil
+}
+
+func writeSpecs(prefix string, g *model.CommGraph) error {
+	cf, err := os.Create(prefix + ".cores")
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	if err := model.WriteCoreSpec(cf, g.Cores); err != nil {
+		return err
+	}
+	mf, err := os.Create(prefix + ".comm")
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	return model.WriteCommSpec(mf, g)
+}

@@ -1,0 +1,135 @@
+// Command sunfloor-bench regenerates every table and figure of the paper's
+// evaluation section on the synthetic benchmark suite and prints them as text
+// tables. Use -experiment to run a single one and -quick for a reduced sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sunfloor3d/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sunfloor-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("experiment", "all", "which experiment to run: fig1, fig10, fig11, fig12, fig13-16, fig17, table1, fig18, fig19-20, fig21-22, fig23 or all")
+		seed   = flag.Int64("seed", 1, "benchmark generator seed")
+		freq   = flag.Float64("freq", 400, "NoC operating frequency in MHz")
+		maxILL = flag.Int("max-ill", 25, "inter-layer link constraint")
+		quick  = flag.Bool("quick", false, "reduced sweeps (faster, fewer points)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.FreqMHz = *freq
+	cfg.MaxILL = *maxILL
+	cfg.Quick = *quick
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("fig1") {
+		fmt.Println(experiments.FormatFig01(experiments.Fig01Yield()))
+		ran = true
+	}
+	if want("fig10") {
+		s, err := experiments.Fig10Power2D(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatPowerSweep("Fig. 10: NoC power vs. switch count, 2-D", s))
+		ran = true
+	}
+	if want("fig11") {
+		s, err := experiments.Fig11Power3D(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatPowerSweep("Fig. 11: NoC power vs. switch count, 3-D", s))
+		ran = true
+	}
+	if want("fig12") {
+		d, err := experiments.Fig12WireLengths(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig12(d))
+		ran = true
+	}
+	if want("fig13-16") {
+		cs, err := experiments.Fig13to16CaseStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig. 16: initial core placement (D_26_media)")
+		fmt.Println(cs.InitialPlacement)
+		fmt.Printf("Fig. 13: most power-efficient Phase-1 topology (%.2f mW, %d inter-layer links)\n",
+			cs.Phase1Power, cs.Phase1MaxILL)
+		fmt.Println(cs.Phase1Topology)
+		fmt.Printf("Fig. 14: most power-efficient Phase-2 (layer-by-layer) topology (%.2f mW, %d inter-layer links)\n",
+			cs.Phase2Power, cs.Phase2MaxILL)
+		fmt.Println(cs.Phase2Topology)
+		ran = true
+	}
+	if want("fig17") {
+		rows, err := experiments.Fig17Phase1VsPhase2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig17(rows))
+		ran = true
+	}
+	if want("table1") {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatTable1(rows))
+		ran = true
+	}
+	if want("fig18") {
+		pts, err := experiments.Fig18FloorplanArea(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig18(pts))
+		ran = true
+	}
+	if want("fig19-20") {
+		rows, err := experiments.Fig19Fig20FloorplanComparison(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig19Fig20(rows))
+		ran = true
+	}
+	if want("fig21-22") {
+		pts, err := experiments.Fig21Fig22MaxILLSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig21Fig22(pts))
+		ran = true
+	}
+	if want("fig23") {
+		rows, err := experiments.Fig23MeshComparison(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatFig23(rows))
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (valid: fig1, fig10, fig11, fig12, fig13-16, fig17, table1, fig18, fig19-20, fig21-22, fig23, all)", *exp)
+	}
+	return nil
+}

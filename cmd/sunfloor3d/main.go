@@ -1,0 +1,150 @@
+// Command sunfloor3d is the command-line front end of the SunFloor 3D
+// topology synthesis tool. It reads a core specification file and a
+// communication specification file, synthesizes the most power-efficient
+// application-specific NoC topology meeting the 3-D technology constraints,
+// and writes the resulting topology (text and DOT), the switch placement and
+// floorplan, and a metrics report.
+//
+// Usage:
+//
+//	sunfloor3d -cores design.cores -comm design.comm [flags]
+//
+// The spec file formats are documented in internal/model (one "core" or
+// "flow" line per entity). Use cmd/specgen to emit the paper's benchmark
+// suite in this format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/place"
+	"sunfloor3d/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sunfloor3d:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		coreFile  = flag.String("cores", "", "core specification file (required)")
+		commFile  = flag.String("comm", "", "communication specification file (required)")
+		freq      = flag.Float64("freq", 400, "NoC operating frequency in MHz")
+		maxILL    = flag.Int("max-ill", 25, "maximum links across adjacent layers (0 = unconstrained)")
+		phase     = flag.String("phase", "auto", "connectivity method: auto, phase1 or phase2")
+		alpha     = flag.Float64("alpha", 1.0, "bandwidth/latency weight of the partitioning graphs (0..1)")
+		outDir    = flag.String("out", "sunfloor3d_out", "output directory")
+		powerW    = flag.Float64("power-weight", 1.0, "objective weight on power (mW)")
+		latencyW  = flag.Float64("latency-weight", 0.5, "objective weight on average latency (cycles)")
+		floorplan = flag.Bool("floorplan", true, "insert the NoC components into the floorplan")
+	)
+	flag.Parse()
+	if *coreFile == "" || *commFile == "" {
+		flag.Usage()
+		return fmt.Errorf("both -cores and -comm are required")
+	}
+
+	cf, err := os.Open(*coreFile)
+	if err != nil {
+		return err
+	}
+	defer cf.Close()
+	mf, err := os.Open(*commFile)
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	design, err := model.LoadDesign(cf, mf)
+	if err != nil {
+		return err
+	}
+	fmt.Println("design:", design.Summary())
+
+	opt := synth.DefaultOptions()
+	opt.FrequenciesMHz = []float64{*freq}
+	opt.MaxILL = *maxILL
+	opt.Partition.Alpha = *alpha
+	opt.PowerWeight = *powerW
+	opt.LatencyWeight = *latencyW
+	switch *phase {
+	case "auto":
+		opt.Phase = synth.PhaseAuto
+	case "phase1":
+		opt.Phase = synth.Phase1Only
+	case "phase2":
+		opt.Phase = synth.Phase2Only
+	default:
+		return fmt.Errorf("unknown -phase %q", *phase)
+	}
+
+	res, err := synth.Synthesize(design, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("explored %d design points, %d valid\n", len(res.Points), len(res.ValidPoints()))
+	if res.Best == nil {
+		return fmt.Errorf("no valid topology meets the constraints")
+	}
+	best := res.Best
+	fmt.Printf("best point: %d switches at %.0f MHz, %.2f mW, %.2f cycles avg latency, %d inter-layer links\n",
+		best.Topology.NumSwitches(), best.FreqMHz, best.Metrics.Power.TotalMW(),
+		best.Metrics.AvgLatencyCycles, best.Metrics.MaxILL)
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	writeFile := func(name, content string) error {
+		return os.WriteFile(filepath.Join(*outDir, name), []byte(content), 0o644)
+	}
+	if err := writeFile("topology.txt", best.Topology.Describe()); err != nil {
+		return err
+	}
+	dot, err := os.Create(filepath.Join(*outDir, "topology.dot"))
+	if err != nil {
+		return err
+	}
+	if err := best.Topology.WriteDOT(dot); err != nil {
+		dot.Close()
+		return err
+	}
+	dot.Close()
+
+	report := fmt.Sprintf(
+		"frequency_mhz %g\nswitches %d\ntotal_power_mw %.3f\nswitch_power_mw %.3f\nswitch_link_power_mw %.3f\ncore_link_power_mw %.3f\nni_power_mw %.3f\navg_latency_cycles %.3f\nmax_latency_cycles %.3f\nmax_inter_layer_links %d\ntsv_macros %d\nnoc_area_mm2 %.4f\n",
+		best.FreqMHz, best.Topology.NumSwitches(), best.Metrics.Power.TotalMW(),
+		best.Metrics.Power.SwitchMW, best.Metrics.Power.SwitchLinkMW, best.Metrics.Power.CoreLinkMW,
+		best.Metrics.Power.NIMW, best.Metrics.AvgLatencyCycles, best.Metrics.MaxLatencyCycles,
+		best.Metrics.MaxILL, best.Metrics.TSVMacros, best.Metrics.NoCAreaMM2)
+	if err := writeFile("report.txt", report); err != nil {
+		return err
+	}
+
+	if *floorplan {
+		work := best.Topology.Clone()
+		fp, err := place.InsertNoC(work)
+		if err != nil {
+			return fmt.Errorf("floorplan insertion: %w", err)
+		}
+		var sb []byte
+		for l, layer := range fp.Layers {
+			sb = append(sb, []byte(fmt.Sprintf("layer %d (bbox %.3f mm2)\n", l, fp.LayerBoundingBox(l).Area()))...)
+			for _, c := range layer {
+				sb = append(sb, []byte(fmt.Sprintf("  %-12s %-6s %v\n", c.Name, c.Kind, c.Rect))...)
+			}
+		}
+		sb = append(sb, []byte(fmt.Sprintf("chip_area_mm2 %.3f\n", fp.ChipAreaMM2()))...)
+		if err := os.WriteFile(filepath.Join(*outDir, "floorplan.txt"), sb, 0o644); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("results written to", *outDir)
+	return nil
+}

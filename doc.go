@@ -1,0 +1,26 @@
+// Package sunfloor3d is a from-scratch Go implementation of SunFloor 3D, the
+// application-specific network-on-chip topology synthesis tool for 3-D
+// systems on chips by Seiculescu, Murali, Benini and De Micheli (DATE 2009 /
+// IEEE TCAD 29(12), 2010).
+//
+// The implementation lives in the internal/ packages:
+//
+//   - internal/model      — cores, flows and the communication graph
+//   - internal/noclib     — switch/link/TSV power, delay, area and yield models
+//   - internal/graph      — shortest paths, cycle checks and min-cut partitioning
+//   - internal/partition  — the PG, SPG and LPG partitioning graphs
+//   - internal/lp         — simplex LP solver for switch placement
+//   - internal/topology   — the NoC topology data structure and its evaluation
+//   - internal/route      — deadlock-free path computation under 3-D constraints
+//   - internal/place      — switch-position LP and floorplan insertion
+//   - internal/floorplan  — SA sequence-pair floorplanner (Parquet substitute)
+//   - internal/mesh       — optimized-mesh baseline
+//   - internal/synth      — the SunFloor 3D synthesis engine (Phases 1 and 2)
+//   - internal/bench      — the paper's benchmark suite, synthesized
+//   - internal/experiments — one runner per table/figure of the evaluation
+//
+// The executables in cmd/ (sunfloor3d, specgen, sunfloor-bench) and the
+// programs in examples/ exercise the flow end to end; bench_test.go exposes
+// every paper experiment as a Go benchmark. See README.md, DESIGN.md and
+// EXPERIMENTS.md for the architecture and the reproduction results.
+package sunfloor3d

@@ -1,0 +1,44 @@
+// Custom topology vs. standard mesh (Fig. 23 of the paper): synthesize the
+// application-specific topology for several benchmarks and compare its power
+// and latency against a power-optimised mapping of the same design onto a
+// regular mesh with unused links removed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sunfloor3d/internal/bench"
+	"sunfloor3d/internal/mesh"
+	"sunfloor3d/internal/synth"
+)
+
+func main() {
+	names := []string{"D_36_4", "D_35_bot", "D_38_tvopd"}
+	fmt.Println("benchmark     custom_mW   mesh_mW   power_saving   custom_lat   mesh_lat   pruned_mesh_links")
+	var savings float64
+	for _, name := range names {
+		b := bench.ByNameMust(name, 1)
+
+		res, err := synth.Synthesize(b.Graph3D, synth.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Best == nil {
+			log.Fatalf("%s: no valid custom topology", name)
+		}
+		m, err := mesh.Build(b.Graph3D, mesh.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		meshMetrics := m.Topology.Evaluate()
+		custom := res.Best.Metrics
+		saving := 1 - custom.Power.TotalMW()/meshMetrics.Power.TotalMW()
+		savings += saving
+		fmt.Printf("%-12s %10.2f %9.2f %13.0f%% %12.2f %10.2f %19d\n",
+			name, custom.Power.TotalMW(), meshMetrics.Power.TotalMW(), saving*100,
+			custom.AvgLatencyCycles, meshMetrics.AvgLatencyCycles, m.RemovedLinks)
+	}
+	fmt.Printf("\naverage power saving of custom topologies over the optimized mesh: %.0f%%\n",
+		savings/float64(len(names))*100)
+}

@@ -1,0 +1,88 @@
+// Multimedia SoC case study (Section VIII-A of the paper): synthesize NoC
+// topologies for the 26-core multimedia and wireless benchmark D_26_media in
+// both its 3-D (three layers) and 2-D incarnations, print the power-vs-switch
+// -count sweeps behind Figs. 10 and 11, the wire-length distributions of
+// Fig. 12 and the best Phase-1 and Phase-2 topologies of Figs. 13 and 14.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sunfloor3d/internal/bench"
+	"sunfloor3d/internal/synth"
+)
+
+func main() {
+	b := bench.D26Media(1)
+	fmt.Println("3-D design:", b.Graph3D.Summary())
+	fmt.Println("2-D design:", b.Graph2D.Summary())
+
+	opt := synth.DefaultOptions()
+	opt.MaxILL = 25
+
+	res3d, err := synth.Synthesize(b.Graph3D, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2d, err := synth.Synthesize(b.Graph2D, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res3d.Best == nil || res2d.Best == nil {
+		log.Fatal("synthesis produced no valid design point")
+	}
+
+	fmt.Println("\nNoC power vs. switch count (valid points):")
+	fmt.Println("  switches   2-D total mW   3-D total mW")
+	p2 := map[int]float64{}
+	for _, p := range res2d.ValidPoints() {
+		p2[p.SwitchCount] = p.Metrics.Power.TotalMW()
+	}
+	for _, p := range res3d.ValidPoints() {
+		if v, ok := p2[p.SwitchCount]; ok {
+			fmt.Printf("  %8d   %12.2f   %12.2f\n", p.SwitchCount, v, p.Metrics.Power.TotalMW())
+		}
+	}
+
+	b3, b2 := res3d.Best, res2d.Best
+	fmt.Printf("\nbest 2-D point: %d switches, %.2f mW, %.2f cycles\n",
+		b2.Topology.NumSwitches(), b2.Metrics.Power.TotalMW(), b2.Metrics.AvgLatencyCycles)
+	fmt.Printf("best 3-D point: %d switches, %.2f mW, %.2f cycles, %d inter-layer links\n",
+		b3.Topology.NumSwitches(), b3.Metrics.Power.TotalMW(), b3.Metrics.AvgLatencyCycles, b3.Metrics.MaxILL)
+	fmt.Printf("3-D power saving vs. 2-D: %.0f%%\n",
+		(1-b3.Metrics.Power.TotalMW()/b2.Metrics.Power.TotalMW())*100)
+
+	fmt.Println("\nwire length distribution (0.5 mm bins):")
+	h2 := b2.Topology.WireLengthHistogram(0.5)
+	h3 := b3.Topology.WireLengthHistogram(0.5)
+	n := len(h2)
+	if len(h3) > n {
+		n = len(h3)
+	}
+	for i := 0; i < n; i++ {
+		get := func(h []int) int {
+			if i < len(h) {
+				return h[i]
+			}
+			return 0
+		}
+		fmt.Printf("  %4.1f-%4.1f mm: 2-D %3d links, 3-D %3d links\n",
+			float64(i)*0.5, float64(i+1)*0.5, get(h2), get(h3))
+	}
+
+	// Phase 2 (layer-by-layer) topology for comparison with Fig. 14.
+	opt2 := opt
+	opt2.Phase = synth.Phase2Only
+	resP2, err := synth.Synthesize(b.Graph3D, opt2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resP2.Best != nil {
+		fmt.Printf("\nPhase-2 (layer-by-layer) best point: %.2f mW with %d inter-layer links (Phase 1 used %d)\n",
+			resP2.Best.Metrics.Power.TotalMW(), resP2.Best.Metrics.MaxILL, b3.Metrics.MaxILL)
+	}
+
+	fmt.Println("\nbest 3-D topology (Fig. 13 analogue):")
+	fmt.Println(b3.Topology.Describe())
+}

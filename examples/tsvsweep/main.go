@@ -1,0 +1,46 @@
+// TSV constraint study (Section VIII-E of the paper): shows how the number of
+// TSVs a process can support maps to the max_ill constraint (via the yield
+// model of Fig. 1) and how tightening max_ill affects the power and latency
+// of the synthesized NoC for the distributed benchmark D_36_4 (Figs. 21-22).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sunfloor3d/internal/bench"
+	"sunfloor3d/internal/noclib"
+	"sunfloor3d/internal/synth"
+)
+
+func main() {
+	lib := noclib.DefaultLibrary()
+
+	fmt.Println("Yield model (Fig. 1) and the inter-layer link budget it implies")
+	fmt.Println("process          target_yield   max_TSVs   max inter-layer links")
+	for _, p := range noclib.StandardProcesses() {
+		for _, target := range []float64{0.95, 0.90, 0.85} {
+			tsvs := p.MaxTSVsForYield(target)
+			fmt.Printf("%-16s %12.2f %10d %12d\n", p.Name, target, tsvs, lib.MaxInterLayerLinks(tsvs))
+		}
+	}
+
+	b := bench.ByNameMust("D_36_4", 1)
+	fmt.Println("\nImpact of max_ill on the synthesized NoC for", b.Name, "(Figs. 21-22)")
+	fmt.Println("max_ill   feasible   power_mW   avg_latency_cycles   switches")
+	for _, ill := range []int{6, 8, 10, 12, 14, 16, 18, 20, 24, 28} {
+		opt := synth.DefaultOptions()
+		opt.MaxILL = ill
+		res, err := synth.Synthesize(b.Graph3D, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Best == nil {
+			fmt.Printf("%7d   %8s\n", ill, "no")
+			continue
+		}
+		m := res.Best.Metrics
+		fmt.Printf("%7d   %8s   %8.2f   %18.2f   %8d\n",
+			ill, "yes", m.Power.TotalMW(), m.AvgLatencyCycles, res.Best.Topology.NumSwitches())
+	}
+}

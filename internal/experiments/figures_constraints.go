@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sunfloor3d/internal/bench"
+	"sunfloor3d/internal/mesh"
+	"sunfloor3d/internal/synth"
+)
+
+// ---------------------------------------------------------------------------
+// Figs. 21 and 22 — impact of the max_ill constraint on power and latency
+// (D_36_4)
+// ---------------------------------------------------------------------------
+
+// ILLSweepPoint is the best design point under one max_ill budget.
+type ILLSweepPoint struct {
+	MaxILL int
+	// Feasible is false when no topology at all can be built under the
+	// budget (the paper reports this below ~10 links).
+	Feasible         bool
+	PowerMW          float64
+	AvgLatencyCycles float64
+	Switches         int
+}
+
+// Fig21Fig22MaxILLSweep reproduces Figs. 21 and 22: power and latency of the
+// best design as the inter-layer link budget is tightened, on D_36_4.
+func Fig21Fig22MaxILLSweep(c Config) ([]ILLSweepPoint, error) {
+	b := bench.ByNameMust("D_36_4", c.Seed)
+	budgets := []int{6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28}
+	if c.Quick {
+		budgets = []int{8, 12, 16, 24}
+	}
+	var out []ILLSweepPoint
+	for _, ill := range budgets {
+		opt := c.synthOptions()
+		opt.MaxILL = ill
+		res, err := synth.Synthesize(b.Graph3D, opt)
+		if err != nil {
+			return nil, fmt.Errorf("max_ill=%d: %w", ill, err)
+		}
+		p := ILLSweepPoint{MaxILL: ill}
+		if res.Best != nil {
+			p.Feasible = true
+			p.PowerMW = res.Best.Metrics.Power.TotalMW()
+			p.AvgLatencyCycles = res.Best.Metrics.AvgLatencyCycles
+			p.Switches = res.Best.Topology.NumSwitches()
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FormatFig21Fig22 renders the max_ill sweep.
+func FormatFig21Fig22(points []ILLSweepPoint) string {
+	header := []string{"max_ill", "feasible", "power_mW", "avg_latency_cyc", "switches"}
+	var rows [][]string
+	for _, p := range points {
+		feas := "yes"
+		power, lat, sw := f2(p.PowerMW), f2(p.AvgLatencyCycles), d0(p.Switches)
+		if !p.Feasible {
+			feas, power, lat, sw = "no", "-", "-", "-"
+		}
+		rows = append(rows, []string{d0(p.MaxILL), feas, power, lat, sw})
+	}
+	return "Figs. 21-22: impact of max_ill on power and latency (D_36_4)\n" + FormatTable(header, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 23 — custom topology vs. optimized mesh
+// ---------------------------------------------------------------------------
+
+// MeshComparison is one benchmark's custom-vs-mesh result.
+type MeshComparison struct {
+	Benchmark        string
+	CustomPowerMW    float64
+	MeshPowerMW      float64
+	CustomLatency    float64
+	MeshLatency      float64
+	RemovedMeshLinks int
+}
+
+// PowerSaving returns the relative power saving of the custom topology over
+// the optimized mesh.
+func (m MeshComparison) PowerSaving() float64 {
+	if m.MeshPowerMW <= 0 {
+		return 0
+	}
+	return 1 - m.CustomPowerMW/m.MeshPowerMW
+}
+
+// LatencySaving returns the relative latency saving of the custom topology.
+func (m MeshComparison) LatencySaving() float64 {
+	if m.MeshLatency <= 0 {
+		return 0
+	}
+	return 1 - m.CustomLatency/m.MeshLatency
+}
+
+// Fig23MeshComparison reproduces Fig. 23: the power of the synthesized custom
+// topologies compared with power-optimised mesh mappings (unused links
+// removed), over the benchmark suite.
+func Fig23MeshComparison(c Config) ([]MeshComparison, error) {
+	var out []MeshComparison
+	for _, b := range c.benchmarks() {
+		if c.Quick && b.Graph3D.NumCores() > 40 {
+			continue
+		}
+		opt := c.synthOptions()
+		res, err := synth.Synthesize(b.Graph3D, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s synthesis: %w", b.Name, err)
+		}
+		if res.Best == nil {
+			return nil, fmt.Errorf("%s: no valid design point", b.Name)
+		}
+		mopt := mesh.DefaultOptions()
+		mopt.FreqMHz = c.FreqMHz
+		mres, err := mesh.Build(b.Graph3D, mopt)
+		if err != nil {
+			return nil, fmt.Errorf("%s mesh: %w", b.Name, err)
+		}
+		mm := mres.Topology.Evaluate()
+		out = append(out, MeshComparison{
+			Benchmark:        b.Name,
+			CustomPowerMW:    res.Best.Metrics.Power.TotalMW(),
+			MeshPowerMW:      mm.Power.TotalMW(),
+			CustomLatency:    res.Best.Metrics.AvgLatencyCycles,
+			MeshLatency:      mm.AvgLatencyCycles,
+			RemovedMeshLinks: mres.RemovedLinks,
+		})
+	}
+	return out, nil
+}
+
+// FormatFig23 renders the mesh comparison.
+func FormatFig23(rows []MeshComparison) string {
+	header := []string{"benchmark", "custom_mW", "mesh_mW", "power_saving",
+		"custom_lat", "mesh_lat", "latency_saving", "pruned_links"}
+	var cells [][]string
+	var sumP, sumL float64
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Benchmark, f2(r.CustomPowerMW), f2(r.MeshPowerMW), pct(r.PowerSaving()),
+			f2(r.CustomLatency), f2(r.MeshLatency), pct(r.LatencySaving()), d0(r.RemovedMeshLinks),
+		})
+		sumP += r.PowerSaving()
+		sumL += r.LatencySaving()
+	}
+	s := "Fig. 23: custom topology vs. optimized mesh\n" + FormatTable(header, cells)
+	if len(rows) > 0 {
+		s += fmt.Sprintf("average power saving: %s, average latency saving: %s\n",
+			pct(sumP/float64(len(rows))), pct(sumL/float64(len(rows))))
+	}
+	return s
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sunfloor3d/internal/bench"
+	"sunfloor3d/internal/floorplan"
+	"sunfloor3d/internal/geom"
+	"sunfloor3d/internal/place"
+	"sunfloor3d/internal/synth"
+	"sunfloor3d/internal/topology"
+)
+
+// FloorplanOutcome is the result of inserting the NoC of one design point
+// with one floorplanning method.
+type FloorplanOutcome struct {
+	// ChipAreaMM2 is the stacked chip outline area after insertion.
+	ChipAreaMM2 float64
+	// PowerMW is the NoC power evaluated on the post-insertion positions.
+	PowerMW float64
+}
+
+// customInsert runs the paper's custom insertion routine on a copy of the
+// topology and evaluates the result.
+func customInsert(t *topology.Topology) (FloorplanOutcome, error) {
+	work := t.Clone()
+	fp, err := place.InsertNoC(work)
+	if err != nil {
+		return FloorplanOutcome{}, err
+	}
+	applied := place.ApplyFloorplan(work, fp)
+	return FloorplanOutcome{
+		ChipAreaMM2: fp.ChipAreaMM2(),
+		PowerMW:     applied.Evaluate().Power.TotalMW(),
+	}, nil
+}
+
+// standardInsert emulates the constrained standard floorplanner baseline of
+// the paper: per layer, the cores (fixed) and the layer's switches (movable)
+// are handed to the SA sequence-pair floorplanner in constrained mode seeded
+// with the current positions; the per-layer results are stitched back into
+// the topology for evaluation.
+func standardInsert(t *topology.Topology, seed int64, quick bool) (FloorplanOutcome, error) {
+	work := t.Clone()
+	design := work.Design.Clone()
+	work.Design = design
+
+	layers := design.NumLayers()
+	for _, s := range work.Switches {
+		if s.Layer+1 > layers {
+			layers = s.Layer + 1
+		}
+	}
+	inPorts, outPorts := work.SwitchPorts()
+
+	var chipArea float64
+	for l := 0; l < layers; l++ {
+		coreIdx := design.CoresInLayer(l)
+		var switchIdx []int
+		for i, s := range work.Switches {
+			if s.Layer == l {
+				switchIdx = append(switchIdx, i)
+			}
+		}
+		if len(coreIdx) == 0 && len(switchIdx) == 0 {
+			continue
+		}
+		var blocks []floorplan.Block
+		var initial []geom.Point
+		for _, ci := range coreIdx {
+			c := design.Cores[ci]
+			blocks = append(blocks, floorplan.Block{Name: c.Name, W: c.Width, H: c.Height, Fixed: true})
+			initial = append(initial, geom.Point{X: c.X, Y: c.Y})
+		}
+		for _, si := range switchIdx {
+			area := work.Lib.SwitchAreaMM2(inPorts[si], outPorts[si])
+			side := math.Sqrt(area)
+			blocks = append(blocks, floorplan.Block{
+				Name: fmt.Sprintf("sw%d", si), W: side, H: side,
+			})
+			initial = append(initial, geom.Point{
+				X: work.Switches[si].Pos.X - side/2,
+				Y: work.Switches[si].Pos.Y - side/2,
+			})
+		}
+		params := floorplan.DefaultParams(seed + int64(l)*7)
+		params.Constrained = true
+		// Keep the cores reasonably close to their input placement
+		// ("maintaining the relative positions of the cores"); the weight is
+		// mild so the baseline can still legalise and compact.
+		params.DisplacementWeight = 0.5
+		if quick {
+			params.Iterations = 60
+			params.TemperatureSteps = 20
+		}
+		res, err := floorplan.FloorplanWithInitial(blocks, nil, initial, params)
+		if err != nil {
+			return FloorplanOutcome{}, err
+		}
+		if a := res.AreaMM2; a > chipArea {
+			chipArea = a
+		}
+		// Write back the placed positions.
+		for bi, ci := range coreIdx {
+			design.Cores[ci].X = res.Positions[bi].X
+			design.Cores[ci].Y = res.Positions[bi].Y
+		}
+		for k, si := range switchIdx {
+			r := res.Rect(blocks, len(coreIdx)+k)
+			work.Switches[si].Pos = r.Center()
+		}
+	}
+	return FloorplanOutcome{
+		ChipAreaMM2: chipArea,
+		PowerMW:     work.Evaluate().Power.TotalMW(),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 18 — area vs. switch count, custom routine vs. constrained standard
+// floorplanner (D_26_media)
+// ---------------------------------------------------------------------------
+
+// AreaPoint compares the two insertion methods at one switch count.
+type AreaPoint struct {
+	Switches        int
+	CustomAreaMM2   float64
+	StandardAreaMM2 float64
+}
+
+// Fig18FloorplanArea reproduces Fig. 18.
+func Fig18FloorplanArea(c Config) ([]AreaPoint, error) {
+	b := bench.D26Media(c.Seed)
+	opt := c.synthOptions()
+	res, err := synth.Synthesize(b.Graph3D, opt)
+	if err != nil {
+		return nil, err
+	}
+	valid := res.ValidPoints()
+	sort.Slice(valid, func(i, j int) bool { return valid[i].SwitchCount < valid[j].SwitchCount })
+	stride := 1
+	if c.Quick {
+		stride = 6
+	}
+	var out []AreaPoint
+	for i := 0; i < len(valid); i += stride {
+		p := valid[i]
+		cu, err := customInsert(p.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("custom insert (sw=%d): %w", p.SwitchCount, err)
+		}
+		st, err := standardInsert(p.Topology, c.Seed, c.Quick)
+		if err != nil {
+			return nil, fmt.Errorf("standard insert (sw=%d): %w", p.SwitchCount, err)
+		}
+		out = append(out, AreaPoint{
+			Switches:        p.SwitchCount,
+			CustomAreaMM2:   cu.ChipAreaMM2,
+			StandardAreaMM2: st.ChipAreaMM2,
+		})
+	}
+	return out, nil
+}
+
+// FormatFig18 renders the area sweep.
+func FormatFig18(points []AreaPoint) string {
+	header := []string{"switches", "custom_area_mm2", "standard_area_mm2"}
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{d0(p.Switches), f2(p.CustomAreaMM2), f2(p.StandardAreaMM2)})
+	}
+	return "Fig. 18: floorplan area vs. switch count (D_26_media)\n" + FormatTable(header, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 19 and 20 — area and power across benchmarks for the two
+// floorplanning methods (best power points)
+// ---------------------------------------------------------------------------
+
+// FloorplanComparison is one benchmark's best-point comparison between the
+// custom insertion routine and the constrained standard floorplanner.
+type FloorplanComparison struct {
+	Benchmark       string
+	CustomAreaMM2   float64
+	StandardAreaMM2 float64
+	CustomPowerMW   float64
+	StandardPowerMW float64
+}
+
+// AreaSaving returns the relative area saving of the custom routine.
+func (f FloorplanComparison) AreaSaving() float64 {
+	if f.StandardAreaMM2 <= 0 {
+		return 0
+	}
+	return 1 - f.CustomAreaMM2/f.StandardAreaMM2
+}
+
+// PowerSaving returns the relative power saving of the custom routine.
+func (f FloorplanComparison) PowerSaving() float64 {
+	if f.StandardPowerMW <= 0 {
+		return 0
+	}
+	return 1 - f.CustomPowerMW/f.StandardPowerMW
+}
+
+// Fig19Fig20FloorplanComparison reproduces Figs. 19 and 20: for every
+// benchmark's best power point, the chip area and NoC power obtained with the
+// custom insertion routine versus the constrained standard floorplanner.
+func Fig19Fig20FloorplanComparison(c Config) ([]FloorplanComparison, error) {
+	var out []FloorplanComparison
+	for _, b := range c.benchmarks() {
+		if c.Quick && b.Graph3D.NumCores() > 40 {
+			continue
+		}
+		opt := c.synthOptions()
+		res, err := synth.Synthesize(b.Graph3D, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		if res.Best == nil {
+			return nil, fmt.Errorf("%s: no valid design point", b.Name)
+		}
+		cu, err := customInsert(res.Best.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("%s custom insert: %w", b.Name, err)
+		}
+		st, err := standardInsert(res.Best.Topology, c.Seed, c.Quick)
+		if err != nil {
+			return nil, fmt.Errorf("%s standard insert: %w", b.Name, err)
+		}
+		out = append(out, FloorplanComparison{
+			Benchmark:       b.Name,
+			CustomAreaMM2:   cu.ChipAreaMM2,
+			StandardAreaMM2: st.ChipAreaMM2,
+			CustomPowerMW:   cu.PowerMW,
+			StandardPowerMW: st.PowerMW,
+		})
+	}
+	return out, nil
+}
+
+// FormatFig19Fig20 renders the cross-benchmark floorplanning comparison.
+func FormatFig19Fig20(rows []FloorplanComparison) string {
+	header := []string{"benchmark", "custom_area", "standard_area", "area_saving",
+		"custom_mW", "standard_mW", "power_saving"}
+	var cells [][]string
+	var sumA, sumP float64
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Benchmark, f2(r.CustomAreaMM2), f2(r.StandardAreaMM2), pct(r.AreaSaving()),
+			f2(r.CustomPowerMW), f2(r.StandardPowerMW), pct(r.PowerSaving()),
+		})
+		sumA += r.AreaSaving()
+		sumP += r.PowerSaving()
+	}
+	s := "Figs. 19-20: floorplanning method comparison (best power points)\n" + FormatTable(header, cells)
+	if len(rows) > 0 {
+		s += fmt.Sprintf("average area saving: %s, average power saving: %s\n",
+			pct(sumA/float64(len(rows))), pct(sumP/float64(len(rows))))
+	}
+	return s
+}

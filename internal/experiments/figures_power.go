@@ -1,0 +1,420 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sunfloor3d/internal/bench"
+	"sunfloor3d/internal/noclib"
+	"sunfloor3d/internal/synth"
+)
+
+// ---------------------------------------------------------------------------
+// Fig. 1 — yield vs. TSV count
+// ---------------------------------------------------------------------------
+
+// YieldPoint is one (TSV count, yield) sample of one manufacturing process.
+type YieldPoint struct {
+	TSVs  int
+	Yield float64
+}
+
+// YieldSeries is the yield curve of one process.
+type YieldSeries struct {
+	Process string
+	Points  []YieldPoint
+}
+
+// Fig01Yield reproduces the yield-versus-TSV-count curves of Fig. 1 for the
+// three representative processes.
+func Fig01Yield() []YieldSeries {
+	counts := []int{0, 100, 200, 400, 600, 800, 1000, 1500, 2000, 3000, 5000, 8000}
+	var out []YieldSeries
+	for _, p := range noclib.StandardProcesses() {
+		s := YieldSeries{Process: p.Name}
+		for _, n := range counts {
+			s.Points = append(s.Points, YieldPoint{TSVs: n, Yield: p.Yield(n)})
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// FormatFig01 renders the yield curves as a table.
+func FormatFig01(series []YieldSeries) string {
+	header := []string{"tsvs"}
+	for _, s := range series {
+		header = append(header, s.Process)
+	}
+	var rows [][]string
+	if len(series) > 0 {
+		for i, p := range series[0].Points {
+			row := []string{d0(p.TSVs)}
+			for _, s := range series {
+				row = append(row, f3(s.Points[i].Yield))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return "Fig. 1: yield vs. TSV count\n" + FormatTable(header, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 10 and 11 — NoC power vs. switch count (2-D and 3-D, D_26_media)
+// ---------------------------------------------------------------------------
+
+// PowerPoint is the power breakdown of the best valid design point at one
+// switch count.
+type PowerPoint struct {
+	Switches     int
+	SwitchMW     float64
+	SwitchLinkMW float64
+	CoreLinkMW   float64
+	TotalMW      float64
+}
+
+// PowerSweep is the per-switch-count power series of one design.
+type PowerSweep struct {
+	Design string
+	Points []PowerPoint
+}
+
+// powerSweep synthesizes the design and extracts one power point per valid
+// switch count.
+func (c Config) powerSweep(name string, run func() (*synth.Result, error)) (PowerSweep, error) {
+	res, err := run()
+	if err != nil {
+		return PowerSweep{}, err
+	}
+	sweep := PowerSweep{Design: name}
+	for _, p := range res.ValidPoints() {
+		sweep.Points = append(sweep.Points, PowerPoint{
+			Switches:     p.SwitchCount,
+			SwitchMW:     p.Metrics.Power.SwitchMW + p.Metrics.Power.NIMW,
+			SwitchLinkMW: p.Metrics.Power.SwitchLinkMW,
+			CoreLinkMW:   p.Metrics.Power.CoreLinkMW,
+			TotalMW:      p.Metrics.Power.TotalMW(),
+		})
+	}
+	sort.Slice(sweep.Points, func(i, j int) bool { return sweep.Points[i].Switches < sweep.Points[j].Switches })
+	return sweep, nil
+}
+
+// Fig10Power2D reproduces Fig. 10: NoC power versus switch count for the 2-D
+// implementation of D_26_media.
+func Fig10Power2D(c Config) (PowerSweep, error) {
+	b := bench.D26Media(c.Seed)
+	opt := c.synthOptions()
+	return c.powerSweep("D_26_media/2D", func() (*synth.Result, error) {
+		return synth.Synthesize(b.Graph2D, opt)
+	})
+}
+
+// Fig11Power3D reproduces Fig. 11: NoC power versus switch count for the 3-D
+// implementation of D_26_media.
+func Fig11Power3D(c Config) (PowerSweep, error) {
+	b := bench.D26Media(c.Seed)
+	opt := c.synthOptions()
+	return c.powerSweep("D_26_media/3D", func() (*synth.Result, error) {
+		return synth.Synthesize(b.Graph3D, opt)
+	})
+}
+
+// FormatPowerSweep renders a power sweep as a table.
+func FormatPowerSweep(title string, s PowerSweep) string {
+	header := []string{"switches", "switch_mW", "s2s_link_mW", "c2s_link_mW", "total_mW"}
+	var rows [][]string
+	for _, p := range s.Points {
+		rows = append(rows, []string{
+			d0(p.Switches), f2(p.SwitchMW), f2(p.SwitchLinkMW), f2(p.CoreLinkMW), f2(p.TotalMW),
+		})
+	}
+	return title + " (" + s.Design + ")\n" + FormatTable(header, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 12 — wire length distribution, 2-D vs. 3-D
+// ---------------------------------------------------------------------------
+
+// WireLengthDistribution holds the binned link length histograms of the best
+// 2-D and 3-D design points.
+type WireLengthDistribution struct {
+	BinMM     float64
+	Bins2D    []int
+	Bins3D    []int
+	Total2DMM float64
+	Total3DMM float64
+}
+
+// Fig12WireLengths reproduces Fig. 12 on D_26_media.
+func Fig12WireLengths(c Config) (WireLengthDistribution, error) {
+	b := bench.D26Media(c.Seed)
+	opt := c.synthOptions()
+	res3d, err := synth.Synthesize(b.Graph3D, opt)
+	if err != nil {
+		return WireLengthDistribution{}, err
+	}
+	res2d, err := synth.Synthesize(b.Graph2D, opt)
+	if err != nil {
+		return WireLengthDistribution{}, err
+	}
+	if res3d.Best == nil || res2d.Best == nil {
+		return WireLengthDistribution{}, fmt.Errorf("fig12: no valid design point")
+	}
+	const bin = 0.5
+	out := WireLengthDistribution{BinMM: bin}
+	out.Bins3D = res3d.Best.Topology.WireLengthHistogram(bin)
+	out.Bins2D = res2d.Best.Topology.WireLengthHistogram(bin)
+	out.Total3DMM = res3d.Best.Metrics.TotalWireLengthMM
+	out.Total2DMM = res2d.Best.Metrics.TotalWireLengthMM
+	return out, nil
+}
+
+// FormatFig12 renders the wire length distributions.
+func FormatFig12(d WireLengthDistribution) string {
+	n := len(d.Bins2D)
+	if len(d.Bins3D) > n {
+		n = len(d.Bins3D)
+	}
+	header := []string{"length_bin_mm", "links_2D", "links_3D"}
+	var rows [][]string
+	for i := 0; i < n; i++ {
+		lo := float64(i) * d.BinMM
+		hi := lo + d.BinMM
+		get := func(b []int) int {
+			if i < len(b) {
+				return b[i]
+			}
+			return 0
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f-%.1f", lo, hi), d0(get(d.Bins2D)), d0(get(d.Bins3D)),
+		})
+	}
+	rows = append(rows, []string{"total_mm", f1(d.Total2DMM), f1(d.Total3DMM)})
+	return "Fig. 12: wire length distribution\n" + FormatTable(header, rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 13-16 — best topologies and floorplans for D_26_media
+// ---------------------------------------------------------------------------
+
+// TopologyCaseStudy bundles the textual artefacts of the D_26_media case
+// study: the most power-efficient Phase-1 topology (Fig. 13), the
+// layer-by-layer Phase-2 topology (Fig. 14), and the initial core placement
+// (Fig. 16). The floorplan with inserted switches (Fig. 15) is produced by
+// the floorplanning experiment.
+type TopologyCaseStudy struct {
+	Phase1Topology   string
+	Phase1Power      float64
+	Phase1MaxILL     int
+	Phase2Topology   string
+	Phase2Power      float64
+	Phase2MaxILL     int
+	InitialPlacement string
+}
+
+// Fig13to16CaseStudy reproduces the D_26_media case study artefacts.
+func Fig13to16CaseStudy(c Config) (TopologyCaseStudy, error) {
+	b := bench.D26Media(c.Seed)
+	opt := c.synthOptions()
+
+	opt1 := opt
+	opt1.Phase = synth.Phase1Only
+	res1, err := synth.Synthesize(b.Graph3D, opt1)
+	if err != nil {
+		return TopologyCaseStudy{}, err
+	}
+	opt2 := opt
+	opt2.Phase = synth.Phase2Only
+	res2, err := synth.Synthesize(b.Graph3D, opt2)
+	if err != nil {
+		return TopologyCaseStudy{}, err
+	}
+	if res1.Best == nil || res2.Best == nil {
+		return TopologyCaseStudy{}, fmt.Errorf("fig13-16: no valid design point (phase1=%v phase2=%v)",
+			res1.Best != nil, res2.Best != nil)
+	}
+	var placement strings.Builder
+	for l := 0; l < b.Graph3D.NumLayers(); l++ {
+		fmt.Fprintf(&placement, "layer %d:\n", l)
+		for _, ci := range b.Graph3D.CoresInLayer(l) {
+			core := b.Graph3D.Cores[ci]
+			fmt.Fprintf(&placement, "  %-10s %s\n", core.Name, core.Rect())
+		}
+	}
+	return TopologyCaseStudy{
+		Phase1Topology:   res1.Best.Topology.Describe(),
+		Phase1Power:      res1.Best.Metrics.Power.TotalMW(),
+		Phase1MaxILL:     res1.Best.Metrics.MaxILL,
+		Phase2Topology:   res2.Best.Topology.Describe(),
+		Phase2Power:      res2.Best.Metrics.Power.TotalMW(),
+		Phase2MaxILL:     res2.Best.Metrics.MaxILL,
+		InitialPlacement: placement.String(),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 17 — Phase 2 power relative to Phase 1 across benchmarks
+// ---------------------------------------------------------------------------
+
+// PhaseComparison is one benchmark's Phase-1 vs Phase-2 result.
+type PhaseComparison struct {
+	Benchmark     string
+	Phase1PowerMW float64
+	Phase2PowerMW float64
+	// Ratio is Phase2 / Phase1 (>= 1 when Phase 1 wins, as the paper reports).
+	Ratio float64
+	// Phase1MaxILL and Phase2MaxILL show the price Phase 1 pays in vertical
+	// links.
+	Phase1MaxILL int
+	Phase2MaxILL int
+}
+
+// Fig17Phase1VsPhase2 reproduces Fig. 17 over the benchmark suite.
+func Fig17Phase1VsPhase2(c Config) ([]PhaseComparison, error) {
+	var out []PhaseComparison
+	for _, b := range c.benchmarks() {
+		if c.Quick && b.Graph3D.NumCores() > 40 {
+			continue
+		}
+		opt1 := c.synthOptions()
+		opt1.Phase = synth.Phase1Only
+		res1, err := synth.Synthesize(b.Graph3D, opt1)
+		if err != nil {
+			return nil, fmt.Errorf("%s phase1: %w", b.Name, err)
+		}
+		opt2 := c.synthOptions()
+		opt2.Phase = synth.Phase2Only
+		res2, err := synth.Synthesize(b.Graph3D, opt2)
+		if err != nil {
+			return nil, fmt.Errorf("%s phase2: %w", b.Name, err)
+		}
+		if res1.Best == nil || res2.Best == nil {
+			return nil, fmt.Errorf("%s: missing valid design point", b.Name)
+		}
+		pc := PhaseComparison{
+			Benchmark:     b.Name,
+			Phase1PowerMW: res1.Best.Metrics.Power.TotalMW(),
+			Phase2PowerMW: res2.Best.Metrics.Power.TotalMW(),
+			Phase1MaxILL:  res1.Best.Metrics.MaxILL,
+			Phase2MaxILL:  res2.Best.Metrics.MaxILL,
+		}
+		if pc.Phase1PowerMW > 0 {
+			pc.Ratio = pc.Phase2PowerMW / pc.Phase1PowerMW
+		}
+		out = append(out, pc)
+	}
+	return out, nil
+}
+
+// FormatFig17 renders the Phase comparison table.
+func FormatFig17(rows []PhaseComparison) string {
+	header := []string{"benchmark", "phase1_mW", "phase2_mW", "phase2/phase1", "ill_p1", "ill_p2"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Benchmark, f2(r.Phase1PowerMW), f2(r.Phase2PowerMW), f2(r.Ratio),
+			d0(r.Phase1MaxILL), d0(r.Phase2MaxILL),
+		})
+	}
+	return "Fig. 17: Phase 2 power relative to Phase 1\n" + FormatTable(header, cells)
+}
+
+// ---------------------------------------------------------------------------
+// Table I — 2-D vs. 3-D comparison
+// ---------------------------------------------------------------------------
+
+// Table1Row is one benchmark's 2-D vs. 3-D comparison.
+type Table1Row struct {
+	Benchmark     string
+	LinkPower2D   float64
+	LinkPower3D   float64
+	SwitchPower2D float64
+	SwitchPower3D float64
+	TotalPower2D  float64
+	TotalPower3D  float64
+	Latency2D     float64
+	Latency3D     float64
+}
+
+// PowerReduction returns the relative total-power reduction of 3-D vs 2-D.
+func (r Table1Row) PowerReduction() float64 {
+	if r.TotalPower2D <= 0 {
+		return 0
+	}
+	return 1 - r.TotalPower3D/r.TotalPower2D
+}
+
+// LatencyReduction returns the relative latency reduction of 3-D vs 2-D.
+func (r Table1Row) LatencyReduction() float64 {
+	if r.Latency2D <= 0 {
+		return 0
+	}
+	return 1 - r.Latency3D/r.Latency2D
+}
+
+// Table1 reproduces Table I: least-power design points for the 2-D and 3-D
+// implementations of the distributed, bottleneck and pipelined benchmarks.
+func Table1(c Config) ([]Table1Row, error) {
+	names := []string{"D_36_4", "D_36_6", "D_36_8", "D_35_bot", "D_65_pipe", "D_38_tvopd"}
+	var out []Table1Row
+	for _, name := range names {
+		if c.Quick && (name == "D_65_pipe" || name == "D_38_tvopd") {
+			continue
+		}
+		b, err := bench.ByName(name, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		opt := c.synthOptions()
+		res3d, err := synth.Synthesize(b.Graph3D, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s 3D: %w", name, err)
+		}
+		res2d, err := synth.Synthesize(b.Graph2D, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s 2D: %w", name, err)
+		}
+		if res3d.Best == nil || res2d.Best == nil {
+			return nil, fmt.Errorf("%s: missing valid design point", name)
+		}
+		m3, m2 := res3d.Best.Metrics, res2d.Best.Metrics
+		out = append(out, Table1Row{
+			Benchmark:     name,
+			LinkPower2D:   m2.Power.LinkMW(),
+			LinkPower3D:   m3.Power.LinkMW(),
+			SwitchPower2D: m2.Power.SwitchMW + m2.Power.NIMW,
+			SwitchPower3D: m3.Power.SwitchMW + m3.Power.NIMW,
+			TotalPower2D:  m2.Power.TotalMW(),
+			TotalPower3D:  m3.Power.TotalMW(),
+			Latency2D:     m2.AvgLatencyCycles,
+			Latency3D:     m3.AvgLatencyCycles,
+		})
+	}
+	return out, nil
+}
+
+// FormatTable1 renders Table I together with the average reductions.
+func FormatTable1(rows []Table1Row) string {
+	header := []string{"benchmark", "link_2D", "link_3D", "switch_2D", "switch_3D",
+		"total_2D", "total_3D", "lat_2D", "lat_3D", "power_red", "lat_red"}
+	var cells [][]string
+	var sumP, sumL float64
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Benchmark, f1(r.LinkPower2D), f1(r.LinkPower3D), f1(r.SwitchPower2D), f1(r.SwitchPower3D),
+			f1(r.TotalPower2D), f1(r.TotalPower3D), f2(r.Latency2D), f2(r.Latency3D),
+			pct(r.PowerReduction()), pct(r.LatencyReduction()),
+		})
+		sumP += r.PowerReduction()
+		sumL += r.LatencyReduction()
+	}
+	s := "Table I: 2-D vs. 3-D NoC comparison\n" + FormatTable(header, cells)
+	if len(rows) > 0 {
+		s += fmt.Sprintf("average power reduction: %s, average latency reduction: %s\n",
+			pct(sumP/float64(len(rows))), pct(sumL/float64(len(rows))))
+	}
+	return s
+}

@@ -1,0 +1,363 @@
+// Package floorplan provides a general-purpose simulated-annealing
+// floorplanner based on the sequence-pair representation. It substitutes the
+// Parquet fixed-outline floorplanner the paper uses for two purposes:
+//
+//  1. generating the initial placement of the cores of each benchmark (and of
+//     the flattened 2-D equivalents), minimising area and wire length; and
+//  2. acting as the "constrained standard floorplanner" baseline of the
+//     floorplanning study (Figs. 18-20), where it inserts the NoC switches
+//     into an existing core placement while being forbidden from swapping the
+//     relative order of the cores.
+//
+// Both uses exercise the same annealer; the constrained mode simply restricts
+// the move set to the inserted (non-fixed) blocks.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sunfloor3d/internal/geom"
+)
+
+// Block is a rectangular block to floorplan.
+type Block struct {
+	Name string
+	W, H float64
+	// Fixed marks blocks whose relative order must not change in constrained
+	// mode (the already-placed cores during NoC insertion).
+	Fixed bool
+}
+
+// Net is a weighted two-pin connection between blocks, used in the wirelength
+// part of the cost function.
+type Net struct {
+	A, B   int
+	Weight float64
+}
+
+// Params tunes the annealer.
+type Params struct {
+	// Seed makes runs reproducible.
+	Seed int64
+	// Iterations per temperature step.
+	Iterations int
+	// TemperatureSteps is the number of cooling steps.
+	TemperatureSteps int
+	// InitialTemp and CoolingFactor define the annealing schedule.
+	InitialTemp   float64
+	CoolingFactor float64
+	// AreaWeight and WireWeight blend the two cost terms.
+	AreaWeight, WireWeight float64
+	// DisplacementWeight penalises moving Fixed blocks away from their
+	// initial positions (only meaningful with FloorplanWithInitial). The
+	// paper's constrained-standard-floorplanner baseline must keep the cores
+	// close to their input placement, which is what this term models.
+	DisplacementWeight float64
+	// Constrained forbids moves that change the relative order of Fixed
+	// blocks (the paper's modified Parquet baseline).
+	Constrained bool
+}
+
+// DefaultParams returns a reasonable annealing schedule for designs with up
+// to ~100 blocks.
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:             seed,
+		Iterations:       200,
+		TemperatureSteps: 60,
+		InitialTemp:      1.0,
+		CoolingFactor:    0.92,
+		AreaWeight:       1.0,
+		WireWeight:       0.4,
+		Constrained:      false,
+	}
+}
+
+// Result is a computed floorplan.
+type Result struct {
+	// Positions holds the lower-left corner of every block.
+	Positions []geom.Point
+	// BoundingBox is the overall outline.
+	BoundingBox geom.Rect
+	// AreaMM2 is the outline area.
+	AreaMM2 float64
+	// WireLengthMM is the weighted half-perimeter wirelength of the nets.
+	WireLengthMM float64
+}
+
+// Rect returns the placed rectangle of block i.
+func (r *Result) Rect(blocks []Block, i int) geom.Rect {
+	return geom.Rect{X: r.Positions[i].X, Y: r.Positions[i].Y, W: blocks[i].W, H: blocks[i].H}
+}
+
+// sequencePair is the classic floorplan representation: two permutations of
+// the block indices. Block a is left of b iff a precedes b in both sequences;
+// a is below b iff a follows b in the first and precedes b in the second.
+type sequencePair struct {
+	pos, neg []int
+}
+
+func (sp *sequencePair) clone() sequencePair {
+	return sequencePair{
+		pos: append([]int(nil), sp.pos...),
+		neg: append([]int(nil), sp.neg...),
+	}
+}
+
+// Floorplan runs simulated annealing over sequence pairs starting from the
+// trivial (identity) sequence pair and returns the best floorplan found. With
+// p.Constrained set, only non-fixed blocks are moved, so the relative order
+// (and hence relative placement) of fixed blocks is preserved.
+func Floorplan(blocks []Block, nets []Net, p Params) (*Result, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("floorplan: no blocks")
+	}
+	sp := sequencePair{pos: identity(len(blocks)), neg: identity(len(blocks))}
+	return anneal(blocks, nets, sp, p, nil)
+}
+
+// FloorplanWithInitial behaves like Floorplan but seeds the annealer with a
+// sequence pair derived from the given initial block positions, so that the
+// search starts from (and, in constrained mode, largely preserves) an
+// existing placement. This is how the constrained standard-floorplanner
+// baseline of the paper is fed "the core and switch positions as an input
+// solution".
+func FloorplanWithInitial(blocks []Block, nets []Net, initial []geom.Point, p Params) (*Result, error) {
+	if len(initial) != len(blocks) {
+		return nil, fmt.Errorf("floorplan: %d initial positions for %d blocks", len(initial), len(blocks))
+	}
+	sp := sequencePairFromPlacement(blocks, initial)
+	return anneal(blocks, nets, sp, p, initial)
+}
+
+// sequencePairFromPlacement derives a sequence pair consistent with the given
+// placement: blocks further left or higher come earlier in the positive
+// sequence, blocks further left or lower come earlier in the negative
+// sequence. For a legal (non-overlapping) placement this reproduces the
+// relative ordering of the blocks.
+func sequencePairFromPlacement(blocks []Block, pos []geom.Point) sequencePair {
+	n := len(blocks)
+	idx := identity(n)
+	posSeq := append([]int(nil), idx...)
+	negSeq := append([]int(nil), idx...)
+	center := func(i int) (float64, float64) {
+		return pos[i].X + blocks[i].W/2, pos[i].Y + blocks[i].H/2
+	}
+	sortBy(posSeq, func(a, b int) bool {
+		xa, ya := center(a)
+		xb, yb := center(b)
+		if xa-ya != xb-yb {
+			return xa-ya < xb-yb
+		}
+		return a < b
+	})
+	sortBy(negSeq, func(a, b int) bool {
+		xa, ya := center(a)
+		xb, yb := center(b)
+		if xa+ya != xb+yb {
+			return xa+ya < xb+yb
+		}
+		return a < b
+	})
+	return sequencePair{pos: posSeq, neg: negSeq}
+}
+
+func sortBy(ids []int, less func(a, b int) bool) {
+	// Insertion sort keeps the dependency footprint small and is plenty fast
+	// for the block counts in this domain.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && less(ids[j], ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// anneal runs the simulated-annealing loop from the given starting sequence
+// pair. When initial is non-nil, Fixed blocks are additionally penalised for
+// drifting away from their initial positions (see Params.DisplacementWeight).
+func anneal(blocks []Block, nets []Net, sp sequencePair, p Params, initial []geom.Point) (*Result, error) {
+	n := len(blocks)
+	if n == 0 {
+		return nil, fmt.Errorf("floorplan: no blocks")
+	}
+	for i, b := range blocks {
+		if b.W <= 0 || b.H <= 0 {
+			return nil, fmt.Errorf("floorplan: block %d (%s) has non-positive size", i, b.Name)
+		}
+	}
+	for _, nt := range nets {
+		if nt.A < 0 || nt.A >= n || nt.B < 0 || nt.B >= n {
+			return nil, fmt.Errorf("floorplan: net references block out of range")
+		}
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	cur := evaluate(blocks, nets, sp, p, initial)
+	best := cur
+	bestSP := sp.clone()
+
+	movable := movableIndices(blocks, p.Constrained)
+	if len(movable) == 0 {
+		// Nothing to optimise: just pack and return.
+		res := pack(blocks, nets, sp)
+		return res, nil
+	}
+
+	temp := p.InitialTemp
+	for step := 0; step < p.TemperatureSteps; step++ {
+		for it := 0; it < p.Iterations; it++ {
+			cand := sp.clone()
+			mutate(&cand, movable, rng)
+			c := evaluate(blocks, nets, cand, p, initial)
+			accept := c < cur
+			if !accept && temp > 0 {
+				delta := (c - cur) / math.Max(cur, 1e-9)
+				accept = rng.Float64() < math.Exp(-delta/temp)
+			}
+			if accept {
+				sp, cur = cand, c
+				if c < best {
+					best, bestSP = c, cand.clone()
+				}
+			}
+		}
+		temp *= p.CoolingFactor
+	}
+	return pack(blocks, nets, bestSP), nil
+}
+
+func identity(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func movableIndices(blocks []Block, constrained bool) []int {
+	var out []int
+	for i, b := range blocks {
+		if !constrained || !b.Fixed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// mutate applies one of the standard sequence-pair moves, restricted to
+// movable blocks: swap two blocks in the positive sequence, in the negative
+// sequence, or in both.
+func mutate(sp *sequencePair, movable []int, rng *rand.Rand) {
+	if len(movable) < 2 {
+		return
+	}
+	a := movable[rng.Intn(len(movable))]
+	b := movable[rng.Intn(len(movable))]
+	if a == b {
+		return
+	}
+	switch rng.Intn(3) {
+	case 0:
+		swapValues(sp.pos, a, b)
+	case 1:
+		swapValues(sp.neg, a, b)
+	default:
+		swapValues(sp.pos, a, b)
+		swapValues(sp.neg, a, b)
+	}
+}
+
+// swapValues swaps the positions of values a and b within the permutation.
+func swapValues(perm []int, a, b int) {
+	ia, ib := -1, -1
+	for i, v := range perm {
+		if v == a {
+			ia = i
+		}
+		if v == b {
+			ib = i
+		}
+	}
+	if ia >= 0 && ib >= 0 {
+		perm[ia], perm[ib] = perm[ib], perm[ia]
+	}
+}
+
+// evaluate returns the scalar annealing cost of a sequence pair.
+func evaluate(blocks []Block, nets []Net, sp sequencePair, p Params, initial []geom.Point) float64 {
+	res := pack(blocks, nets, sp)
+	cost := p.AreaWeight*res.AreaMM2 + p.WireWeight*res.WireLengthMM
+	if p.DisplacementWeight > 0 && initial != nil {
+		for i, b := range blocks {
+			if b.Fixed && i < len(initial) {
+				cost += p.DisplacementWeight * geom.Manhattan(res.Positions[i], initial[i])
+			}
+		}
+	}
+	return cost
+}
+
+// pack converts a sequence pair to physical positions with the longest-path
+// method and computes area and wirelength.
+func pack(blocks []Block, nets []Net, sp sequencePair) *Result {
+	n := len(blocks)
+	// rank of each block in both sequences
+	rp := make([]int, n)
+	rn := make([]int, n)
+	for i, v := range sp.pos {
+		rp[v] = i
+	}
+	for i, v := range sp.neg {
+		rn[v] = i
+	}
+	x := make([]float64, n)
+	y := make([]float64, n)
+	// Longest path in the horizontal constraint graph: a left-of b iff
+	// rp[a]<rp[b] && rn[a]<rn[b]. Process blocks in positive-sequence order.
+	for _, b := range sp.pos {
+		for _, a := range sp.pos {
+			if a == b {
+				break
+			}
+			if rp[a] < rp[b] && rn[a] < rn[b] { // a left of b
+				if v := x[a] + blocks[a].W; v > x[b] {
+					x[b] = v
+				}
+			}
+		}
+	}
+	// Vertical: a below b iff rp[a]>rp[b] && rn[a]<rn[b].
+	for _, b := range sp.neg {
+		for _, a := range sp.neg {
+			if a == b {
+				break
+			}
+			if rp[a] > rp[b] && rn[a] < rn[b] { // a below b
+				if v := y[a] + blocks[a].H; v > y[b] {
+					y[b] = v
+				}
+			}
+		}
+	}
+	res := &Result{Positions: make([]geom.Point, n)}
+	var maxX, maxY float64
+	for i := range blocks {
+		res.Positions[i] = geom.Point{X: x[i], Y: y[i]}
+		if v := x[i] + blocks[i].W; v > maxX {
+			maxX = v
+		}
+		if v := y[i] + blocks[i].H; v > maxY {
+			maxY = v
+		}
+	}
+	res.BoundingBox = geom.Rect{X: 0, Y: 0, W: maxX, H: maxY}
+	res.AreaMM2 = maxX * maxY
+	for _, nt := range nets {
+		ca := geom.Point{X: x[nt.A] + blocks[nt.A].W/2, Y: y[nt.A] + blocks[nt.A].H/2}
+		cb := geom.Point{X: x[nt.B] + blocks[nt.B].W/2, Y: y[nt.B] + blocks[nt.B].H/2}
+		res.WireLengthMM += nt.Weight * geom.Manhattan(ca, cb)
+	}
+	return res
+}

@@ -1,0 +1,165 @@
+// Package geom provides 2-D and 3-D geometric primitives used throughout the
+// SunFloor 3D flow: points, rectangles, Manhattan distances, overlap tests and
+// bounding boxes. All dimensions are in millimetres unless stated otherwise.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2-D point within a single die layer.
+type Point struct {
+	X, Y float64
+}
+
+// Point3D is a point in the 3-D stack: a planar position plus a layer index
+// (layer 0 is the bottom die).
+type Point3D struct {
+	X, Y  float64
+	Layer int
+}
+
+// Planar returns the planar projection of the 3-D point.
+func (p Point3D) Planar() Point { return Point{X: p.X, Y: p.Y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// String implements fmt.Stringer.
+func (p Point3D) String() string {
+	return fmt.Sprintf("(%.3f, %.3f, L%d)", p.X, p.Y, p.Layer)
+}
+
+// Add returns the component-wise sum of two points.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the component-wise difference of two points.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Manhattan returns the Manhattan (L1) distance between two planar points.
+func Manhattan(a, b Point) float64 {
+	return math.Abs(a.X-b.X) + math.Abs(a.Y-b.Y)
+}
+
+// Euclidean returns the Euclidean (L2) distance between two planar points.
+func Euclidean(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Manhattan3D returns the planar Manhattan distance between two 3-D points
+// plus a per-layer vertical distance for each crossed layer. verticalPitch is
+// the effective length charged per crossed layer (the die thickness plus
+// bonding interface); the paper's TSV model treats vertical hops as much
+// shorter and cheaper than planar wires.
+func Manhattan3D(a, b Point3D, verticalPitch float64) float64 {
+	layers := math.Abs(float64(a.Layer - b.Layer))
+	return Manhattan(a.Planar(), b.Planar()) + layers*verticalPitch
+}
+
+// Rect is an axis-aligned rectangle identified by its lower-left corner and
+// its width and height.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// NewRectCentered returns a rectangle of size w x h centred on c.
+func NewRectCentered(c Point, w, h float64) Rect {
+	return Rect{X: c.X - w/2, Y: c.Y - h/2, W: w, H: h}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.3f,%.3f %.3fx%.3f]", r.X, r.Y, r.W, r.H)
+}
+
+// Center returns the centre point of the rectangle.
+func (r Rect) Center() Point { return Point{X: r.X + r.W/2, Y: r.Y + r.H/2} }
+
+// Area returns the rectangle area.
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// MaxX returns the x coordinate of the right edge.
+func (r Rect) MaxX() float64 { return r.X + r.W }
+
+// MaxY returns the y coordinate of the top edge.
+func (r Rect) MaxY() float64 { return r.Y + r.H }
+
+// Contains reports whether the point lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.X && p.X <= r.MaxX() && p.Y >= r.Y && p.Y <= r.MaxY()
+}
+
+// Overlaps reports whether the two rectangles share a region of positive area.
+// Rectangles that merely touch along an edge do not overlap.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.X < s.MaxX() && s.X < r.MaxX() && r.Y < s.MaxY() && s.Y < r.MaxY()
+}
+
+// OverlapArea returns the area shared between the two rectangles (zero if they
+// do not overlap).
+func (r Rect) OverlapArea(s Rect) float64 {
+	w := math.Min(r.MaxX(), s.MaxX()) - math.Max(r.X, s.X)
+	h := math.Min(r.MaxY(), s.MaxY()) - math.Max(r.Y, s.Y)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Translate returns a copy of r moved by (dx, dy).
+func (r Rect) Translate(dx, dy float64) Rect {
+	return Rect{X: r.X + dx, Y: r.Y + dy, W: r.W, H: r.H}
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	x := math.Min(r.X, s.X)
+	y := math.Min(r.Y, s.Y)
+	mx := math.Max(r.MaxX(), s.MaxX())
+	my := math.Max(r.MaxY(), s.MaxY())
+	return Rect{X: x, Y: y, W: mx - x, H: my - y}
+}
+
+// BoundingBox returns the smallest rectangle containing all the given
+// rectangles. It returns the zero Rect when the slice is empty.
+func BoundingBox(rects []Rect) Rect {
+	if len(rects) == 0 {
+		return Rect{}
+	}
+	bb := rects[0]
+	for _, r := range rects[1:] {
+		bb = bb.Union(r)
+	}
+	return bb
+}
+
+// TotalArea returns the sum of the areas of the rectangles (overlap counted
+// twice).
+func TotalArea(rects []Rect) float64 {
+	var a float64
+	for _, r := range rects {
+		a += r.Area()
+	}
+	return a
+}
+
+// ClampPoint returns the closest point to p that lies inside r.
+func (r Rect) ClampPoint(p Point) Point {
+	x := math.Max(r.X, math.Min(p.X, r.MaxX()))
+	y := math.Max(r.Y, math.Min(p.Y, r.MaxY()))
+	return Point{X: x, Y: y}
+}
+
+// DistanceToPoint returns the Manhattan distance from p to the closest point
+// of r (zero if p is inside r).
+func (r Rect) DistanceToPoint(p Point) float64 {
+	return Manhattan(p, r.ClampPoint(p))
+}
+
+// AlmostEqual reports whether a and b differ by less than eps.
+func AlmostEqual(a, b, eps float64) bool { return math.Abs(a-b) < eps }

@@ -1,0 +1,237 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattan(t *testing.T) {
+	tests := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 7},
+		{Point{-1, -1}, Point{1, 1}, 4},
+		{Point{2.5, 0}, Point{0, 2.5}, 5},
+	}
+	for _, tc := range tests {
+		if got := Manhattan(tc.a, tc.b); !AlmostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Manhattan(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestManhattanSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		return Manhattan(a, b) == Manhattan(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManhattanTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		return Manhattan(a, c) <= Manhattan(a, b)+Manhattan(b, c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEuclideanVsManhattan(t *testing.T) {
+	f := func(ax, ay, bx, by int16) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		return Euclidean(a, b) <= Manhattan(a, b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManhattan3D(t *testing.T) {
+	a := Point3D{X: 0, Y: 0, Layer: 0}
+	b := Point3D{X: 1, Y: 1, Layer: 2}
+	if got := Manhattan3D(a, b, 0.05); !AlmostEqual(got, 2.1, 1e-12) {
+		t.Errorf("Manhattan3D = %v, want 2.1", got)
+	}
+	if got := Manhattan3D(a, a, 0.05); got != 0 {
+		t.Errorf("Manhattan3D(a,a) = %v, want 0", got)
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, 5}
+	if got := p.Add(q); got != (Point{4, 7}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != (Point{2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{X: 1, Y: 2, W: 3, H: 4}
+	if r.Area() != 12 {
+		t.Errorf("Area = %v, want 12", r.Area())
+	}
+	if r.MaxX() != 4 || r.MaxY() != 6 {
+		t.Errorf("MaxX/MaxY = %v/%v", r.MaxX(), r.MaxY())
+	}
+	if c := r.Center(); c != (Point{2.5, 4}) {
+		t.Errorf("Center = %v", c)
+	}
+	if !r.Contains(Point{2, 3}) || r.Contains(Point{0, 0}) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestNewRectCentered(t *testing.T) {
+	r := NewRectCentered(Point{5, 5}, 2, 4)
+	if r.X != 4 || r.Y != 3 || r.W != 2 || r.H != 4 {
+		t.Errorf("NewRectCentered = %v", r)
+	}
+	if c := r.Center(); !AlmostEqual(c.X, 5, 1e-12) || !AlmostEqual(c.Y, 5, 1e-12) {
+		t.Errorf("center drifted: %v", c)
+	}
+}
+
+func TestRectOverlaps(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	tests := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{1, 1, 2, 2}, true},
+		{Rect{2, 0, 2, 2}, false}, // touching edge is not overlap
+		{Rect{3, 3, 1, 1}, false},
+		{Rect{0.5, 0.5, 1, 1}, true}, // fully inside
+		{Rect{-1, -1, 4, 4}, true},   // fully contains
+	}
+	for _, tc := range tests {
+		if got := a.Overlaps(tc.b); got != tc.want {
+			t.Errorf("Overlaps(%v,%v) = %v, want %v", a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Overlaps(a); got != tc.want {
+			t.Errorf("Overlaps symmetric (%v,%v) = %v, want %v", tc.b, a, got, tc.want)
+		}
+	}
+}
+
+func TestOverlapArea(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	b := Rect{1, 1, 2, 2}
+	if got := a.OverlapArea(b); !AlmostEqual(got, 1, 1e-12) {
+		t.Errorf("OverlapArea = %v, want 1", got)
+	}
+	c := Rect{5, 5, 1, 1}
+	if got := a.OverlapArea(c); got != 0 {
+		t.Errorf("OverlapArea disjoint = %v, want 0", got)
+	}
+}
+
+func TestOverlapAreaConsistentWithOverlaps(t *testing.T) {
+	f := func(ax, ay, bx, by int8, aw, ah, bw, bh uint8) bool {
+		a := Rect{float64(ax), float64(ay), float64(aw%16) + 1, float64(ah%16) + 1}
+		b := Rect{float64(bx), float64(by), float64(bw%16) + 1, float64(bh%16) + 1}
+		return a.Overlaps(b) == (a.OverlapArea(b) > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionAndBoundingBox(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	b := Rect{2, 3, 1, 1}
+	u := a.Union(b)
+	if u.X != 0 || u.Y != 0 || !AlmostEqual(u.W, 3, 1e-12) || !AlmostEqual(u.H, 4, 1e-12) {
+		t.Errorf("Union = %v", u)
+	}
+	bb := BoundingBox([]Rect{a, b, {1, 1, 1, 1}})
+	if bb != u {
+		t.Errorf("BoundingBox = %v, want %v", bb, u)
+	}
+	if z := BoundingBox(nil); z != (Rect{}) {
+		t.Errorf("BoundingBox(nil) = %v", z)
+	}
+}
+
+func TestUnionContainsBoth(t *testing.T) {
+	f := func(ax, ay, bx, by int8, aw, ah, bw, bh uint8) bool {
+		a := Rect{float64(ax), float64(ay), float64(aw%16) + 1, float64(ah%16) + 1}
+		b := Rect{float64(bx), float64(by), float64(bw%16) + 1, float64(bh%16) + 1}
+		u := a.Union(b)
+		return u.Contains(Point{a.X, a.Y}) && u.Contains(Point{a.MaxX(), a.MaxY()}) &&
+			u.Contains(Point{b.X, b.Y}) && u.Contains(Point{b.MaxX(), b.MaxY()})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalArea(t *testing.T) {
+	rects := []Rect{{0, 0, 1, 1}, {0, 0, 2, 3}}
+	if got := TotalArea(rects); !AlmostEqual(got, 7, 1e-12) {
+		t.Errorf("TotalArea = %v, want 7", got)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	r := Rect{1, 1, 2, 2}
+	moved := r.Translate(3, -1)
+	if moved.X != 4 || moved.Y != 0 || moved.W != 2 || moved.H != 2 {
+		t.Errorf("Translate = %v", moved)
+	}
+	if !AlmostEqual(moved.Area(), r.Area(), 1e-12) {
+		t.Error("Translate changed area")
+	}
+}
+
+func TestClampAndDistance(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	if p := r.ClampPoint(Point{5, 1}); p != (Point{2, 1}) {
+		t.Errorf("ClampPoint = %v", p)
+	}
+	if d := r.DistanceToPoint(Point{5, 1}); !AlmostEqual(d, 3, 1e-12) {
+		t.Errorf("DistanceToPoint = %v, want 3", d)
+	}
+	if d := r.DistanceToPoint(Point{1, 1}); d != 0 {
+		t.Errorf("DistanceToPoint inside = %v, want 0", d)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if s := (Point{1, 2}).String(); s == "" {
+		t.Error("Point.String empty")
+	}
+	if s := (Point3D{1, 2, 1}).String(); s == "" {
+		t.Error("Point3D.String empty")
+	}
+	if s := (Rect{0, 0, 1, 1}).String(); s == "" {
+		t.Error("Rect.String empty")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1.0, 1.0+1e-13, 1e-9) {
+		t.Error("AlmostEqual should hold for tiny differences")
+	}
+	if AlmostEqual(1.0, 1.1, 1e-9) {
+		t.Error("AlmostEqual should fail for large differences")
+	}
+	if !AlmostEqual(math.Pi, math.Pi, 0.1) {
+		t.Error("identical values must be almost equal")
+	}
+}

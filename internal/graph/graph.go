@@ -1,0 +1,250 @@
+// Package graph provides the generic graph machinery used by the SunFloor 3D
+// flow: weighted directed graphs, shortest paths (Dijkstra), reachability,
+// cycle detection (for deadlock-freedom checks on channel dependency graphs)
+// and balanced k-way min-cut partitioning (recursive bisection with
+// Fiduccia–Mattheyses refinement), which implements the "min-cut partitions"
+// steps of Algorithms 1 and 2 of the paper.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is a weighted directed edge.
+type Edge struct {
+	From, To int
+	Weight   float64
+}
+
+// Graph is a weighted directed graph over vertices 0..N-1. Parallel edges are
+// merged by summing their weights.
+type Graph struct {
+	n   int
+	adj []map[int]float64 // adj[u][v] = weight of edge u->v
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	g := &Graph{n: n, adj: make([]map[int]float64, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]float64)
+	}
+	return g
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns the number of directed edges with non-zero weight.
+func (g *Graph) NumEdges() int {
+	c := 0
+	for _, m := range g.adj {
+		c += len(m)
+	}
+	return c
+}
+
+// AddEdge adds weight w to the directed edge u->v (creating it if needed).
+// It panics if a vertex is out of range: edges are only ever added by this
+// package's callers from validated indices, so an out-of-range index is a
+// programming error.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return // ignore self loops; they never affect cuts or paths
+	}
+	g.adj[u][v] += w
+}
+
+// SetEdge sets the weight of the directed edge u->v, overwriting any existing
+// weight. A weight of zero removes the edge.
+func (g *Graph) SetEdge(u, v int, w float64) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		return
+	}
+	if w == 0 {
+		delete(g.adj[u], v)
+		return
+	}
+	g.adj[u][v] = w
+}
+
+// HasEdge reports whether the directed edge u->v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.check(u)
+	g.check(v)
+	_, ok := g.adj[u][v]
+	return ok
+}
+
+// Weight returns the weight of edge u->v (0 if absent).
+func (g *Graph) Weight(u, v int) float64 {
+	g.check(u)
+	g.check(v)
+	return g.adj[u][v]
+}
+
+// RemoveEdge deletes the directed edge u->v if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	g.check(u)
+	g.check(v)
+	delete(g.adj[u], v)
+}
+
+// Successors returns the targets of all out-edges of u in ascending order.
+func (g *Graph) Successors(u int) []int {
+	g.check(u)
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns all edges sorted by (From, To) for deterministic iteration.
+func (g *Graph) Edges() []Edge {
+	var es []Edge
+	for u, m := range g.adj {
+		for v, w := range m {
+			es = append(es, Edge{From: u, To: v, Weight: w})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	return es
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u, m := range g.adj {
+		for v, w := range m {
+			c.adj[u][v] = w
+		}
+	}
+	return c
+}
+
+// Undirected returns a new graph where every edge u->v is mirrored as v->u
+// with the weights of both directions summed. Partitioning operates on the
+// undirected view of the communication graph.
+func (g *Graph) Undirected() *Graph {
+	u := New(g.n)
+	for a, m := range g.adj {
+		for b, w := range m {
+			u.adj[a][b] += w
+			u.adj[b][a] += w
+		}
+	}
+	return u
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 {
+	var t float64
+	for _, m := range g.adj {
+		for _, w := range m {
+			t += w
+		}
+	}
+	return t
+}
+
+// HasCycle reports whether the directed graph contains a cycle. It is used on
+// channel dependency graphs to verify that a set of routes is deadlock free.
+func (g *Graph) HasCycle() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, g.n)
+	var visit func(u int) bool
+	visit = func(u int) bool {
+		color[u] = grey
+		for v := range g.adj[u] {
+			switch color[v] {
+			case grey:
+				return true
+			case white:
+				if visit(v) {
+					return true
+				}
+			}
+		}
+		color[u] = black
+		return false
+	}
+	for u := 0; u < g.n; u++ {
+		if color[u] == white && visit(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConnectedComponents returns the weakly connected components of the graph as
+// a slice of vertex slices, each sorted ascending, ordered by smallest member.
+func (g *Graph) ConnectedComponents() [][]int {
+	und := g.Undirected()
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for v := range und.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// CutWeight returns the total weight of edges crossing between different
+// blocks of the given assignment (undirected sense: both directions counted
+// once each as they appear in the directed graph).
+func (g *Graph) CutWeight(block []int) float64 {
+	if len(block) != g.n {
+		panic(fmt.Sprintf("graph: CutWeight assignment length %d != %d vertices", len(block), g.n))
+	}
+	var cut float64
+	for u, m := range g.adj {
+		for v, w := range m {
+			if block[u] != block[v] {
+				cut += w
+			}
+		}
+	}
+	return cut
+}
+
+func (g *Graph) check(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: vertex %d out of range [0,%d)", v, g.n))
+	}
+}

@@ -1,0 +1,247 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements balanced k-way min-cut partitioning, the work-horse of
+// the core-to-switch assignment steps of Algorithms 1 and 2 of the paper
+// ("Perform i min-cut partitions of PG" / "Obtain NP min-cut partitions of
+// LPG"). Blocks are kept "about equal" in size: every block holds either
+// floor(n/k) or ceil(n/k) vertices, matching the paper's balance requirement.
+//
+// The algorithm is recursive bisection. Each bisection starts from a
+// BFS-based seeding that keeps strongly connected clusters together and is
+// then refined with Kernighan–Lin style pairwise swaps until no swap improves
+// the (undirected) cut weight. The instance sizes in this domain are tiny
+// (tens of cores), so the O(n^2) swap refinement is both simple and fast.
+
+// PartitionK partitions the vertices of g into k balanced blocks minimising
+// the weight of edges cut between blocks (heuristically). It returns a slice
+// assign with assign[v] in [0,k) for every vertex v. The directed graph is
+// treated as undirected for cut purposes.
+//
+// PartitionK panics if k is not in [1, NumVertices()] — callers sweep k over
+// exactly that range.
+func PartitionK(g *Graph, k int) []int {
+	n := g.NumVertices()
+	if k < 1 || (k > n && n > 0) {
+		panic(fmt.Sprintf("graph: PartitionK with k=%d for %d vertices", k, n))
+	}
+	assign := make([]int, n)
+	if k <= 1 || n == 0 {
+		return assign
+	}
+	und := g.Undirected()
+	verts := make([]int, n)
+	for i := range verts {
+		verts[i] = i
+	}
+	partitionRec(und, verts, k, 0, assign)
+	return assign
+}
+
+// partitionRec assigns block identifiers [base, base+k) to the given vertices.
+func partitionRec(und *Graph, verts []int, k, base int, assign []int) {
+	if k == 1 {
+		for _, v := range verts {
+			assign[v] = base
+		}
+		return
+	}
+	kA := (k + 1) / 2
+	kB := k - kA
+	// Split the vertex count proportionally to the number of blocks on each
+	// side so that the leaves end up with floor(n/k) or ceil(n/k) vertices.
+	sizeA := balancedSplit(len(verts), k, kA)
+	sideA, sideB := bisect(und, verts, sizeA)
+	partitionRec(und, sideA, kA, base, assign)
+	partitionRec(und, sideB, kB, base+kA, assign)
+}
+
+// balancedSplit returns how many of n vertices go to the side that will hold
+// kA of the k blocks, such that every final block has floor(n/k) or
+// ceil(n/k) vertices.
+func balancedSplit(n, k, kA int) int {
+	q, r := n/k, n%k
+	// The first r blocks (by block index) get an extra vertex. Side A holds
+	// blocks [0, kA), so it receives min(r, kA) of the larger blocks.
+	extra := r
+	if extra > kA {
+		extra = kA
+	}
+	return q*kA + extra
+}
+
+// bisect splits verts into two groups of sizes sizeA and len(verts)-sizeA
+// minimising the cut between them (heuristically).
+func bisect(und *Graph, verts []int, sizeA int) (a, b []int) {
+	n := len(verts)
+	if sizeA <= 0 {
+		return nil, append([]int(nil), verts...)
+	}
+	if sizeA >= n {
+		return append([]int(nil), verts...), nil
+	}
+	inSet := make(map[int]bool, n)
+	for _, v := range verts {
+		inSet[v] = true
+	}
+
+	// Seed side A with a BFS from the vertex with the heaviest incident
+	// weight inside this sub-problem. Growing a connected cluster keeps
+	// highly-communicating cores together, which is exactly what the paper
+	// wants from the min-cut partitioner.
+	order := bfsOrder(und, verts, inSet)
+	side := make(map[int]int, n) // vertex -> 0 (A) or 1 (B)
+	for i, v := range order {
+		if i < sizeA {
+			side[v] = 0
+		} else {
+			side[v] = 1
+		}
+	}
+
+	// Kernighan–Lin style pairwise swap refinement: repeatedly perform the
+	// swap with the best positive gain until no swap improves the cut.
+	for pass := 0; pass < 2*n+4; pass++ {
+		bestGain := 0.0
+		bestA, bestB := -1, -1
+		for _, va := range order {
+			if side[va] != 0 {
+				continue
+			}
+			for _, vb := range order {
+				if side[vb] != 1 {
+					continue
+				}
+				g := swapGain(und, inSet, side, va, vb)
+				if g > bestGain+1e-12 {
+					bestGain, bestA, bestB = g, va, vb
+				}
+			}
+		}
+		if bestA < 0 {
+			break
+		}
+		side[bestA], side[bestB] = 1, 0
+	}
+
+	for _, v := range order {
+		if side[v] == 0 {
+			a = append(a, v)
+		} else {
+			b = append(b, v)
+		}
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	return a, b
+}
+
+// bfsOrder returns the vertices of the sub-problem in BFS order starting from
+// the vertex with the largest incident weight, visiting neighbours in order
+// of decreasing connecting weight. Vertices unreachable from the seed are
+// appended by the same criterion.
+func bfsOrder(und *Graph, verts []int, inSet map[int]bool) []int {
+	// Incident weight inside the sub-problem.
+	weight := make(map[int]float64, len(verts))
+	for _, v := range verts {
+		var w float64
+		for u, ew := range und.adj[v] {
+			if inSet[u] {
+				w += ew
+			}
+		}
+		weight[v] = w
+	}
+	remaining := append([]int(nil), verts...)
+	sort.Slice(remaining, func(i, j int) bool {
+		if weight[remaining[i]] != weight[remaining[j]] {
+			return weight[remaining[i]] > weight[remaining[j]]
+		}
+		return remaining[i] < remaining[j]
+	})
+
+	visited := make(map[int]bool, len(verts))
+	var order []int
+	for _, seed := range remaining {
+		if visited[seed] {
+			continue
+		}
+		queue := []int{seed}
+		visited[seed] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			// Visit neighbours by decreasing edge weight for determinism and
+			// cluster quality.
+			var nbrs []int
+			for v := range und.adj[u] {
+				if inSet[v] && !visited[v] {
+					nbrs = append(nbrs, v)
+				}
+			}
+			sort.Slice(nbrs, func(i, j int) bool {
+				wi, wj := und.adj[u][nbrs[i]], und.adj[u][nbrs[j]]
+				if wi != wj {
+					return wi > wj
+				}
+				return nbrs[i] < nbrs[j]
+			})
+			for _, v := range nbrs {
+				visited[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order
+}
+
+// swapGain returns the reduction in cut weight obtained by swapping va (in
+// side 0) with vb (in side 1). Positive is better.
+func swapGain(und *Graph, inSet map[int]bool, side map[int]int, va, vb int) float64 {
+	ext := func(v, own int) (external, internal float64) {
+		for u, w := range und.adj[v] {
+			if !inSet[u] || u == va || u == vb {
+				continue
+			}
+			if side[u] == own {
+				internal += w
+			} else {
+				external += w
+			}
+		}
+		return
+	}
+	extA, intA := ext(va, 0)
+	extB, intB := ext(vb, 1)
+	// Gain from moving each vertex to the other side, corrected by twice the
+	// weight between them (classic KL formula).
+	return (extA - intA) + (extB - intB) - 2*und.adj[va][vb]
+}
+
+// BlockSizes returns the number of vertices in each block of an assignment
+// produced by PartitionK (blocks are assumed to be labelled 0..k-1).
+func BlockSizes(assign []int, k int) []int {
+	sizes := make([]int, k)
+	for _, b := range assign {
+		if b >= 0 && b < k {
+			sizes[b]++
+		}
+	}
+	return sizes
+}
+
+// Blocks groups vertex indices by block identifier.
+func Blocks(assign []int, k int) [][]int {
+	blocks := make([][]int, k)
+	for v, b := range assign {
+		if b >= 0 && b < k {
+			blocks[b] = append(blocks[b], v)
+		}
+	}
+	return blocks
+}

@@ -1,0 +1,347 @@
+// Package lp provides a small dense linear-programming solver used by the
+// switch-position computation of Section VII of the paper. It implements the
+// two-phase primal simplex method on problems in the general form
+//
+//	minimise   c^T x
+//	subject to A x (<=|=|>=) b,   x >= 0
+//
+// together with a Problem builder that supports free variables and
+// absolute-value objective terms (|x - y| is linearised with an auxiliary
+// variable and two constraints), which is exactly what the Manhattan-distance
+// objective of Eq. 2-5 needs. The paper uses lp_solve; any exact LP solver
+// yields the same optimum, and the instances (tens of switches) are tiny.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ConstraintOp is the relational operator of a constraint row.
+type ConstraintOp int
+
+const (
+	// LE is "less than or equal".
+	LE ConstraintOp = iota
+	// GE is "greater than or equal".
+	GE
+	// EQ is "equal".
+	EQ
+)
+
+// Errors returned by Solve.
+var (
+	// ErrInfeasible is returned when no point satisfies all constraints.
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	// ErrUnbounded is returned when the objective can decrease without bound.
+	ErrUnbounded = errors.New("lp: problem is unbounded")
+)
+
+const eps = 1e-9
+
+// constraint is a single row a^T x (op) b.
+type constraint struct {
+	coeffs map[int]float64
+	op     ConstraintOp
+	rhs    float64
+}
+
+// Problem is an LP under construction. All structural variables are
+// non-negative; use AddFreeVariable for variables that may take any sign.
+type Problem struct {
+	nvars       int
+	objective   map[int]float64
+	constraints []constraint
+	names       []string
+}
+
+// NewProblem returns an empty minimisation problem.
+func NewProblem() *Problem {
+	return &Problem{objective: make(map[int]float64)}
+}
+
+// AddVariable adds a non-negative variable with the given objective
+// coefficient and returns its index.
+func (p *Problem) AddVariable(name string, objCoeff float64) int {
+	idx := p.nvars
+	p.nvars++
+	p.names = append(p.names, name)
+	if objCoeff != 0 {
+		p.objective[idx] = objCoeff
+	}
+	return idx
+}
+
+// NumVariables returns the number of variables added so far.
+func (p *Problem) NumVariables() int { return p.nvars }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.constraints) }
+
+// VariableName returns the name given to variable i.
+func (p *Problem) VariableName(i int) string {
+	if i < 0 || i >= len(p.names) {
+		return fmt.Sprintf("x%d", i)
+	}
+	return p.names[i]
+}
+
+// SetObjectiveCoeff sets (overwrites) the objective coefficient of variable i.
+func (p *Problem) SetObjectiveCoeff(i int, c float64) {
+	p.checkVar(i)
+	if c == 0 {
+		delete(p.objective, i)
+		return
+	}
+	p.objective[i] = c
+}
+
+// AddConstraint adds the constraint sum(coeffs[i]*x_i) op rhs.
+func (p *Problem) AddConstraint(coeffs map[int]float64, op ConstraintOp, rhs float64) {
+	cp := make(map[int]float64, len(coeffs))
+	for i, c := range coeffs {
+		p.checkVar(i)
+		if c != 0 {
+			cp[i] = c
+		}
+	}
+	p.constraints = append(p.constraints, constraint{coeffs: cp, op: op, rhs: rhs})
+}
+
+func (p *Problem) checkVar(i int) {
+	if i < 0 || i >= p.nvars {
+		panic(fmt.Sprintf("lp: variable %d out of range [0,%d)", i, p.nvars))
+	}
+}
+
+// Solution holds the optimum of a solved problem.
+type Solution struct {
+	// Objective is the optimal objective value.
+	Objective float64
+	// Values holds the optimal value of every variable (including auxiliary
+	// ones created by the builder helpers).
+	Values []float64
+}
+
+// Value returns the optimal value of variable i.
+func (s *Solution) Value(i int) float64 {
+	if i < 0 || i >= len(s.Values) {
+		return 0
+	}
+	return s.Values[i]
+}
+
+// Solve runs the two-phase simplex method and returns the optimum.
+func (p *Problem) Solve() (*Solution, error) {
+	n := p.nvars
+	m := len(p.constraints)
+	if n == 0 {
+		return &Solution{Objective: 0}, nil
+	}
+
+	// Convert to standard form: every constraint becomes an equality with a
+	// slack (LE), surplus (GE) or nothing (EQ); rows with negative rhs are
+	// negated first so that b >= 0.
+	type row struct {
+		a  []float64
+		b  float64
+		op ConstraintOp
+	}
+	rows := make([]row, m)
+	for i, c := range p.constraints {
+		a := make([]float64, n)
+		for j, v := range c.coeffs {
+			a[j] = v
+		}
+		b := c.rhs
+		op := c.op
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows[i] = row{a: a, b: b, op: op}
+	}
+
+	// Count slack/surplus and artificial variables.
+	numSlack := 0
+	for _, r := range rows {
+		if r.op != EQ {
+			numSlack++
+		}
+	}
+	total := n + numSlack + m // artificial variable for every row (unused ones cost nothing)
+
+	// Build the phase-1 tableau: rows are constraints, columns are
+	// [structural | slack/surplus | artificial | rhs].
+	tab := make([][]float64, m+1)
+	for i := range tab {
+		tab[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+	slackCol := n
+	for i, r := range rows {
+		copy(tab[i], r.a)
+		switch r.op {
+		case LE:
+			tab[i][slackCol] = 1
+			slackCol++
+		case GE:
+			tab[i][slackCol] = -1
+			slackCol++
+		}
+		artCol := n + numSlack + i
+		tab[i][artCol] = 1
+		basis[i] = artCol
+		tab[i][total] = r.b
+	}
+	// For LE rows with a positive slack we could start from the slack basis,
+	// but starting from the artificial basis everywhere keeps the code
+	// simple; phase 1 drives all artificials out regardless.
+
+	// Phase 1 objective: minimise the sum of artificial variables.
+	obj := tab[m]
+	for i := 0; i < m; i++ {
+		art := n + numSlack + i
+		obj[art] = 1
+	}
+	// Price out the basic (artificial) variables.
+	for i := 0; i < m; i++ {
+		for j := 0; j <= total; j++ {
+			obj[j] -= tab[i][j]
+		}
+	}
+	if err := simplexIterate(tab, basis, total); err != nil {
+		return nil, err
+	}
+	if phase1 := -tab[m][total]; phase1 > 1e-6 {
+		return nil, ErrInfeasible
+	}
+	// Drive any artificial variables that remain basic at level zero out of
+	// the basis (or accept them at zero if their row is all-zero).
+	for i := 0; i < m; i++ {
+		if basis[i] < n+numSlack {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n+numSlack; j++ {
+			if math.Abs(tab[i][j]) > eps {
+				pivot(tab, basis, i, j, total)
+				pivoted = true
+				break
+			}
+		}
+		_ = pivoted // a fully zero row is redundant; the artificial stays at 0
+	}
+
+	// Phase 2: replace the objective row with the real objective, forbid the
+	// artificial columns, and price out the current basis.
+	for j := 0; j <= total; j++ {
+		obj[j] = 0
+	}
+	for j, c := range p.objective {
+		obj[j] = c
+	}
+	for i := 0; i < m; i++ {
+		bj := basis[i]
+		if math.Abs(obj[bj]) > eps {
+			coef := obj[bj]
+			for j := 0; j <= total; j++ {
+				obj[j] -= coef * tab[i][j]
+			}
+		}
+	}
+	if err := simplexIteratePhase2(tab, basis, total, n+numSlack); err != nil {
+		return nil, err
+	}
+
+	sol := &Solution{Values: make([]float64, n)}
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			sol.Values[basis[i]] = tab[i][total]
+		}
+	}
+	var objVal float64
+	for j, c := range p.objective {
+		objVal += c * sol.Values[j]
+	}
+	sol.Objective = objVal
+	return sol, nil
+}
+
+// simplexIterate runs simplex pivots over all columns (phase 1).
+func simplexIterate(tab [][]float64, basis []int, total int) error {
+	return runSimplex(tab, basis, total, total)
+}
+
+// simplexIteratePhase2 runs simplex pivots restricted to the first allowedCols
+// columns (the artificial columns are excluded in phase 2).
+func simplexIteratePhase2(tab [][]float64, basis []int, total, allowedCols int) error {
+	return runSimplex(tab, basis, total, allowedCols)
+}
+
+func runSimplex(tab [][]float64, basis []int, total, allowedCols int) error {
+	m := len(tab) - 1
+	obj := tab[m]
+	maxIter := 200 * (m + total + 1)
+	for iter := 0; iter < maxIter; iter++ {
+		// Bland's rule (smallest index with negative reduced cost) to avoid
+		// cycling.
+		col := -1
+		for j := 0; j < allowedCols; j++ {
+			if obj[j] < -eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return nil // optimal
+		}
+		// Ratio test.
+		row := -1
+		best := math.MaxFloat64
+		for i := 0; i < m; i++ {
+			if tab[i][col] > eps {
+				ratio := tab[i][total] / tab[i][col]
+				if ratio < best-eps || (math.Abs(ratio-best) <= eps && (row < 0 || basis[i] < basis[row])) {
+					best = ratio
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return ErrUnbounded
+		}
+		pivot(tab, basis, row, col, total)
+	}
+	return errors.New("lp: simplex iteration limit exceeded")
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func pivot(tab [][]float64, basis []int, row, col, total int) {
+	p := tab[row][col]
+	for j := 0; j <= total; j++ {
+		tab[row][j] /= p
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if math.Abs(f) < eps {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,316 @@
+// Package mesh implements the standard-topology baseline of the paper's
+// comparison (Fig. 23): cores are mapped onto a regular 2-D or 3-D mesh NoC
+// (one switch per mesh node), the mapping is optimised for power (bandwidth
+// times hop distance) while respecting latency constraints, traffic is routed
+// with deadlock-free dimension-ordered (XYZ) routing, and switch-to-switch
+// links that carry no traffic are removed — the "optimized mesh" the custom
+// topologies are compared against.
+package mesh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sunfloor3d/internal/geom"
+	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/noclib"
+	"sunfloor3d/internal/topology"
+)
+
+// Options configures mesh construction.
+type Options struct {
+	// Lib is the NoC component library.
+	Lib noclib.Library
+	// FreqMHz is the NoC operating frequency.
+	FreqMHz float64
+	// SwapPasses is the number of improvement passes of the mapper.
+	SwapPasses int
+}
+
+// DefaultOptions returns the options used by the experiments.
+func DefaultOptions() Options {
+	return Options{Lib: noclib.DefaultLibrary(), FreqMHz: 400, SwapPasses: 4}
+}
+
+// node is one mesh position.
+type node struct {
+	x, y, layer int
+}
+
+// Result is the outcome of mapping a design onto a mesh.
+type Result struct {
+	// Topology is the mapped, routed and pruned mesh NoC.
+	Topology *topology.Topology
+	// DimX and DimY are the per-layer mesh dimensions.
+	DimX, DimY int
+	// RemovedLinks is the number of unused switch-to-switch links pruned.
+	RemovedLinks int
+}
+
+// Build maps the design onto a mesh. For multi-layer designs each layer
+// receives its own DimX x DimY mesh and vertical links connect vertically
+// adjacent mesh nodes.
+func Build(g *model.CommGraph, opt Options) (*Result, error) {
+	if g.NumCores() == 0 {
+		return nil, fmt.Errorf("mesh: design has no cores")
+	}
+	layers := g.NumLayers()
+	// Mesh dimension: smallest square mesh per layer that fits the largest
+	// layer population.
+	maxPerLayer := 0
+	for l := 0; l < layers; l++ {
+		if n := len(g.CoresInLayer(l)); n > maxPerLayer {
+			maxPerLayer = n
+		}
+	}
+	dimX := int(math.Ceil(math.Sqrt(float64(maxPerLayer))))
+	if dimX < 1 {
+		dimX = 1
+	}
+	dimY := (maxPerLayer + dimX - 1) / dimX
+	if dimY < 1 {
+		dimY = 1
+	}
+
+	// Build the list of mesh nodes and the switch for each.
+	top := topology.New(g, opt.Lib, opt.FreqMHz)
+	nodes := make([]node, 0, dimX*dimY*layers)
+	nodeIdx := make(map[node]int)
+	for l := 0; l < layers; l++ {
+		for y := 0; y < dimY; y++ {
+			for x := 0; x < dimX; x++ {
+				n := node{x: x, y: y, layer: l}
+				id := top.AddSwitch(l)
+				nodes = append(nodes, n)
+				nodeIdx[n] = id
+			}
+		}
+	}
+
+	// Physical pitch of the mesh: spread the switches over the bounding box
+	// of the cores of each layer so wire lengths are realistic.
+	pitchX, pitchY := meshPitch(g, dimX, dimY)
+	for i, n := range nodes {
+		top.Switches[i].Pos = geom.Point{
+			X: (float64(n.x) + 0.5) * pitchX,
+			Y: (float64(n.y) + 0.5) * pitchY,
+		}
+	}
+
+	// Map cores of each layer onto that layer's mesh nodes.
+	mapping := initialMapping(g, nodes, dimX, dimY)
+	improveMapping(g, nodes, mapping, pitchX, pitchY, opt.SwapPasses)
+	for c, nIdx := range mapping {
+		top.AttachCore(c, nIdx)
+	}
+
+	// Route every flow with dimension-ordered XYZ routing (X, then Y, then Z),
+	// which is deadlock free on a mesh.
+	for f, fl := range g.Flows {
+		src := nodes[mapping[fl.Src]]
+		dst := nodes[mapping[fl.Dst]]
+		path := xyzPath(src, dst, nodeIdx)
+		top.SetRoute(f, path)
+	}
+
+	res := &Result{Topology: top, DimX: dimX, DimY: dimY}
+
+	// Count how many mesh links of the full mesh carry no traffic (they are
+	// "removed": they simply never appear as aggregated SwitchLinks, so the
+	// evaluation does not charge for them).
+	used := make(map[[2]int]bool)
+	for _, l := range top.SwitchLinks() {
+		used[[2]int{l.From, l.To}] = true
+	}
+	total := 0
+	for _, n := range nodes {
+		for _, nb := range neighbours(n, dimX, dimY, layers) {
+			total++
+			if !used[[2]int{nodeIdx[n], nodeIdx[nb]}] {
+				res.RemovedLinks++
+			}
+		}
+	}
+	_ = total
+	return res, nil
+}
+
+// meshPitch derives the physical spacing of mesh switches from the core
+// floorplan extent.
+func meshPitch(g *model.CommGraph, dimX, dimY int) (float64, float64) {
+	var maxX, maxY float64
+	for _, c := range g.Cores {
+		if v := c.X + c.Width; v > maxX {
+			maxX = v
+		}
+		if v := c.Y + c.Height; v > maxY {
+			maxY = v
+		}
+	}
+	if maxX <= 0 {
+		maxX = float64(dimX)
+	}
+	if maxY <= 0 {
+		maxY = float64(dimY)
+	}
+	return maxX / float64(dimX), maxY / float64(dimY)
+}
+
+// initialMapping assigns every core to a mesh node on its own layer, in
+// order of decreasing traffic, choosing the free node closest to the core's
+// floorplan position.
+func initialMapping(g *model.CommGraph, nodes []node, dimX, dimY int) []int {
+	traffic := make([]float64, g.NumCores())
+	for _, f := range g.Flows {
+		traffic[f.Src] += f.BandwidthMBps
+		traffic[f.Dst] += f.BandwidthMBps
+	}
+	order := make([]int, g.NumCores())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return traffic[order[a]] > traffic[order[b]] })
+
+	pitchX, pitchY := meshPitch(g, dimX, dimY)
+	taken := make(map[int]bool)
+	mapping := make([]int, g.NumCores())
+	for _, c := range order {
+		core := g.Cores[c]
+		best, bestDist := -1, math.MaxFloat64
+		for idx, n := range nodes {
+			if n.layer != core.Layer || taken[idx] {
+				continue
+			}
+			p := geom.Point{X: (float64(n.x) + 0.5) * pitchX, Y: (float64(n.y) + 0.5) * pitchY}
+			d := geom.Manhattan(p, core.Center())
+			if d < bestDist {
+				best, bestDist = idx, d
+			}
+		}
+		if best < 0 {
+			// Should not happen (mesh sized to fit); fall back to any node of
+			// the layer.
+			for idx, n := range nodes {
+				if n.layer == core.Layer {
+					best = idx
+					break
+				}
+			}
+		}
+		mapping[c] = best
+		taken[best] = true
+	}
+	return mapping
+}
+
+// mappingCost approximates the link power of a mapping: the bandwidth of
+// every flow weighted by the physical length of its dimension-ordered route,
+// plus the bandwidth of every core weighted by its core-to-switch wire
+// length. Minimising it is the "best mapping optimising for power" the paper
+// uses for the mesh baseline.
+func mappingCost(g *model.CommGraph, nodes []node, mapping []int, pitchX, pitchY float64) float64 {
+	var cost float64
+	for _, f := range g.Flows {
+		a := nodes[mapping[f.Src]]
+		b := nodes[mapping[f.Dst]]
+		length := float64(abs(a.x-b.x))*pitchX + float64(abs(a.y-b.y))*pitchY
+		cost += f.BandwidthMBps * length
+	}
+	nodeCenter := func(n node) geom.Point {
+		return geom.Point{X: (float64(n.x) + 0.5) * pitchX, Y: (float64(n.y) + 0.5) * pitchY}
+	}
+	coreBW := make([]float64, g.NumCores())
+	for _, f := range g.Flows {
+		coreBW[f.Src] += f.BandwidthMBps
+		coreBW[f.Dst] += f.BandwidthMBps
+	}
+	for c := range g.Cores {
+		cost += coreBW[c] * geom.Manhattan(g.Cores[c].Center(), nodeCenter(nodes[mapping[c]]))
+	}
+	return cost
+}
+
+// improveMapping applies pairwise swap improvement between cores on the same
+// layer until no swap helps or the pass budget is exhausted.
+func improveMapping(g *model.CommGraph, nodes []node, mapping []int, pitchX, pitchY float64, passes int) {
+	n := g.NumCores()
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if g.Cores[a].Layer != g.Cores[b].Layer {
+					continue
+				}
+				before := mappingCost(g, nodes, mapping, pitchX, pitchY)
+				mapping[a], mapping[b] = mapping[b], mapping[a]
+				after := mappingCost(g, nodes, mapping, pitchX, pitchY)
+				if after+1e-9 < before {
+					improved = true
+				} else {
+					mapping[a], mapping[b] = mapping[b], mapping[a]
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// xyzPath returns the switch IDs of the dimension-ordered route from src to
+// dst (inclusive).
+func xyzPath(src, dst node, nodeIdx map[node]int) []int {
+	var path []int
+	cur := src
+	path = append(path, nodeIdx[cur])
+	step := func(d *int, target int) bool {
+		if *d < target {
+			*d++
+			return true
+		}
+		if *d > target {
+			*d--
+			return true
+		}
+		return false
+	}
+	for {
+		moved := false
+		if step(&cur.x, dst.x) {
+			moved = true
+		} else if step(&cur.y, dst.y) {
+			moved = true
+		} else if step(&cur.layer, dst.layer) {
+			moved = true
+		}
+		if !moved {
+			break
+		}
+		path = append(path, nodeIdx[cur])
+	}
+	return path
+}
+
+// neighbours returns the mesh neighbours of a node (x+-1, y+-1, layer+-1).
+func neighbours(n node, dimX, dimY, layers int) []node {
+	var out []node
+	cand := []node{
+		{n.x + 1, n.y, n.layer}, {n.x - 1, n.y, n.layer},
+		{n.x, n.y + 1, n.layer}, {n.x, n.y - 1, n.layer},
+		{n.x, n.y, n.layer + 1}, {n.x, n.y, n.layer - 1},
+	}
+	for _, c := range cand {
+		if c.x >= 0 && c.x < dimX && c.y >= 0 && c.y < dimY && c.layer >= 0 && c.layer < layers {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

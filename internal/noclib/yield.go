@@ -1,0 +1,77 @@
+package noclib
+
+import "math"
+
+// This file implements the yield-versus-TSV-count model behind Fig. 1 of the
+// paper. The figure (from Miyakawa, ASPDAC 2009) shows that for every 3-D
+// manufacturing process the stack yield stays roughly flat up to a
+// process-dependent TSV count and then drops rapidly. The synthesis flow uses
+// the knee of this curve to derive the max_ill constraint.
+
+// Process identifies a 3-D manufacturing process with its own yield
+// characteristics.
+type Process struct {
+	// Name of the process (informational).
+	Name string
+	// BaseYield is the stack yield with no TSVs (bonding losses only).
+	BaseYield float64
+	// TSVFailureRate is the independent failure probability of a single TSV.
+	TSVFailureRate float64
+	// KneeTSVs is the TSV count up to which redundancy and repair keep the
+	// yield near BaseYield; beyond it the per-TSV failures apply fully.
+	KneeTSVs int
+}
+
+// StandardProcesses returns the three representative processes plotted in
+// Fig. 1: an aggressive wafer-level process with a low knee, a mainstream
+// process, and a conservative process tolerating many TSVs.
+func StandardProcesses() []Process {
+	return []Process{
+		{Name: "wafer-level-A", BaseYield: 0.98, TSVFailureRate: 5e-4, KneeTSVs: 400},
+		{Name: "wafer-level-B", BaseYield: 0.96, TSVFailureRate: 2e-4, KneeTSVs: 900},
+		{Name: "die-to-wafer", BaseYield: 0.93, TSVFailureRate: 8e-5, KneeTSVs: 1600},
+	}
+}
+
+// Yield returns the stack yield when the design uses the given total number
+// of TSVs on the process.
+func (p Process) Yield(tsvs int) float64 {
+	if tsvs < 0 {
+		tsvs = 0
+	}
+	excess := 0
+	if tsvs > p.KneeTSVs {
+		excess = tsvs - p.KneeTSVs
+	}
+	// Below the knee, failures are masked by redundancy except for a small
+	// residual; above it every additional TSV multiplies the survival
+	// probability.
+	residual := math.Pow(1-p.TSVFailureRate/10, float64(minInt(tsvs, p.KneeTSVs)))
+	exposed := math.Pow(1-p.TSVFailureRate, float64(excess))
+	return p.BaseYield * residual * exposed
+}
+
+// MaxTSVsForYield returns the largest TSV count whose yield is at least the
+// given target. It returns 0 if even a TSV-free stack misses the target.
+func (p Process) MaxTSVsForYield(target float64) int {
+	if p.Yield(0) < target {
+		return 0
+	}
+	lo, hi := 0, 1<<20
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.Yield(mid) >= target {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

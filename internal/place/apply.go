@@ -1,0 +1,31 @@
+package place
+
+import (
+	"sunfloor3d/internal/topology"
+)
+
+// ApplyFloorplan returns a copy of the topology whose design reflects the
+// post-insertion floorplan: core positions are taken from the placed core
+// blocks and switch positions from the placed switch blocks. Evaluating the
+// returned topology therefore measures wire lengths on the final floorplan,
+// which is what Figs. 19 and 20 of the paper compare across floorplanning
+// methods. The input topology and its design are not modified.
+func ApplyFloorplan(t *topology.Topology, fp *Floorplan) *topology.Topology {
+	out := t.Clone()
+	design := t.Design.Clone()
+	out.Design = design
+	for _, c := range fp.Components() {
+		switch c.Kind {
+		case KindCore:
+			if c.Ref >= 0 && c.Ref < design.NumCores() {
+				design.Cores[c.Ref].X = c.Rect.X
+				design.Cores[c.Ref].Y = c.Rect.Y
+			}
+		case KindSwitch:
+			if c.Ref >= 0 && c.Ref < out.NumSwitches() {
+				out.Switches[c.Ref].Pos = c.Rect.Center()
+			}
+		}
+	}
+	return out
+}

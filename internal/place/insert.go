@@ -1,0 +1,336 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sunfloor3d/internal/geom"
+	"sunfloor3d/internal/topology"
+)
+
+// ComponentKind identifies the type of a placed block.
+type ComponentKind int
+
+const (
+	// KindCore is an IP core from the input floorplan.
+	KindCore ComponentKind = iota
+	// KindSwitch is a NoC switch.
+	KindSwitch
+	// KindNI is a network interface attached to a core.
+	KindNI
+	// KindTSVMacro is an area reservation for the TSVs of a vertical link in
+	// an intermediate layer.
+	KindTSVMacro
+)
+
+// String implements fmt.Stringer.
+func (k ComponentKind) String() string {
+	switch k {
+	case KindCore:
+		return "core"
+	case KindSwitch:
+		return "switch"
+	case KindNI:
+		return "ni"
+	case KindTSVMacro:
+		return "tsv"
+	default:
+		return fmt.Sprintf("ComponentKind(%d)", int(k))
+	}
+}
+
+// Component is one placed block of the final floorplan.
+type Component struct {
+	Name  string
+	Kind  ComponentKind
+	Layer int
+	Rect  geom.Rect
+	// Ref is the switch ID (KindSwitch), core index (KindCore, KindNI) or -1.
+	Ref int
+	// Moved reports whether the block was displaced from its input/ideal
+	// position during overlap removal.
+	Moved bool
+}
+
+// Floorplan is the result of inserting the NoC components into the core
+// floorplan, organised per layer.
+type Floorplan struct {
+	Layers [][]Component
+}
+
+// LayerBoundingBox returns the bounding box of all components on the layer.
+func (fp *Floorplan) LayerBoundingBox(layer int) geom.Rect {
+	if layer < 0 || layer >= len(fp.Layers) {
+		return geom.Rect{}
+	}
+	rects := make([]geom.Rect, 0, len(fp.Layers[layer]))
+	for _, c := range fp.Layers[layer] {
+		rects = append(rects, c.Rect)
+	}
+	return geom.BoundingBox(rects)
+}
+
+// ChipAreaMM2 returns the stacked chip area: since all dies share the same
+// outline, it is the largest per-layer bounding box area.
+func (fp *Floorplan) ChipAreaMM2() float64 {
+	var m float64
+	for l := range fp.Layers {
+		if a := fp.LayerBoundingBox(l).Area(); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// TotalComponentAreaMM2 returns the sum of all component areas over all
+// layers (no dead space).
+func (fp *Floorplan) TotalComponentAreaMM2() float64 {
+	var t float64
+	for _, layer := range fp.Layers {
+		for _, c := range layer {
+			t += c.Rect.Area()
+		}
+	}
+	return t
+}
+
+// HasOverlaps reports whether any two components on the same layer overlap.
+func (fp *Floorplan) HasOverlaps() bool {
+	for _, layer := range fp.Layers {
+		for i := 0; i < len(layer); i++ {
+			for j := i + 1; j < len(layer); j++ {
+				if layer[i].Rect.Overlaps(layer[j].Rect) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// MovedCount returns how many components were displaced during insertion.
+func (fp *Floorplan) MovedCount() int {
+	n := 0
+	for _, layer := range fp.Layers {
+		for _, c := range layer {
+			if c.Moved {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Components returns all components of all layers in a single slice.
+func (fp *Floorplan) Components() []Component {
+	var out []Component
+	for _, layer := range fp.Layers {
+		out = append(out, layer...)
+	}
+	return out
+}
+
+// InsertNoC builds a floorplan for the topology using the custom insertion
+// routine of Section VII: every switch (and TSV macro) is placed at its ideal
+// position; if it overlaps already placed blocks, free space nearby is
+// searched, and failing that the blocking components are displaced in x or y
+// by the size of the new component, iteratively, until no overlap remains.
+// NIs are merged into their cores' outlines (they are tiny), so only switches
+// and explicit TSV macros are inserted as blocks.
+func InsertNoC(t *topology.Topology) (*Floorplan, error) {
+	layers := t.Design.NumLayers()
+	for _, s := range t.Switches {
+		if s.Layer+1 > layers {
+			layers = s.Layer + 1
+		}
+	}
+	fp := &Floorplan{Layers: make([][]Component, layers)}
+
+	// Seed each layer with its cores at their input positions.
+	for i, c := range t.Design.Cores {
+		fp.Layers[c.Layer] = append(fp.Layers[c.Layer], Component{
+			Name: c.Name, Kind: KindCore, Layer: c.Layer, Rect: c.Rect(), Ref: i,
+		})
+	}
+
+	inPorts, outPorts := t.SwitchPorts()
+
+	// Insert switches one at a time, largest first so the hardest blocks go
+	// in while there is still freedom.
+	order := make([]int, len(t.Switches))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa := t.Lib.SwitchAreaMM2(inPorts[order[a]], outPorts[order[a]])
+		sb := t.Lib.SwitchAreaMM2(inPorts[order[b]], outPorts[order[b]])
+		return sa > sb
+	})
+	for _, si := range order {
+		sw := t.Switches[si]
+		area := t.Lib.SwitchAreaMM2(inPorts[si], outPorts[si])
+		side := math.Sqrt(area)
+		ideal := geom.NewRectCentered(sw.Pos, side, side)
+		placed, moved := placeComponent(fp.Layers[sw.Layer], ideal)
+		fp.Layers[sw.Layer] = append(fp.Layers[sw.Layer], Component{
+			Name: fmt.Sprintf("sw%d", si), Kind: KindSwitch, Layer: sw.Layer,
+			Rect: placed, Ref: si, Moved: moved,
+		})
+		// Update the switch position to the placed centre so evaluation uses
+		// post-placement wire lengths.
+		t.Switches[si].Pos = placed.Center()
+	}
+
+	// Insert TSV macros for every intermediate layer crossed by a vertical
+	// link (switch-to-switch or core-to-switch); the macro near the endpoints
+	// is embedded in the switch or NI, so only strictly intermediate layers
+	// get explicit blocks.
+	macroArea := t.Lib.TSVMacroAreaMM2()
+	macroSide := math.Sqrt(macroArea)
+	addMacros := func(aLayer, bLayer int, aPos, bPos geom.Point, tag string) {
+		lo, hi := aLayer, bLayer
+		loPos, hiPos := aPos, bPos
+		if lo > hi {
+			lo, hi = hi, lo
+			loPos, hiPos = hiPos, loPos
+		}
+		span := hi - lo
+		for l := lo + 1; l < hi; l++ {
+			// Interpolate the macro position along the link.
+			f := float64(l-lo) / float64(span)
+			p := geom.Point{
+				X: loPos.X + f*(hiPos.X-loPos.X),
+				Y: loPos.Y + f*(hiPos.Y-loPos.Y),
+			}
+			ideal := geom.NewRectCentered(p, macroSide, macroSide)
+			placed, moved := placeComponent(fp.Layers[l], ideal)
+			fp.Layers[l] = append(fp.Layers[l], Component{
+				Name: fmt.Sprintf("tsv_%s_L%d", tag, l), Kind: KindTSVMacro,
+				Layer: l, Rect: placed, Ref: -1, Moved: moved,
+			})
+		}
+	}
+	for _, l := range t.SwitchLinks() {
+		a, b := t.Switches[l.From], t.Switches[l.To]
+		addMacros(a.Layer, b.Layer, a.Pos, b.Pos, fmt.Sprintf("s%ds%d", l.From, l.To))
+	}
+	for c, sw := range t.CoreAttach {
+		if sw < 0 {
+			continue
+		}
+		core := t.Design.Cores[c]
+		addMacros(core.Layer, t.Switches[sw].Layer, core.Center(), t.Switches[sw].Pos,
+			fmt.Sprintf("c%ds%d", c, sw))
+	}
+
+	if fp.HasOverlaps() {
+		return fp, fmt.Errorf("place: overlap removal failed")
+	}
+	return fp, nil
+}
+
+// placeComponent finds a legal (overlap-free) rectangle for a new component
+// whose ideal position is ideal, possibly displacing existing components.
+// It returns the placed rectangle and whether it differs from the ideal one.
+// existing is modified in place when blocks are displaced.
+func placeComponent(existing []Component, ideal geom.Rect) (geom.Rect, bool) {
+	if !overlapsAny(existing, ideal) {
+		return ideal, false
+	}
+	// Search free space near the ideal location on a spiral of candidate
+	// offsets (step half the component size, out to an 8-step radius).
+	step := math.Max(ideal.W, ideal.H) / 2
+	if step <= 0 {
+		step = 0.1
+	}
+	for radius := 1; radius <= 8; radius++ {
+		r := float64(radius) * step
+		candidates := []geom.Rect{
+			ideal.Translate(r, 0), ideal.Translate(-r, 0),
+			ideal.Translate(0, r), ideal.Translate(0, -r),
+			ideal.Translate(r, r), ideal.Translate(-r, r),
+			ideal.Translate(r, -r), ideal.Translate(-r, -r),
+		}
+		for _, c := range candidates {
+			if c.X < 0 || c.Y < 0 {
+				continue
+			}
+			if !overlapsAny(existing, c) {
+				return c, true
+			}
+		}
+	}
+	// No free space: displace the blocking components. Choose the direction
+	// (x or y) needing the smaller total displacement.
+	displaceBlocks(existing, ideal)
+	return ideal, true
+}
+
+func overlapsAny(existing []Component, r geom.Rect) bool {
+	for _, c := range existing {
+		if c.Rect.Overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// displaceBlocks pushes components out of the way of r, in the +x or +y
+// direction (whichever moves less material), iteratively displacing blocks
+// that the moved ones would overlap, exactly as described in Section VII.
+// It is implemented as a single legalisation sweep: blocks are processed in
+// increasing coordinate order along the push direction and each one is
+// shifted just far enough to clear r and every block processed before it,
+// which both terminates and produces minimal monotone displacements.
+func displaceBlocks(existing []Component, r geom.Rect) {
+	// Estimate the cost of clearing r by pushing right vs pushing up.
+	var costX, costY float64
+	for _, c := range existing {
+		if c.Rect.Overlaps(r) {
+			costX += r.MaxX() - c.Rect.X
+			costY += r.MaxY() - c.Rect.Y
+		}
+	}
+	pushX := costX <= costY
+
+	order := make([]int, len(existing))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if pushX {
+			return existing[order[a]].Rect.X < existing[order[b]].Rect.X
+		}
+		return existing[order[a]].Rect.Y < existing[order[b]].Rect.Y
+	})
+
+	obstacles := []geom.Rect{r}
+	for _, i := range order {
+		rect := existing[i].Rect
+		// Shift until the block clears every obstacle placed so far. Each
+		// pass moves the block strictly forward, so at most len(obstacles)
+		// passes are needed.
+		for pass := 0; pass <= len(obstacles); pass++ {
+			conflict := false
+			for _, o := range obstacles {
+				if rect.Overlaps(o) {
+					if pushX {
+						rect = rect.Translate(o.MaxX()-rect.X, 0)
+					} else {
+						rect = rect.Translate(0, o.MaxY()-rect.Y)
+					}
+					conflict = true
+				}
+			}
+			if !conflict {
+				break
+			}
+		}
+		if rect != existing[i].Rect {
+			existing[i].Rect = rect
+			existing[i].Moved = true
+		}
+		obstacles = append(obstacles, rect)
+	}
+}

@@ -1,0 +1,317 @@
+package place
+
+import (
+	"testing"
+
+	"sunfloor3d/internal/geom"
+	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/noclib"
+	"sunfloor3d/internal/route"
+	"sunfloor3d/internal/topology"
+)
+
+// lineDesign builds cores in a row on one layer with a chain of flows.
+func lineDesign(t *testing.T, n int) *model.CommGraph {
+	t.Helper()
+	cores := make([]model.Core, n)
+	for i := range cores {
+		cores[i] = model.Core{
+			Name: "c" + string(rune('a'+i)), Width: 2, Height: 2,
+			X: float64(i) * 2.5, Y: 0, Layer: 0,
+		}
+	}
+	var flows []model.Flow
+	for i := 0; i+1 < n; i++ {
+		flows = append(flows, model.Flow{Src: i, Dst: i + 1, BandwidthMBps: 100})
+	}
+	g, err := model.NewCommGraph(cores, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// stackedDesign builds two layers with heavy vertical traffic.
+func stackedDesign(t *testing.T) *model.CommGraph {
+	t.Helper()
+	cores := []model.Core{
+		{Name: "p0", Width: 2, Height: 2, X: 0, Y: 0, Layer: 0},
+		{Name: "p1", Width: 2, Height: 2, X: 3, Y: 0, Layer: 0},
+		{Name: "m0", Width: 2, Height: 2, X: 0, Y: 0, Layer: 2, IsMemory: true},
+		{Name: "m1", Width: 2, Height: 2, X: 3, Y: 0, Layer: 2, IsMemory: true},
+	}
+	flows := []model.Flow{
+		{Src: 0, Dst: 2, BandwidthMBps: 500},
+		{Src: 1, Dst: 3, BandwidthMBps: 500},
+		{Src: 0, Dst: 1, BandwidthMBps: 50},
+	}
+	g, err := model.NewCommGraph(cores, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestOptimizeSwitchPositionsSingleSwitch(t *testing.T) {
+	g := lineDesign(t, 3)
+	top := topology.New(g, noclib.DefaultLibrary(), 400)
+	s := top.AddSwitch(0)
+	for c := 0; c < 3; c++ {
+		top.AttachCore(c, s)
+	}
+	for f := range g.Flows {
+		top.SetRoute(f, []int{s})
+	}
+	if err := OptimizeSwitchPositions(top); err != nil {
+		t.Fatalf("OptimizeSwitchPositions: %v", err)
+	}
+	// The optimal Manhattan position is a weighted median of the core
+	// centres: the middle core dominates (it appears in both flows), so the
+	// switch lands at its centre x in [1 , 6], y = 1.
+	p := top.Switches[0].Pos
+	if p.X < 1 || p.X > 6 {
+		t.Errorf("switch x = %v out of expected range", p.X)
+	}
+	if !geom.AlmostEqual(p.Y, 1, 1e-6) {
+		t.Errorf("switch y = %v, want 1", p.Y)
+	}
+}
+
+func TestOptimizeSwitchPositionsReducesCost(t *testing.T) {
+	g := lineDesign(t, 6)
+	top := topology.New(g, noclib.DefaultLibrary(), 400)
+	s0 := top.AddSwitch(0)
+	s1 := top.AddSwitch(0)
+	for c := 0; c < 3; c++ {
+		top.AttachCore(c, s0)
+	}
+	for c := 3; c < 6; c++ {
+		top.AttachCore(c, s1)
+	}
+	res, err := route.ComputePaths(top, route.DefaultConfig())
+	if err != nil || !res.Success() {
+		t.Fatalf("routing failed: %v %v", err, res)
+	}
+	// Start from a deliberately bad estimate.
+	top.Switches[s0].Pos = geom.Point{X: 100, Y: 100}
+	top.Switches[s1].Pos = geom.Point{X: 200, Y: 200}
+	before := top.Evaluate().Power.LinkMW()
+	if err := OptimizeSwitchPositions(top); err != nil {
+		t.Fatalf("OptimizeSwitchPositions: %v", err)
+	}
+	after := top.Evaluate().Power.LinkMW()
+	if after >= before {
+		t.Errorf("LP placement did not reduce link power: %v -> %v", before, after)
+	}
+	// And it should be at least as good as the centroid estimate.
+	est := top.Clone()
+	est.EstimateSwitchPositions()
+	centroid := est.Evaluate().Power.LinkMW()
+	if after > centroid*1.05 {
+		t.Errorf("LP placement (%v) clearly worse than centroid estimate (%v)", after, centroid)
+	}
+}
+
+func TestOptimizeSwitchPositionsErrors(t *testing.T) {
+	g := lineDesign(t, 2)
+	top := topology.New(g, noclib.DefaultLibrary(), 400)
+	if err := OptimizeSwitchPositions(top); err == nil {
+		t.Error("expected error with no switches")
+	}
+}
+
+func routedTopology(t *testing.T, g *model.CommGraph, switchesPerLayer int) *topology.Topology {
+	t.Helper()
+	top := topology.New(g, noclib.DefaultLibrary(), 400)
+	layers := g.NumLayers()
+	for l := 0; l < layers; l++ {
+		for s := 0; s < switchesPerLayer; s++ {
+			top.AddSwitch(l)
+		}
+	}
+	for l := 0; l < layers; l++ {
+		cores := g.CoresInLayer(l)
+		for i, c := range cores {
+			top.AttachCore(c, l*switchesPerLayer+i%switchesPerLayer)
+		}
+	}
+	top.EstimateSwitchPositions()
+	res, err := route.ComputePaths(top, route.DefaultConfig())
+	if err != nil || !res.Success() {
+		t.Fatalf("routing failed: %v %+v", err, res)
+	}
+	if err := OptimizeSwitchPositions(top); err != nil {
+		t.Fatalf("OptimizeSwitchPositions: %v", err)
+	}
+	return top
+}
+
+func TestInsertNoCNoOverlaps(t *testing.T) {
+	g := lineDesign(t, 5)
+	top := routedTopology(t, g, 2)
+	fp, err := InsertNoC(top)
+	if err != nil {
+		t.Fatalf("InsertNoC: %v", err)
+	}
+	if fp.HasOverlaps() {
+		t.Fatal("floorplan has overlaps")
+	}
+	// All cores and switches present.
+	var cores, switches int
+	for _, c := range fp.Components() {
+		switch c.Kind {
+		case KindCore:
+			cores++
+		case KindSwitch:
+			switches++
+		}
+	}
+	if cores != g.NumCores() {
+		t.Errorf("floorplan has %d cores, want %d", cores, g.NumCores())
+	}
+	if switches != top.NumSwitches() {
+		t.Errorf("floorplan has %d switches, want %d", switches, top.NumSwitches())
+	}
+	if fp.ChipAreaMM2() <= 0 {
+		t.Error("chip area must be positive")
+	}
+	if fp.TotalComponentAreaMM2() <= 0 {
+		t.Error("component area must be positive")
+	}
+	// Chip area is at least the core area of the densest layer.
+	if fp.ChipAreaMM2() < 4*float64(g.NumCores()) {
+		t.Errorf("chip area %v too small for %d 2x2 cores", fp.ChipAreaMM2(), g.NumCores())
+	}
+}
+
+func TestInsertNoCPlacesTSVMacrosOnIntermediateLayers(t *testing.T) {
+	g := stackedDesign(t) // layers 0 and 2, nothing on layer 1
+	top := topology.New(g, noclib.DefaultLibrary(), 400)
+	s0 := top.AddSwitch(0)
+	s2 := top.AddSwitch(2)
+	top.AttachCore(0, s0)
+	top.AttachCore(1, s0)
+	top.AttachCore(2, s2)
+	top.AttachCore(3, s2)
+	top.EstimateSwitchPositions()
+	res, err := route.ComputePaths(top, route.DefaultConfig())
+	if err != nil || !res.Success() {
+		t.Fatalf("routing failed: %v %v", err, res)
+	}
+	if err := OptimizeSwitchPositions(top); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := InsertNoC(top)
+	if err != nil {
+		t.Fatalf("InsertNoC: %v", err)
+	}
+	// The s0<->s2 link spans layers 0-2, so an explicit TSV macro must sit on
+	// layer 1.
+	macros := 0
+	for _, c := range fp.Layers[1] {
+		if c.Kind == KindTSVMacro {
+			macros++
+		}
+	}
+	if macros == 0 {
+		t.Error("no TSV macro on the intermediate layer")
+	}
+	if fp.HasOverlaps() {
+		t.Error("floorplan has overlaps")
+	}
+}
+
+func TestInsertNoCDenseFloorplanDisplacesBlocks(t *testing.T) {
+	// Cores packed with zero gaps force the insertion routine to displace
+	// blocks to make room for switches.
+	cores := make([]model.Core, 9)
+	for i := range cores {
+		cores[i] = model.Core{
+			Name: "t" + string(rune('a'+i)), Width: 2, Height: 2,
+			X: float64(i%3) * 2, Y: float64(i/3) * 2, Layer: 0,
+		}
+	}
+	var flows []model.Flow
+	for i := 1; i < 9; i++ {
+		flows = append(flows, model.Flow{Src: 0, Dst: i, BandwidthMBps: 100})
+	}
+	g, err := model.NewCommGraph(cores, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := routedTopology(t, g, 2)
+	fp, err := InsertNoC(top)
+	if err != nil {
+		t.Fatalf("InsertNoC: %v", err)
+	}
+	if fp.HasOverlaps() {
+		t.Fatal("floorplan has overlaps after displacement")
+	}
+	if fp.MovedCount() == 0 {
+		t.Error("expected some components to be moved in a fully packed floorplan")
+	}
+}
+
+func TestApplyFloorplan(t *testing.T) {
+	g := lineDesign(t, 4)
+	top := routedTopology(t, g, 2)
+	fp, err := InsertNoC(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := ApplyFloorplan(top, fp)
+	if applied == top || applied.Design == top.Design {
+		t.Fatal("ApplyFloorplan must not alias the input")
+	}
+	// Evaluation on the applied topology must work and keep the same number
+	// of switches and routes.
+	m := applied.Evaluate()
+	if m.NumSwitches != top.NumSwitches() {
+		t.Errorf("switch count changed: %d vs %d", m.NumSwitches, top.NumSwitches())
+	}
+	if err := applied.Validate(); err != nil {
+		t.Errorf("applied topology invalid: %v", err)
+	}
+	// The original design's core positions are untouched.
+	for i := range g.Cores {
+		if g.Cores[i].X != float64(i)*2.5 {
+			t.Errorf("original core %d moved", i)
+		}
+	}
+}
+
+func TestComponentKindString(t *testing.T) {
+	for _, k := range []ComponentKind{KindCore, KindSwitch, KindNI, KindTSVMacro, ComponentKind(9)} {
+		if k.String() == "" {
+			t.Errorf("empty string for kind %d", int(k))
+		}
+	}
+}
+
+func TestFloorplanHelpers(t *testing.T) {
+	fp := &Floorplan{Layers: [][]Component{
+		{
+			{Name: "a", Kind: KindCore, Rect: geom.Rect{X: 0, Y: 0, W: 2, H: 2}},
+			{Name: "b", Kind: KindSwitch, Rect: geom.Rect{X: 3, Y: 0, W: 1, H: 1}, Moved: true},
+		},
+		{},
+	}}
+	if bb := fp.LayerBoundingBox(0); !geom.AlmostEqual(bb.Area(), 8, 1e-9) {
+		t.Errorf("layer 0 bounding box area = %v, want 8", bb.Area())
+	}
+	if bb := fp.LayerBoundingBox(5); bb != (geom.Rect{}) {
+		t.Error("out-of-range layer should give zero rect")
+	}
+	if fp.ChipAreaMM2() != 8 {
+		t.Errorf("chip area = %v", fp.ChipAreaMM2())
+	}
+	if fp.TotalComponentAreaMM2() != 5 {
+		t.Errorf("component area = %v", fp.TotalComponentAreaMM2())
+	}
+	if fp.MovedCount() != 1 {
+		t.Errorf("moved count = %d", fp.MovedCount())
+	}
+	if fp.HasOverlaps() {
+		t.Error("no overlaps expected")
+	}
+}

@@ -1,0 +1,428 @@
+// Package route implements the path-computation step of Section VI of the
+// paper: establishing physical links between switches and assigning a path to
+// every traffic flow, driven by the marginal power and latency cost of using
+// or opening each link, while honouring the 3-D technology constraints of
+// Algorithm 3 (maximum inter-layer links, maximum switch size, both with hard
+// INF and soft SOFT_INF thresholds) and keeping the routes free of routing
+// deadlocks via a channel-dependency-graph acyclicity check. When the switch
+// size constraint cannot be met, indirect switches are inserted to connect
+// other switches together, as described at the end of Section VI.
+package route
+
+import (
+	"fmt"
+	"sort"
+
+	"sunfloor3d/internal/geom"
+	"sunfloor3d/internal/graph"
+	"sunfloor3d/internal/topology"
+)
+
+// Config controls the path computation.
+type Config struct {
+	// MaxILL is the maximum number of links allowed to cross any adjacent
+	// layer boundary (the paper's max_ill). Zero means unconstrained.
+	MaxILL int
+	// SoftILLMargin is how many links below MaxILL the soft threshold sits
+	// (the paper found 2-3 to work well).
+	SoftILLMargin int
+	// MaxSwitchSize is the maximum number of input or output ports per
+	// switch (max_sw_size). Zero means unconstrained.
+	MaxSwitchSize int
+	// SoftSwitchMargin is how many ports below MaxSwitchSize the soft
+	// threshold sits.
+	SoftSwitchMargin int
+	// AdjacentLayersOnly forbids physical links spanning two or more layers
+	// (Phase 2 and technologies without multi-layer TSV stacks).
+	AdjacentLayersOnly bool
+	// PowerWeight and LatencyWeight blend the two objectives in the link
+	// cost. They need not sum to one.
+	PowerWeight, LatencyWeight float64
+	// AllowIndirectSwitches lets the router insert extra switches when no
+	// valid path exists under the switch-size constraint.
+	AllowIndirectSwitches bool
+	// MaxDeadlockRetries bounds how many times a flow's path is recomputed
+	// with penalised arcs after a channel-dependency cycle is detected.
+	MaxDeadlockRetries int
+}
+
+// DefaultConfig returns the configuration used by the experiments: a blend
+// strongly favouring power (as in the paper's "most power-efficient" points),
+// soft margins of 2, and indirect switch insertion enabled.
+func DefaultConfig() Config {
+	return Config{
+		MaxILL:                0,
+		SoftILLMargin:         2,
+		MaxSwitchSize:         0,
+		SoftSwitchMargin:      1,
+		AdjacentLayersOnly:    false,
+		PowerWeight:           1.0,
+		LatencyWeight:         0.1,
+		AllowIndirectSwitches: true,
+		MaxDeadlockRetries:    4,
+	}
+}
+
+// Result reports what the router did.
+type Result struct {
+	// Routed is the number of flows that received a valid path.
+	Routed int
+	// Failed lists the flows that could not be routed under the constraints.
+	Failed []int
+	// IndirectSwitches is the number of switches added by the router.
+	IndirectSwitches int
+	// DeadlockRetries counts path recomputations forced by channel
+	// dependency cycles.
+	DeadlockRetries int
+}
+
+// Success reports whether every flow was routed.
+func (r Result) Success() bool { return len(r.Failed) == 0 }
+
+// router carries the mutable state of one ComputePaths run.
+type router struct {
+	top *topology.Topology
+	cfg Config
+
+	// linkBW[from][to] is the bandwidth already committed to the directed
+	// physical link between two switches (only links that exist are present).
+	linkBW map[[2]int]float64
+	// ill[b] is the number of physical links crossing the boundary between
+	// layers b and b+1 (switch-to-switch and core-to-switch).
+	ill []int
+	// inPorts/outPorts track current switch sizes.
+	inPorts, outPorts []int
+	// cdg is the channel dependency graph: one vertex per directed
+	// switch-to-switch link, an edge when some flow uses two links in
+	// sequence.
+	cdg      *graph.Graph
+	linkIdx  map[[2]int]int
+	deadlock int
+}
+
+// ComputePaths assigns a route to every flow of the topology. Switches and
+// core attachments must already be in place (and switch positions estimated);
+// existing routes are discarded.
+func ComputePaths(t *topology.Topology, cfg Config) (Result, error) {
+	if t.NumSwitches() == 0 {
+		return Result{}, fmt.Errorf("route: topology has no switches")
+	}
+	for c, sw := range t.CoreAttach {
+		if sw < 0 || sw >= t.NumSwitches() {
+			return Result{}, fmt.Errorf("route: core %d is not attached to a switch", c)
+		}
+	}
+	r := &router{top: t, cfg: cfg}
+	r.init()
+
+	var res Result
+	// Route flows in decreasing bandwidth order so the heaviest flows get the
+	// cheapest paths (same strategy as the 2-D flow of [16]).
+	for _, f := range t.Design.FlowsByBandwidth() {
+		if ok := r.routeFlow(f); ok {
+			res.Routed++
+		} else if cfg.AllowIndirectSwitches && r.tryWithIndirectSwitch(f) {
+			res.Routed++
+			res.IndirectSwitches++
+		} else {
+			res.Failed = append(res.Failed, f)
+		}
+	}
+	sort.Ints(res.Failed)
+	res.DeadlockRetries = r.deadlock
+	return res, nil
+}
+
+// init seeds the bookkeeping with the core attachments (which are fixed
+// before path computation) and empty switch-to-switch connectivity.
+func (r *router) init() {
+	t := r.top
+	layers := t.Design.NumLayers()
+	for _, s := range t.Switches {
+		if s.Layer+1 > layers {
+			layers = s.Layer + 1
+		}
+	}
+	if layers > 1 {
+		r.ill = make([]int, layers-1)
+	}
+	r.inPorts = make([]int, t.NumSwitches())
+	r.outPorts = make([]int, t.NumSwitches())
+	r.linkBW = make(map[[2]int]float64)
+	r.linkIdx = make(map[[2]int]int)
+	r.cdg = graph.New(0)
+
+	for c, sw := range t.CoreAttach {
+		r.inPorts[sw]++
+		r.outPorts[sw]++
+		r.addBoundaryCrossings(t.Design.Cores[c].Layer, t.Switches[sw].Layer, 1)
+	}
+	for f := range t.Routes {
+		t.Routes[f] = topology.Route{Flow: f}
+	}
+}
+
+// addBoundaryCrossings adds delta to every adjacent-layer boundary crossed
+// between layers a and b.
+func (r *router) addBoundaryCrossings(a, b, delta int) {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for l := lo; l < hi; l++ {
+		if l >= 0 && l < len(r.ill) {
+			r.ill[l] += delta
+		}
+	}
+}
+
+// boundaryMax returns the maximum ill over the boundaries crossed between
+// layers a and b (0 if none).
+func (r *router) boundaryMax(a, b int) int {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	m := 0
+	for l := lo; l < hi; l++ {
+		if l >= 0 && l < len(r.ill) && r.ill[l] > m {
+			m = r.ill[l]
+		}
+	}
+	return m
+}
+
+// maxFlowCost estimates the largest possible "reasonable" arc cost; SOFT_INF
+// is ten times this value, per the paper.
+func (r *router) maxFlowCost() float64 {
+	t := r.top
+	// Longest possible wire: chip diagonal estimate from core bounding box.
+	var maxX, maxY float64
+	for _, c := range t.Design.Cores {
+		if x := c.X + c.Width; x > maxX {
+			maxX = x
+		}
+		if y := c.Y + c.Height; y > maxY {
+			maxY = y
+		}
+	}
+	maxDist := maxX + maxY
+	maxBW := t.Design.MaxBandwidth()
+	cost := r.cfg.PowerWeight*(t.Lib.WirePowerMW(maxDist, maxBW)+
+		t.Lib.SwitchPowerMW(2, 2, t.FreqMHz, maxBW)) +
+		r.cfg.LatencyWeight*10
+	if cost <= 0 {
+		cost = 1
+	}
+	return cost
+}
+
+// arcCost returns the cost of sending the flow (bandwidth bw) over a physical
+// link from switch i to switch j, implementing the CHECK_CONSTRAINTS
+// thresholds of Algorithm 3. It returns graph.Infinity for forbidden arcs.
+func (r *router) arcCost(i, j int, bw float64, softInf float64) float64 {
+	if i == j {
+		return graph.Infinity
+	}
+	t := r.top
+	li, lj := t.Switches[i].Layer, t.Switches[j].Layer
+	span := li - lj
+	if span < 0 {
+		span = -span
+	}
+	exists := false
+	if _, ok := r.linkBW[[2]int{i, j}]; ok {
+		exists = true
+	}
+
+	soft := false
+	if span > 0 {
+		// Hard constraint: adjacency and max_ill.
+		if r.cfg.AdjacentLayersOnly && span >= 2 {
+			return graph.Infinity
+		}
+		if r.cfg.MaxILL > 0 && !exists {
+			cur := r.boundaryMax(li, lj)
+			if cur >= r.cfg.MaxILL {
+				return graph.Infinity
+			}
+			if cur >= r.cfg.MaxILL-r.cfg.SoftILLMargin {
+				soft = true
+			}
+		}
+	}
+	// Switch size constraints apply when a new link must be opened (a new
+	// output port on i and a new input port on j).
+	if !exists && r.cfg.MaxSwitchSize > 0 {
+		if r.outPorts[i]+1 > r.cfg.MaxSwitchSize || r.inPorts[j]+1 > r.cfg.MaxSwitchSize {
+			return graph.Infinity
+		}
+		if r.outPorts[i]+1 > r.cfg.MaxSwitchSize-r.cfg.SoftSwitchMargin ||
+			r.inPorts[j]+1 > r.cfg.MaxSwitchSize-r.cfg.SoftSwitchMargin {
+			soft = true
+		}
+	}
+
+	planar := geom.Manhattan(t.Switches[i].Pos, t.Switches[j].Pos)
+	power := t.Lib.WirePowerMW(planar, bw) + t.Lib.VerticalLinkPowerMW(span, bw)
+	if !exists {
+		// Opening a link costs the extra ports on both switches and the
+		// leakage of the new wire.
+		power += t.Lib.SwitchPowerMW(r.inPorts[j]+1, r.outPorts[j], t.FreqMHz, 0) -
+			t.Lib.SwitchPowerMW(r.inPorts[j], r.outPorts[j], t.FreqMHz, 0)
+		power += t.Lib.SwitchPowerMW(r.inPorts[i], r.outPorts[i]+1, t.FreqMHz, 0) -
+			t.Lib.SwitchPowerMW(r.inPorts[i], r.outPorts[i], t.FreqMHz, 0)
+	}
+	latency := 1 + float64(t.Lib.LinkPipelineStages(planar, t.FreqMHz))
+
+	cost := r.cfg.PowerWeight*power + r.cfg.LatencyWeight*latency
+	if soft {
+		cost += softInf
+	}
+	return cost
+}
+
+// buildCostGraph builds the per-flow routing graph over switches.
+// forbidden holds arcs temporarily excluded by deadlock-avoidance retries.
+func (r *router) buildCostGraph(bw float64, forbidden map[[2]int]bool) *graph.Graph {
+	n := r.top.NumSwitches()
+	softInf := 10 * r.maxFlowCost()
+	cg := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || forbidden[[2]int{i, j}] {
+				continue
+			}
+			c := r.arcCost(i, j, bw, softInf)
+			if c < graph.Infinity {
+				cg.SetEdge(i, j, c)
+			}
+		}
+	}
+	return cg
+}
+
+// routeFlow computes and commits a path for flow f. It returns false when no
+// valid deadlock-free path exists.
+func (r *router) routeFlow(f int) bool {
+	t := r.top
+	fl := t.Design.Flows[f]
+	src := t.CoreAttach[fl.Src]
+	dst := t.CoreAttach[fl.Dst]
+	if src == dst {
+		t.SetRoute(f, []int{src})
+		return true
+	}
+
+	forbidden := make(map[[2]int]bool)
+	for try := 0; try <= r.cfg.MaxDeadlockRetries; try++ {
+		cg := r.buildCostGraph(fl.BandwidthMBps, forbidden)
+		path, cost := cg.ShortestPath(src, dst)
+		if path == nil || cost >= graph.Infinity {
+			return false
+		}
+		if bad := r.deadlockArc(path); bad != nil {
+			// Penalise the arc that closed a cycle and retry.
+			forbidden[*bad] = true
+			r.deadlock++
+			continue
+		}
+		r.commit(f, path)
+		return true
+	}
+	return false
+}
+
+// deadlockArc tentatively adds the path's channel dependencies to the CDG and
+// returns an arc of the path to forbid if a cycle would be created (nil if
+// the path is safe). The tentative edges are removed before returning when a
+// cycle is found.
+func (r *router) deadlockArc(path []int) *[2]int {
+	if len(path) < 3 {
+		return nil // a single link cannot create a new dependency
+	}
+	type added struct {
+		from, to int
+	}
+	var newEdges []added
+	for i := 2; i < len(path); i++ {
+		a := r.ensureLinkVertex(path[i-2], path[i-1])
+		b := r.ensureLinkVertex(path[i-1], path[i])
+		if !r.cdg.HasEdge(a, b) {
+			r.cdg.AddEdge(a, b, 1)
+			newEdges = append(newEdges, added{a, b})
+		}
+	}
+	if !r.cdg.HasCycle() {
+		return nil
+	}
+	for _, e := range newEdges {
+		r.cdg.RemoveEdge(e.from, e.to)
+	}
+	// Forbid the middle arc of the path; re-routing around it usually breaks
+	// the cycle while keeping source and destination reachable.
+	mid := len(path) / 2
+	arc := [2]int{path[mid-1], path[mid]}
+	return &arc
+}
+
+// ensureLinkVertex returns the CDG vertex of the directed link (i, j),
+// growing the CDG if the link is new.
+func (r *router) ensureLinkVertex(i, j int) int {
+	key := [2]int{i, j}
+	if v, ok := r.linkIdx[key]; ok {
+		return v
+	}
+	v := r.cdg.NumVertices()
+	// Grow the CDG by rebuilding with one more vertex (cheap at these sizes).
+	ng := graph.New(v + 1)
+	for _, e := range r.cdg.Edges() {
+		ng.AddEdge(e.From, e.To, e.Weight)
+	}
+	r.cdg = ng
+	r.linkIdx[key] = v
+	return v
+}
+
+// commit records the route and updates link, port and inter-layer-link
+// bookkeeping.
+func (r *router) commit(f int, path []int) {
+	t := r.top
+	bw := t.Design.Flows[f].BandwidthMBps
+	for i := 1; i < len(path); i++ {
+		key := [2]int{path[i-1], path[i]}
+		if _, exists := r.linkBW[key]; !exists {
+			r.outPorts[path[i-1]]++
+			r.inPorts[path[i]]++
+			r.addBoundaryCrossings(t.Switches[path[i-1]].Layer, t.Switches[path[i]].Layer, 1)
+		}
+		r.linkBW[key] += bw
+	}
+	t.SetRoute(f, path)
+}
+
+// tryWithIndirectSwitch adds an indirect switch between the source and
+// destination switches of the failed flow and retries the routing once. This
+// mirrors the paper's insertion of indirect switches when the
+// max_switch_size constraint cannot be met directly.
+func (r *router) tryWithIndirectSwitch(f int) bool {
+	t := r.top
+	fl := t.Design.Flows[f]
+	src := t.CoreAttach[fl.Src]
+	dst := t.CoreAttach[fl.Dst]
+	if src == dst {
+		return false
+	}
+	// Place the new switch between the two endpoints, on an intermediate
+	// layer when the endpoints are on different layers.
+	ls, ld := t.Switches[src].Layer, t.Switches[dst].Layer
+	layer := (ls + ld) / 2
+	id := t.AddIndirectSwitch(layer)
+	t.Switches[id].Pos = geom.Point{
+		X: (t.Switches[src].Pos.X + t.Switches[dst].Pos.X) / 2,
+		Y: (t.Switches[src].Pos.Y + t.Switches[dst].Pos.Y) / 2,
+	}
+	r.inPorts = append(r.inPorts, 0)
+	r.outPorts = append(r.outPorts, 0)
+	return r.routeFlow(f)
+}

@@ -1,0 +1,150 @@
+// Package synth implements the core contribution of the paper: the
+// SunFloor 3D topology-synthesis engine. For a given application (cores with
+// 3-D layer assignment and floorplan positions, plus the communication
+// specification) it sweeps NoC architectural parameters (operating frequency
+// and switch count), establishes core-to-switch connectivity either with
+// Phase 1 (min-cut partitioning of the whole-design PG, with the SPG theta
+// scaling loop when the inter-layer link constraint is violated — Algorithm 1)
+// or Phase 2 (layer-by-layer partitioning of per-layer LPGs — Algorithm 2),
+// computes deadlock-free paths for all flows under the max_ill and
+// max_switch_size constraints, places the switches, evaluates power, latency
+// and area, and returns the set of valid design points together with the best
+// one for the chosen objective. Running the engine on a single-layer design
+// degenerates to the 2-D flow of [16], which is how the 2-D baselines of the
+// paper's comparison are produced.
+package synth
+
+import (
+	"fmt"
+
+	"sunfloor3d/internal/noclib"
+	"sunfloor3d/internal/partition"
+)
+
+// Phase selects which core-to-switch connectivity method the engine may use.
+type Phase int
+
+const (
+	// PhaseAuto runs Phase 1 and falls back to Phase 2 for switch counts
+	// where Phase 1 cannot meet the inter-layer link constraint (the two-phase
+	// strategy described in Section IV).
+	PhaseAuto Phase = iota
+	// Phase1Only restricts the engine to Phase 1 (cores may connect to
+	// switches in any layer).
+	Phase1Only
+	// Phase2Only restricts the engine to Phase 2 (cores connect only to
+	// switches in their own layer; links only between adjacent layers).
+	Phase2Only
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseAuto:
+		return "auto"
+	case Phase1Only:
+		return "phase1"
+	case Phase2Only:
+		return "phase2"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// SwitchLayerRule selects how the layer of a Phase-1 switch is derived from
+// its member cores.
+type SwitchLayerRule int
+
+const (
+	// LayerAverage assigns the switch to the rounded average layer of its
+	// cores (Algorithm 1, step 7).
+	LayerAverage SwitchLayerRule = iota
+	// LayerMajority assigns the switch to the layer holding most of its cores.
+	LayerMajority
+)
+
+// Options configures a synthesis run.
+type Options struct {
+	// Lib is the NoC component library (power/delay/area models).
+	Lib noclib.Library
+	// FrequenciesMHz lists the NoC operating frequencies to sweep. The best
+	// design point over all frequencies is reported.
+	FrequenciesMHz []float64
+	// MaxILL is the maximum number of NoC links allowed across any two
+	// adjacent layers (0 = unconstrained).
+	MaxILL int
+	// SoftILLMargin is the distance below MaxILL at which the soft threshold
+	// of Algorithm 3 starts penalising new vertical links.
+	SoftILLMargin int
+	// Phase selects the connectivity method (see Phase).
+	Phase Phase
+	// Partition holds the PG/SPG/LPG construction parameters.
+	Partition partition.Params
+	// SwitchLayer selects the Phase-1 switch layer assignment rule.
+	SwitchLayer SwitchLayerRule
+	// PowerWeight and LatencyWeight define the objective used to pick the
+	// best design point: PowerWeight*TotalPowerMW + LatencyWeight*AvgLatency.
+	PowerWeight, LatencyWeight float64
+	// RunLPPlacement runs the switch-position LP on every explored design
+	// point. When false (the default used by the sweeps) only the centroid
+	// estimate is used during exploration and the LP is run on the best
+	// point, which is much faster and yields the same ranking in practice.
+	RunLPPlacement bool
+	// LPOnBest runs the LP placement on the winning design point even when
+	// RunLPPlacement is false.
+	LPOnBest bool
+	// MaxSwitchesPerLayer caps the Phase-2 sweep (0 = up to one switch per
+	// core, the full sweep of Algorithm 2).
+	MaxSwitchesPerLayer int
+	// RequireLatencyMet rejects design points that violate any flow latency
+	// constraint.
+	RequireLatencyMet bool
+}
+
+// DefaultOptions returns the options used throughout the paper's experiments:
+// 400 MHz through 1 GHz sweep left to the caller (single 400 MHz here),
+// max_ill of 25, power-dominated objective, LP placement on the best point.
+func DefaultOptions() Options {
+	return Options{
+		Lib:               noclib.DefaultLibrary(),
+		FrequenciesMHz:    []float64{400},
+		MaxILL:            25,
+		SoftILLMargin:     2,
+		Phase:             PhaseAuto,
+		Partition:         partition.DefaultParams(),
+		SwitchLayer:       LayerAverage,
+		PowerWeight:       1.0,
+		LatencyWeight:     0.5,
+		RunLPPlacement:    false,
+		LPOnBest:          true,
+		RequireLatencyMet: false,
+	}
+}
+
+// Validate checks the option values.
+func (o Options) Validate() error {
+	if err := o.Lib.Validate(); err != nil {
+		return err
+	}
+	if len(o.FrequenciesMHz) == 0 {
+		return fmt.Errorf("synth: no frequencies to sweep")
+	}
+	for _, f := range o.FrequenciesMHz {
+		if f <= 0 {
+			return fmt.Errorf("synth: non-positive frequency %g", f)
+		}
+	}
+	if o.MaxILL < 0 {
+		return fmt.Errorf("synth: negative MaxILL")
+	}
+	if err := o.Partition.Validate(); err != nil {
+		return err
+	}
+	if o.PowerWeight < 0 || o.LatencyWeight < 0 {
+		return fmt.Errorf("synth: negative objective weight")
+	}
+	if o.PowerWeight == 0 && o.LatencyWeight == 0 {
+		return fmt.Errorf("synth: objective weights are both zero")
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package synth
+
+import (
+	"testing"
+
+	"sunfloor3d/internal/model"
+)
+
+// These tests cover the less common option combinations: the majority-based
+// switch layer rule, LP placement inside the sweep, the latency-requirement
+// filter and the Phase-2 layer cap.
+
+func optionsDesign(t *testing.T) *model.CommGraph {
+	t.Helper()
+	var cores []model.Core
+	for l := 0; l < 2; l++ {
+		for i := 0; i < 5; i++ {
+			cores = append(cores, model.Core{
+				Name:  "q" + string(rune('0'+l)) + string(rune('0'+i)),
+				Width: 1.2, Height: 1.2, X: float64(i) * 1.5, Y: float64(l) * 0.2, Layer: l,
+			})
+		}
+	}
+	flows := []model.Flow{
+		{Src: 0, Dst: 5, BandwidthMBps: 900, LatencyCycles: 2},
+		{Src: 1, Dst: 6, BandwidthMBps: 850, LatencyCycles: 2},
+		{Src: 2, Dst: 7, BandwidthMBps: 800, LatencyCycles: 3},
+		{Src: 3, Dst: 8, BandwidthMBps: 750, LatencyCycles: 3},
+		{Src: 4, Dst: 9, BandwidthMBps: 700, LatencyCycles: 3},
+		{Src: 0, Dst: 1, BandwidthMBps: 150, LatencyCycles: 6},
+		{Src: 5, Dst: 6, BandwidthMBps: 140, LatencyCycles: 6},
+		{Src: 2, Dst: 3, BandwidthMBps: 130, LatencyCycles: 6},
+		{Src: 7, Dst: 8, BandwidthMBps: 120, LatencyCycles: 6},
+	}
+	g, err := model.NewCommGraph(cores, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLayerMajorityRule(t *testing.T) {
+	g := optionsDesign(t)
+	opt := DefaultOptions()
+	opt.SwitchLayer = LayerMajority
+	res, err := Synthesize(g, opt)
+	if err != nil || res.Best == nil {
+		t.Fatalf("synthesis with majority rule failed: %v", err)
+	}
+	for _, s := range res.Best.Topology.Switches {
+		if s.Layer < 0 || s.Layer >= g.NumLayers() {
+			t.Errorf("switch %d assigned to non-existent layer %d", s.ID, s.Layer)
+		}
+	}
+}
+
+func TestRunLPPlacementInSweep(t *testing.T) {
+	g := optionsDesign(t)
+	withLP := DefaultOptions()
+	withLP.RunLPPlacement = true
+	resLP, err := Synthesize(g, withLP)
+	if err != nil || resLP.Best == nil {
+		t.Fatalf("synthesis with in-sweep LP failed: %v", err)
+	}
+	without := DefaultOptions()
+	without.RunLPPlacement = false
+	without.LPOnBest = true
+	resEst, err := Synthesize(g, without)
+	if err != nil || resEst.Best == nil {
+		t.Fatalf("synthesis without in-sweep LP failed: %v", err)
+	}
+	// Both paths must produce valid topologies with comparable best power:
+	// the LP can only improve link placement, so it should not be much worse.
+	lp := resLP.Best.Metrics.Power.TotalMW()
+	est := resEst.Best.Metrics.Power.TotalMW()
+	if lp > est*1.25 {
+		t.Errorf("in-sweep LP best power (%v) much worse than estimate-based (%v)", lp, est)
+	}
+}
+
+func TestRequireLatencyMet(t *testing.T) {
+	g := optionsDesign(t)
+	opt := DefaultOptions()
+	opt.RequireLatencyMet = true
+	res, err := Synthesize(g, opt)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	for _, p := range res.ValidPoints() {
+		if p.Metrics.LatencyViolations > 0 {
+			t.Errorf("point with %d latency violations marked valid", p.Metrics.LatencyViolations)
+		}
+	}
+}
+
+func TestMaxSwitchesPerLayerCapsPhase2Sweep(t *testing.T) {
+	g := optionsDesign(t)
+	opt := DefaultOptions()
+	opt.Phase = Phase2Only
+	opt.MaxSwitchesPerLayer = 1
+	res, err := Synthesize(g, opt)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	// The sweep explores at most minimum + 1 extra switch per layer, i.e. the
+	// number of distinct Phase-2 switch counts is at most 2.
+	counts := map[int]bool{}
+	for _, p := range res.Points {
+		if p.Phase == 2 {
+			counts[p.SwitchCount] = true
+		}
+	}
+	if len(counts) > 2 {
+		t.Errorf("phase-2 sweep explored %d switch-count settings despite the cap", len(counts))
+	}
+}
+
+func TestPhase2CoresAlwaysLocal(t *testing.T) {
+	g := optionsDesign(t)
+	opt := DefaultOptions()
+	opt.Phase = Phase2Only
+	res, err := Synthesize(g, opt)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	for _, p := range res.ValidPoints() {
+		top := p.Topology
+		for c, sw := range top.CoreAttach {
+			if top.Switches[sw].Layer != g.Cores[c].Layer {
+				t.Fatalf("phase 2 attached core %d (layer %d) to a switch on layer %d",
+					c, g.Cores[c].Layer, top.Switches[sw].Layer)
+			}
+		}
+		// Phase-2 links must only connect adjacent layers.
+		for _, l := range top.SwitchLinks() {
+			d := top.Switches[l.From].Layer - top.Switches[l.To].Layer
+			if d < -1 || d > 1 {
+				t.Fatalf("phase 2 created a link spanning %d layers", d)
+			}
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sunfloor3d/internal/graph"
+	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/partition"
+	"sunfloor3d/internal/place"
+	"sunfloor3d/internal/route"
+	"sunfloor3d/internal/topology"
+)
+
+// DesignPoint is one explored topology with its evaluation.
+type DesignPoint struct {
+	// Topology is the synthesized NoC (nil for invalid points).
+	Topology *topology.Topology
+	// Metrics is the evaluation of Topology.
+	Metrics topology.Metrics
+	// FreqMHz is the NoC operating frequency of this point.
+	FreqMHz float64
+	// SwitchCount is the number of switches requested by the sweep (the
+	// actual topology may contain more if indirect switches were inserted).
+	SwitchCount int
+	// Phase is 1 or 2 depending on which connectivity method produced it.
+	Phase int
+	// Theta is the SPG scaling factor used (0 when the plain PG sufficed).
+	Theta float64
+	// Valid reports whether the point meets all constraints.
+	Valid bool
+	// FailReason explains why an invalid point was rejected.
+	FailReason string
+}
+
+// Cost returns the scalar objective of the point under the given weights.
+func (d DesignPoint) Cost(powerWeight, latencyWeight float64) float64 {
+	return powerWeight*d.Metrics.Power.TotalMW() + latencyWeight*d.Metrics.AvgLatencyCycles
+}
+
+// Result is the outcome of a synthesis run.
+type Result struct {
+	// Points holds every explored design point (valid and invalid), ordered
+	// by frequency then switch count.
+	Points []DesignPoint
+	// Best is the valid point with the lowest objective, or nil when no valid
+	// point exists.
+	Best *DesignPoint
+}
+
+// ValidPoints returns only the valid design points.
+func (r *Result) ValidPoints() []DesignPoint {
+	var out []DesignPoint
+	for _, p := range r.Points {
+		if p.Valid {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ParetoFront returns the valid points that are not dominated in
+// (power, latency) by any other valid point, sorted by power.
+func (r *Result) ParetoFront() []DesignPoint {
+	valid := r.ValidPoints()
+	var front []DesignPoint
+	for i, p := range valid {
+		dominated := false
+		for j, q := range valid {
+			if i == j {
+				continue
+			}
+			if q.Metrics.Power.TotalMW() <= p.Metrics.Power.TotalMW() &&
+				q.Metrics.AvgLatencyCycles <= p.Metrics.AvgLatencyCycles &&
+				(q.Metrics.Power.TotalMW() < p.Metrics.Power.TotalMW() ||
+					q.Metrics.AvgLatencyCycles < p.Metrics.AvgLatencyCycles) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(a, b int) bool {
+		return front[a].Metrics.Power.TotalMW() < front[b].Metrics.Power.TotalMW()
+	})
+	return front
+}
+
+// Synthesize runs the full SunFloor 3D flow on the design and returns all
+// explored design points plus the best one.
+func Synthesize(g *model.CommGraph, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumCores() == 0 {
+		return nil, fmt.Errorf("synth: design has no cores")
+	}
+	if g.NumFlows() == 0 {
+		return nil, fmt.Errorf("synth: design has no communication flows")
+	}
+
+	res := &Result{}
+	for _, freq := range opt.FrequenciesMHz {
+		points := synthesizeAtFrequency(g, opt, freq)
+		res.Points = append(res.Points, points...)
+	}
+	res.Best = pickBest(res.Points, opt)
+	if res.Best != nil && opt.LPOnBest && !opt.RunLPPlacement {
+		refined := res.Best.Topology.Clone()
+		if err := place.OptimizeSwitchPositions(refined); err == nil {
+			res.Best.Topology = refined
+			res.Best.Metrics = refined.Evaluate()
+		}
+	}
+	return res, nil
+}
+
+// pickBest returns a pointer to the best valid point in pts (the slice
+// element itself, so later refinement updates the stored point too).
+func pickBest(pts []DesignPoint, opt Options) *DesignPoint {
+	bestIdx := -1
+	bestCost := math.MaxFloat64
+	for i, p := range pts {
+		if !p.Valid {
+			continue
+		}
+		c := p.Cost(opt.PowerWeight, opt.LatencyWeight)
+		if c < bestCost {
+			bestCost = c
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return nil
+	}
+	return &pts[bestIdx]
+}
+
+// synthesizeAtFrequency explores all switch counts for one operating
+// frequency, choosing Phase 1 / Phase 2 per the configured policy.
+func synthesizeAtFrequency(g *model.CommGraph, opt Options, freq float64) []DesignPoint {
+	switch opt.Phase {
+	case Phase2Only:
+		return phase2Sweep(g, opt, freq)
+	case Phase1Only:
+		return phase1Sweep(g, opt, freq, false)
+	default:
+		// Auto: Phase 1 with Phase 2 as fallback for unmet switch counts.
+		return phase1Sweep(g, opt, freq, true)
+	}
+}
+
+// phase1Sweep implements Algorithm 1. When fallbackPhase2 is set, switch
+// counts that remain unmet after the theta sweep are retried with the
+// layer-by-layer method.
+func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 bool) []DesignPoint {
+	n := g.NumCores()
+	pg := partition.BuildPG(g, opt.Partition.Alpha)
+	points := make([]DesignPoint, 0, n)
+	var unmet []int
+
+	for i := 1; i <= n; i++ {
+		dp := buildPhase1Point(g, opt, freq, pg, i, 0)
+		if !dp.Valid {
+			unmet = append(unmet, i)
+		}
+		points = append(points, dp)
+	}
+
+	// Theta scaling loop (steps 11-19 of Algorithm 1).
+	if len(unmet) > 0 && g.NumLayers() > 1 {
+		for _, theta := range opt.Partition.ThetaSweep() {
+			if len(unmet) == 0 {
+				break
+			}
+			spg := partition.BuildSPG(g, opt.Partition.Alpha, theta, opt.Partition.ThetaMax)
+			var still []int
+			for _, i := range unmet {
+				dp := buildPhase1Point(g, opt, freq, spg, i, theta)
+				if dp.Valid {
+					points[i-1] = dp
+				} else {
+					still = append(still, i)
+				}
+			}
+			unmet = still
+		}
+	}
+
+	// Optional Phase-2 fallback for counts that even the SPG could not fix.
+	if fallbackPhase2 && len(unmet) > 0 && g.NumLayers() > 1 {
+		p2 := phase2Sweep(g, opt, freq)
+		for _, i := range unmet {
+			// Find a valid Phase-2 point with a comparable total switch count.
+			for _, dp := range p2 {
+				if dp.Valid && dp.SwitchCount == i {
+					points[i-1] = dp
+					break
+				}
+			}
+		}
+	}
+	return points
+}
+
+// buildPhase1Point builds and evaluates one Phase-1 design point with the
+// given partitioning graph and switch count.
+func buildPhase1Point(g *model.CommGraph, opt Options, freq float64, pg *graph.Graph, switches int, theta float64) DesignPoint {
+	dp := DesignPoint{FreqMHz: freq, SwitchCount: switches, Phase: 1, Theta: theta}
+	assign := partition.PartitionCores(pg, switches)
+	blocks := graph.Blocks(assign, switches)
+
+	top := topology.New(g, opt.Lib, freq)
+	maxSwSize := opt.Lib.MaxSwitchSize(freq)
+	for _, block := range blocks {
+		var layer int
+		if opt.SwitchLayer == LayerMajority {
+			layer = partition.SwitchLayerMajority(g, block)
+		} else {
+			layer = partition.SwitchLayerFromBlock(g, block)
+		}
+		sw := top.AddSwitch(layer)
+		for _, c := range block {
+			top.AttachCore(c, sw)
+		}
+		// Pruning: a switch that already needs more core ports than the
+		// frequency allows can never close timing.
+		if len(block) > maxSwSize {
+			dp.FailReason = fmt.Sprintf("switch with %d cores exceeds max switch size %d at %.0f MHz",
+				len(block), maxSwSize, freq)
+		}
+	}
+	if dp.FailReason != "" {
+		dp.Topology = top
+		return dp
+	}
+	top.EstimateSwitchPositions()
+
+	// Pruning 3: check the inter-layer links needed just by the core
+	// attachments before spending time on path computation.
+	if opt.MaxILL > 0 && top.MaxInterLayerLinks() > opt.MaxILL {
+		dp.Topology = top
+		dp.FailReason = fmt.Sprintf("core attachments alone need %d inter-layer links (max %d)",
+			top.MaxInterLayerLinks(), opt.MaxILL)
+		return dp
+	}
+	return finishPoint(top, opt, freq, dp)
+}
+
+// phase2Sweep implements Algorithm 2: layer-by-layer core-to-switch
+// connectivity with adjacent-layer-only vertical links.
+func phase2Sweep(g *model.CommGraph, opt Options, freq float64) []DesignPoint {
+	lpgs := partition.BuildLPGs(g, opt.Partition)
+	maxSwSize := opt.Lib.MaxSwitchSize(freq)
+
+	// Minimum switches per layer (steps 2-4).
+	minPerLayer := make([]int, len(lpgs))
+	maxExtra := 0
+	for j, l := range lpgs {
+		n := len(l.Vertices)
+		if n == 0 {
+			minPerLayer[j] = 0
+			continue
+		}
+		minPerLayer[j] = (n + maxSwSize - 1) / maxSwSize
+		if extra := n - minPerLayer[j]; extra > maxExtra {
+			maxExtra = extra
+		}
+	}
+	if opt.MaxSwitchesPerLayer > 0 && maxExtra > opt.MaxSwitchesPerLayer {
+		maxExtra = opt.MaxSwitchesPerLayer
+	}
+
+	var points []DesignPoint
+	for i := 0; i <= maxExtra; i++ {
+		dp := DesignPoint{FreqMHz: freq, Phase: 2}
+		top := topology.New(g, opt.Lib, freq)
+		totalSwitches := 0
+		for j, l := range lpgs {
+			if len(l.Vertices) == 0 {
+				continue
+			}
+			np := minPerLayer[j] + i
+			if np > len(l.Vertices) {
+				np = len(l.Vertices)
+			}
+			if np < 1 {
+				np = 1
+			}
+			assignment := partition.PartitionLPG(l, np)
+			// Create one switch per block on this layer.
+			swOf := make(map[int]int, np)
+			for b := 0; b < np; b++ {
+				swOf[b] = top.AddSwitch(l.Layer)
+			}
+			totalSwitches += np
+			for core, block := range assignment {
+				top.AttachCore(core, swOf[block])
+			}
+		}
+		dp.SwitchCount = totalSwitches
+		top.EstimateSwitchPositions()
+		points = append(points, finishPoint2(top, opt, freq, dp))
+	}
+	return points
+}
+
+// finishPoint routes, optionally LP-places, evaluates and validates a Phase-1
+// design point.
+func finishPoint(top *topology.Topology, opt Options, freq float64, dp DesignPoint) DesignPoint {
+	cfg := routeConfig(opt, freq, false)
+	return runAndEvaluate(top, opt, cfg, dp)
+}
+
+// finishPoint2 does the same for a Phase-2 point (adjacent layers only).
+func finishPoint2(top *topology.Topology, opt Options, freq float64, dp DesignPoint) DesignPoint {
+	cfg := routeConfig(opt, freq, true)
+	return runAndEvaluate(top, opt, cfg, dp)
+}
+
+func routeConfig(opt Options, freq float64, adjacentOnly bool) route.Config {
+	cfg := route.DefaultConfig()
+	cfg.MaxILL = opt.MaxILL
+	cfg.SoftILLMargin = opt.SoftILLMargin
+	cfg.MaxSwitchSize = opt.Lib.MaxSwitchSize(freq)
+	cfg.AdjacentLayersOnly = adjacentOnly
+	cfg.PowerWeight = opt.PowerWeight
+	cfg.LatencyWeight = opt.LatencyWeight
+	return cfg
+}
+
+func runAndEvaluate(top *topology.Topology, opt Options, cfg route.Config, dp DesignPoint) DesignPoint {
+	res, err := route.ComputePaths(top, cfg)
+	dp.Topology = top
+	if err != nil {
+		dp.FailReason = err.Error()
+		return dp
+	}
+	if !res.Success() {
+		dp.FailReason = fmt.Sprintf("%d flows could not be routed", len(res.Failed))
+		return dp
+	}
+	if opt.RunLPPlacement {
+		if err := place.OptimizeSwitchPositions(top); err != nil {
+			dp.FailReason = fmt.Sprintf("LP placement failed: %v", err)
+			return dp
+		}
+	}
+	dp.Metrics = top.Evaluate()
+
+	// Constraint checks.
+	if opt.MaxILL > 0 && dp.Metrics.MaxILL > opt.MaxILL {
+		dp.FailReason = fmt.Sprintf("uses %d inter-layer links (max %d)", dp.Metrics.MaxILL, opt.MaxILL)
+		return dp
+	}
+	maxSw := opt.Lib.MaxSwitchSize(dp.FreqMHz)
+	in, out := top.SwitchPorts()
+	for i := range in {
+		if in[i] > maxSw || out[i] > maxSw {
+			dp.FailReason = fmt.Sprintf("switch %d has %dx%d ports (max %d at %.0f MHz)",
+				i, in[i], out[i], maxSw, dp.FreqMHz)
+			return dp
+		}
+	}
+	if opt.RequireLatencyMet && dp.Metrics.LatencyViolations > 0 {
+		dp.FailReason = fmt.Sprintf("%d flows violate their latency constraint", dp.Metrics.LatencyViolations)
+		return dp
+	}
+	dp.Valid = true
+	return dp
+}

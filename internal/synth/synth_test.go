@@ -1,0 +1,323 @@
+package synth
+
+import (
+	"testing"
+
+	"sunfloor3d/internal/bench"
+	"sunfloor3d/internal/model"
+)
+
+// smallDesign builds an 8-core, 2-layer design that synthesizes quickly.
+func smallDesign(t *testing.T) *model.CommGraph {
+	t.Helper()
+	var cores []model.Core
+	for l := 0; l < 2; l++ {
+		for i := 0; i < 4; i++ {
+			cores = append(cores, model.Core{
+				Name:  "c" + string(rune('0'+l)) + string(rune('0'+i)),
+				Width: 1.5, Height: 1.5, X: float64(i) * 1.8, Y: float64(l) * 0.1, Layer: l,
+			})
+		}
+	}
+	flows := []model.Flow{
+		{Src: 0, Dst: 4, BandwidthMBps: 800, LatencyCycles: 4},
+		{Src: 1, Dst: 5, BandwidthMBps: 700, LatencyCycles: 4},
+		{Src: 2, Dst: 6, BandwidthMBps: 750, LatencyCycles: 4},
+		{Src: 3, Dst: 7, BandwidthMBps: 650, LatencyCycles: 4},
+		{Src: 0, Dst: 1, BandwidthMBps: 100, LatencyCycles: 8},
+		{Src: 1, Dst: 2, BandwidthMBps: 120, LatencyCycles: 8},
+		{Src: 4, Dst: 5, BandwidthMBps: 90, LatencyCycles: 8},
+		{Src: 6, Dst: 7, BandwidthMBps: 110, LatencyCycles: 8},
+	}
+	g, err := model.NewCommGraph(cores, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	bad := DefaultOptions()
+	bad.FrequenciesMHz = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("missing frequencies should fail")
+	}
+	bad = DefaultOptions()
+	bad.FrequenciesMHz = []float64{-5}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative frequency should fail")
+	}
+	bad = DefaultOptions()
+	bad.MaxILL = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative MaxILL should fail")
+	}
+	bad = DefaultOptions()
+	bad.PowerWeight, bad.LatencyWeight = 0, 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero objective should fail")
+	}
+	bad = DefaultOptions()
+	bad.PowerWeight = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative weight should fail")
+	}
+}
+
+func TestSynthesizeSmallDesign(t *testing.T) {
+	g := smallDesign(t)
+	opt := DefaultOptions()
+	res, err := Synthesize(g, opt)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if res.Best == nil {
+		t.Fatal("no valid design point found")
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no design points explored")
+	}
+	valid := res.ValidPoints()
+	if len(valid) == 0 {
+		t.Fatal("no valid points")
+	}
+	// Every valid point must be structurally sound and meet the constraints.
+	for _, p := range valid {
+		if err := p.Topology.Validate(); err != nil {
+			t.Errorf("point (sw=%d): invalid topology: %v", p.SwitchCount, err)
+		}
+		if opt.MaxILL > 0 && p.Metrics.MaxILL > opt.MaxILL {
+			t.Errorf("point (sw=%d): maxILL %d exceeds %d", p.SwitchCount, p.Metrics.MaxILL, opt.MaxILL)
+		}
+		if p.Metrics.Power.TotalMW() <= 0 {
+			t.Errorf("point (sw=%d): non-positive power", p.SwitchCount)
+		}
+		if p.Metrics.AvgLatencyCycles < 1 {
+			t.Errorf("point (sw=%d): latency %v below 1 cycle", p.SwitchCount, p.Metrics.AvgLatencyCycles)
+		}
+	}
+	// The best point's cost must indeed be minimal among valid points.
+	bestCost := res.Best.Cost(opt.PowerWeight, opt.LatencyWeight)
+	for _, p := range valid {
+		if c := p.Cost(opt.PowerWeight, opt.LatencyWeight); c < bestCost-1e-6 {
+			t.Errorf("best point cost %v beaten by sw=%d with %v", bestCost, p.SwitchCount, c)
+		}
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	g := smallDesign(t)
+	opt := DefaultOptions()
+	opt.FrequenciesMHz = nil
+	if _, err := Synthesize(g, opt); err == nil {
+		t.Error("invalid options should fail")
+	}
+	empty, err := model.NewCommGraph(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synthesize(empty, DefaultOptions()); err == nil {
+		t.Error("empty design should fail")
+	}
+	noFlows, err := model.NewCommGraph([]model.Core{{Name: "x", Width: 1, Height: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synthesize(noFlows, DefaultOptions()); err == nil {
+		t.Error("design without flows should fail")
+	}
+}
+
+func TestPhase2UsesFewerInterLayerLinks(t *testing.T) {
+	g := smallDesign(t)
+
+	opt1 := DefaultOptions()
+	opt1.Phase = Phase1Only
+	res1, err := Synthesize(g, opt1)
+	if err != nil || res1.Best == nil {
+		t.Fatalf("phase 1 synthesis failed: %v", err)
+	}
+
+	opt2 := DefaultOptions()
+	opt2.Phase = Phase2Only
+	res2, err := Synthesize(g, opt2)
+	if err != nil || res2.Best == nil {
+		t.Fatalf("phase 2 synthesis failed: %v", err)
+	}
+
+	// Phase 2 restricts cores to same-layer switches, so its inter-layer link
+	// usage must not exceed Phase 1's for the best points (Fig. 14 vs 13).
+	if res2.Best.Metrics.MaxILL > res1.Best.Metrics.MaxILL {
+		t.Errorf("phase 2 uses more inter-layer links (%d) than phase 1 (%d)",
+			res2.Best.Metrics.MaxILL, res1.Best.Metrics.MaxILL)
+	}
+	// In Phase 2 every core must attach to a switch on its own layer.
+	top := res2.Best.Topology
+	for c, sw := range top.CoreAttach {
+		if top.Switches[sw].Layer != g.Cores[c].Layer {
+			t.Errorf("phase 2: core %d (layer %d) attached to switch on layer %d",
+				c, g.Cores[c].Layer, top.Switches[sw].Layer)
+		}
+	}
+	// Phase 1 should be at least as power-efficient as Phase 2 (Fig. 17).
+	if res1.Best.Metrics.Power.TotalMW() > res2.Best.Metrics.Power.TotalMW()*1.15 {
+		t.Errorf("phase 1 power (%v mW) much worse than phase 2 (%v mW)",
+			res1.Best.Metrics.Power.TotalMW(), res2.Best.Metrics.Power.TotalMW())
+	}
+}
+
+func TestTighterMaxILLNeverReducesPower(t *testing.T) {
+	// The trend of Fig. 21: loosening the inter-layer link budget can only
+	// help (or leave unchanged) the best achievable power.
+	g := smallDesign(t)
+	var prevPower float64
+	first := true
+	for _, maxILL := range []int{2, 4, 8, 0} { // 0 = unconstrained
+		opt := DefaultOptions()
+		opt.MaxILL = maxILL
+		res, err := Synthesize(g, opt)
+		if err != nil {
+			t.Fatalf("maxILL=%d: %v", maxILL, err)
+		}
+		if res.Best == nil {
+			// Very tight budgets may admit no design at all; skip.
+			continue
+		}
+		p := res.Best.Metrics.Power.TotalMW()
+		if !first && p > prevPower*1.10 {
+			t.Errorf("power increased from %v to %v when loosening maxILL to %d",
+				prevPower, p, maxILL)
+		}
+		prevPower = p
+		first = false
+	}
+	if first {
+		t.Fatal("no maxILL setting produced a valid design")
+	}
+}
+
+func TestFrequencySweepPrefersLowestFeasible(t *testing.T) {
+	g := smallDesign(t)
+	opt := DefaultOptions()
+	opt.FrequenciesMHz = []float64{400, 800}
+	res, err := Synthesize(g, opt)
+	if err != nil || res.Best == nil {
+		t.Fatalf("synthesis failed: %v", err)
+	}
+	// Dynamic power scales with frequency, so with a power-dominated
+	// objective the best point should come from the lowest frequency.
+	if res.Best.FreqMHz != 400 {
+		t.Errorf("best point at %v MHz, expected 400 MHz", res.Best.FreqMHz)
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	g := smallDesign(t)
+	res, err := Synthesize(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := res.ParetoFront()
+	if len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	// The front must be sorted by power and latency must be non-increasing.
+	for i := 1; i < len(front); i++ {
+		if front[i-1].Metrics.Power.TotalMW() > front[i].Metrics.Power.TotalMW() {
+			t.Error("Pareto front not sorted by power")
+		}
+		if front[i].Metrics.AvgLatencyCycles > front[i-1].Metrics.AvgLatencyCycles+1e-9 {
+			t.Error("Pareto front contains a dominated point")
+		}
+	}
+	// No front point may be dominated by any valid point.
+	for _, fp := range front {
+		for _, p := range res.ValidPoints() {
+			if p.Metrics.Power.TotalMW() < fp.Metrics.Power.TotalMW()-1e-9 &&
+				p.Metrics.AvgLatencyCycles < fp.Metrics.AvgLatencyCycles-1e-9 {
+				t.Error("Pareto front point is dominated")
+			}
+		}
+	}
+}
+
+func TestSynthesize2DFlattened(t *testing.T) {
+	g := smallDesign(t)
+	flat := g.Flatten2D()
+	opt := DefaultOptions()
+	res, err := Synthesize(flat, opt)
+	if err != nil || res.Best == nil {
+		t.Fatalf("2-D synthesis failed: %v", err)
+	}
+	if res.Best.Metrics.MaxILL != 0 {
+		t.Errorf("2-D design reports %d inter-layer links", res.Best.Metrics.MaxILL)
+	}
+	if res.Best.Metrics.TSVMacros != 0 {
+		t.Errorf("2-D design reports %d TSV macros", res.Best.Metrics.TSVMacros)
+	}
+}
+
+func TestSynthesizeD26MediaEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end benchmark synthesis skipped in -short mode")
+	}
+	b := bench.D26Media(1)
+	opt := DefaultOptions()
+	res3d, err := Synthesize(b.Graph3D, opt)
+	if err != nil {
+		t.Fatalf("3-D synthesis: %v", err)
+	}
+	if res3d.Best == nil {
+		t.Fatal("no valid 3-D design point for D_26_media")
+	}
+	res2d, err := Synthesize(b.Graph2D, opt)
+	if err != nil {
+		t.Fatalf("2-D synthesis: %v", err)
+	}
+	if res2d.Best == nil {
+		t.Fatal("no valid 2-D design point for D_26_media")
+	}
+	// Headline claim of the paper (Section VIII-A): the 3-D implementation
+	// consumes less total NoC power than the 2-D one, because long horizontal
+	// wires are replaced by short vertical ones.
+	p3, p2 := res3d.Best.Metrics.Power.TotalMW(), res2d.Best.Metrics.Power.TotalMW()
+	if p3 >= p2 {
+		t.Errorf("3-D power (%.2f mW) not below 2-D power (%.2f mW)", p3, p2)
+	}
+	// Wire length check behind Fig. 12: total wire length shrinks in 3-D.
+	if res3d.Best.Metrics.TotalWireLengthMM >= res2d.Best.Metrics.TotalWireLengthMM {
+		t.Errorf("3-D total wire length (%.2f mm) not below 2-D (%.2f mm)",
+			res3d.Best.Metrics.TotalWireLengthMM, res2d.Best.Metrics.TotalWireLengthMM)
+	}
+	// The 3-D design must respect the default max_ill of 25.
+	if res3d.Best.Metrics.MaxILL > opt.MaxILL {
+		t.Errorf("3-D best point uses %d inter-layer links (max %d)",
+			res3d.Best.Metrics.MaxILL, opt.MaxILL)
+	}
+}
+
+func TestDesignPointCost(t *testing.T) {
+	dp := DesignPoint{}
+	dp.Metrics.Power.SwitchMW = 10
+	dp.Metrics.AvgLatencyCycles = 3
+	if c := dp.Cost(1, 0); c != 10 {
+		t.Errorf("power-only cost = %v", c)
+	}
+	if c := dp.Cost(0, 2); c != 6 {
+		t.Errorf("latency-only cost = %v", c)
+	}
+	if c := dp.Cost(1, 1); c != 13 {
+		t.Errorf("blended cost = %v", c)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	for _, p := range []Phase{PhaseAuto, Phase1Only, Phase2Only, Phase(9)} {
+		if p.String() == "" {
+			t.Errorf("empty string for phase %d", int(p))
+		}
+	}
+}

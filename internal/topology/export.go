@@ -1,0 +1,103 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT writes the topology as a Graphviz DOT graph: cores as boxes,
+// switches as ellipses, with layers rendered as clusters. This is the format
+// used to inspect the topologies of Figs. 13 and 14.
+func (t *Topology) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph noc {")
+	fmt.Fprintln(bw, "  rankdir=LR;")
+
+	layers := t.Design.NumLayers()
+	for _, s := range t.Switches {
+		if s.Layer+1 > layers {
+			layers = s.Layer + 1
+		}
+	}
+	for l := 0; l < layers; l++ {
+		fmt.Fprintf(bw, "  subgraph cluster_layer%d {\n", l)
+		fmt.Fprintf(bw, "    label=\"layer %d\";\n", l)
+		for i, c := range t.Design.Cores {
+			if c.Layer == l {
+				fmt.Fprintf(bw, "    core%d [shape=box,label=%q];\n", i, c.Name)
+			}
+		}
+		for _, s := range t.Switches {
+			if s.Layer == l {
+				shape := "ellipse"
+				if s.Indirect {
+					shape = "diamond"
+				}
+				fmt.Fprintf(bw, "    sw%d [shape=%s,label=\"sw%d\"];\n", s.ID, shape, s.ID)
+			}
+		}
+		fmt.Fprintln(bw, "  }")
+	}
+
+	for c, sw := range t.CoreAttach {
+		if sw >= 0 {
+			fmt.Fprintf(bw, "  core%d -> sw%d [dir=both];\n", c, sw)
+		}
+	}
+	for _, l := range t.SwitchLinks() {
+		fmt.Fprintf(bw, "  sw%d -> sw%d [label=\"%.0f\"];\n", l.From, l.To, l.BandwidthMBps)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// Describe returns a human-readable multi-line description of the topology:
+// switch list with layer, position and port counts, core attachments, and the
+// aggregated switch-to-switch links. It is the textual counterpart of the
+// topology drawings in the paper.
+func (t *Topology) Describe() string {
+	var sb strings.Builder
+	in, out := t.SwitchPorts()
+	fmt.Fprintf(&sb, "topology: %d switches, %d cores, %.0f MHz\n",
+		len(t.Switches), t.Design.NumCores(), t.FreqMHz)
+	for _, s := range t.Switches {
+		kind := ""
+		if s.Indirect {
+			kind = " (indirect)"
+		}
+		fmt.Fprintf(&sb, "  sw%d layer=%d pos=%s ports=%dx%d%s\n",
+			s.ID, s.Layer, s.Pos, in[s.ID], out[s.ID], kind)
+	}
+	// Core attachments grouped by switch.
+	bySwitch := make(map[int][]string)
+	for c, sw := range t.CoreAttach {
+		if sw >= 0 {
+			bySwitch[sw] = append(bySwitch[sw], t.Design.Cores[c].Name)
+		}
+	}
+	var swIDs []int
+	for sw := range bySwitch {
+		swIDs = append(swIDs, sw)
+	}
+	sort.Ints(swIDs)
+	for _, sw := range swIDs {
+		names := bySwitch[sw]
+		sort.Strings(names)
+		fmt.Fprintf(&sb, "  sw%d <- {%s}\n", sw, strings.Join(names, ", "))
+	}
+	for _, l := range t.SwitchLinks() {
+		span := t.Switches[l.From].Layer - t.Switches[l.To].Layer
+		if span < 0 {
+			span = -span
+		}
+		tag := ""
+		if span > 0 {
+			tag = fmt.Sprintf(" [vertical x%d]", span)
+		}
+		fmt.Fprintf(&sb, "  sw%d -> sw%d bw=%.0f MB/s%s\n", l.From, l.To, l.BandwidthMBps, tag)
+	}
+	return sb.String()
+}
