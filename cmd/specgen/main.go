@@ -11,8 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"sunfloor3d/internal/bench"
-	"sunfloor3d/internal/model"
+	"sunfloor3d"
 )
 
 func main() {
@@ -30,15 +29,15 @@ func run() error {
 	)
 	flag.Parse()
 
-	var benches []bench.Benchmark
+	var benches []sunfloor3d.Benchmark
 	if *name == "all" {
-		benches = bench.All(*seed)
+		benches = sunfloor3d.Benchmarks(*seed)
 	} else {
-		b, err := bench.ByName(*name, *seed)
+		b, err := sunfloor3d.BenchmarkByName(*name, *seed)
 		if err != nil {
 			return err
 		}
-		benches = []bench.Benchmark{b}
+		benches = []sunfloor3d.Benchmark{b}
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
@@ -57,19 +56,16 @@ func run() error {
 	return nil
 }
 
-func writeSpecs(prefix string, g *model.CommGraph) error {
+func writeSpecs(prefix string, d *sunfloor3d.Design) error {
 	cf, err := os.Create(prefix + ".cores")
 	if err != nil {
 		return err
 	}
 	defer cf.Close()
-	if err := model.WriteCoreSpec(cf, g.Cores); err != nil {
-		return err
-	}
 	mf, err := os.Create(prefix + ".comm")
 	if err != nil {
 		return err
 	}
 	defer mf.Close()
-	return model.WriteCommSpec(mf, g)
+	return sunfloor3d.WriteDesign(cf, mf, d)
 }

@@ -25,6 +25,7 @@ func run() error {
 		freq   = flag.Float64("freq", 400, "NoC operating frequency in MHz")
 		maxILL = flag.Int("max-ill", 25, "inter-layer link constraint")
 		quick  = flag.Bool("quick", false, "reduced sweeps (faster, fewer points)")
+		jobs   = flag.Int("jobs", 1, "parallel design-point evaluations per synthesis run (1 = serial, -1 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -33,6 +34,7 @@ func run() error {
 	cfg.FreqMHz = *freq
 	cfg.MaxILL = *maxILL
 	cfg.Quick = *quick
+	cfg.Jobs = *jobs
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false

@@ -9,20 +9,26 @@
 //
 //	sunfloor3d -cores design.cores -comm design.comm [flags]
 //
+// The frequency sweep is given as a comma-separated list (-freqs 400,600,800)
+// and evaluated on -jobs parallel workers; -json replaces the text summary on
+// stdout with the structured result. Press Ctrl-C to cancel a long sweep.
+//
 // The spec file formats are documented in internal/model (one "core" or
 // "flow" line per entity). Use cmd/specgen to emit the paper's benchmark
 // suite in this format.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strconv"
+	"strings"
 
-	"sunfloor3d/internal/model"
-	"sunfloor3d/internal/place"
-	"sunfloor3d/internal/synth"
+	"sunfloor3d"
 )
 
 func main() {
@@ -36,7 +42,8 @@ func run() error {
 	var (
 		coreFile  = flag.String("cores", "", "core specification file (required)")
 		commFile  = flag.String("comm", "", "communication specification file (required)")
-		freq      = flag.Float64("freq", 400, "NoC operating frequency in MHz")
+		freqs     = flag.String("freqs", "400", "comma-separated NoC operating frequencies to sweep, in MHz")
+		jobs      = flag.Int("jobs", 1, "parallel design-point evaluations (1 = serial, -1 = one per CPU)")
 		maxILL    = flag.Int("max-ill", 25, "maximum links across adjacent layers (0 = unconstrained)")
 		phase     = flag.String("phase", "auto", "connectivity method: auto, phase1 or phase2")
 		alpha     = flag.Float64("alpha", 1.0, "bandwidth/latency weight of the partitioning graphs (0..1)")
@@ -44,58 +51,68 @@ func run() error {
 		powerW    = flag.Float64("power-weight", 1.0, "objective weight on power (mW)")
 		latencyW  = flag.Float64("latency-weight", 0.5, "objective weight on average latency (cycles)")
 		floorplan = flag.Bool("floorplan", true, "insert the NoC components into the floorplan")
+		asJSON    = flag.Bool("json", false, "print the structured result as JSON on stdout instead of the text summary")
+		progress  = flag.Bool("progress", false, "report each evaluated design point on stderr")
 	)
 	flag.Parse()
 	if *coreFile == "" || *commFile == "" {
 		flag.Usage()
 		return fmt.Errorf("both -cores and -comm are required")
 	}
-
-	cf, err := os.Open(*coreFile)
+	sweep, err := parseFreqs(*freqs)
 	if err != nil {
 		return err
 	}
-	defer cf.Close()
-	mf, err := os.Open(*commFile)
+	ph, err := sunfloor3d.ParsePhase(*phase)
 	if err != nil {
 		return err
-	}
-	defer mf.Close()
-	design, err := model.LoadDesign(cf, mf)
-	if err != nil {
-		return err
-	}
-	fmt.Println("design:", design.Summary())
-
-	opt := synth.DefaultOptions()
-	opt.FrequenciesMHz = []float64{*freq}
-	opt.MaxILL = *maxILL
-	opt.Partition.Alpha = *alpha
-	opt.PowerWeight = *powerW
-	opt.LatencyWeight = *latencyW
-	switch *phase {
-	case "auto":
-		opt.Phase = synth.PhaseAuto
-	case "phase1":
-		opt.Phase = synth.Phase1Only
-	case "phase2":
-		opt.Phase = synth.Phase2Only
-	default:
-		return fmt.Errorf("unknown -phase %q", *phase)
 	}
 
-	res, err := synth.Synthesize(design, opt)
+	design, err := sunfloor3d.LoadDesignFiles(*coreFile, *commFile)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("explored %d design points, %d valid\n", len(res.Points), len(res.ValidPoints()))
-	if res.Best == nil {
+	if !*asJSON {
+		fmt.Println("design:", design.Summary())
+	}
+
+	opts := []sunfloor3d.Option{
+		sunfloor3d.WithFrequenciesMHz(sweep...),
+		sunfloor3d.WithMaxILL(*maxILL),
+		sunfloor3d.WithPhase(ph),
+		sunfloor3d.WithAlpha(*alpha),
+		sunfloor3d.WithObjective(*powerW, *latencyW),
+		sunfloor3d.WithParallelism(*jobs),
+	}
+	if *progress {
+		opts = append(opts, sunfloor3d.WithProgress(func(ev sunfloor3d.Event) {
+			status := "ok"
+			if !ev.Point.Valid {
+				status = ev.Point.FailReason
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %d switches @ %.0f MHz (phase %d): %s\n",
+				ev.Done, ev.Total, ev.Point.SwitchCount, ev.Point.FreqMHz, ev.Point.Phase, status)
+		}))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := sunfloor3d.Synthesize(ctx, design, opts...)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(res.Text())
+	}
+	best := res.Best()
+	if best == nil {
 		return fmt.Errorf("no valid topology meets the constraints")
 	}
-	best := res.Best
-	fmt.Printf("best point: %d switches at %.0f MHz, %.2f mW, %.2f cycles avg latency, %d inter-layer links\n",
-		best.Topology.NumSwitches(), best.FreqMHz, best.Metrics.Power.TotalMW(),
-		best.Metrics.AvgLatencyCycles, best.Metrics.MaxILL)
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
@@ -103,48 +120,64 @@ func run() error {
 	writeFile := func(name, content string) error {
 		return os.WriteFile(filepath.Join(*outDir, name), []byte(content), 0o644)
 	}
-	if err := writeFile("topology.txt", best.Topology.Describe()); err != nil {
+	top := best.Topology()
+	if err := writeFile("topology.txt", top.Describe()); err != nil {
 		return err
 	}
 	dot, err := os.Create(filepath.Join(*outDir, "topology.dot"))
 	if err != nil {
 		return err
 	}
-	if err := best.Topology.WriteDOT(dot); err != nil {
+	if err := top.WriteDOT(dot); err != nil {
 		dot.Close()
 		return err
 	}
 	dot.Close()
-
-	report := fmt.Sprintf(
-		"frequency_mhz %g\nswitches %d\ntotal_power_mw %.3f\nswitch_power_mw %.3f\nswitch_link_power_mw %.3f\ncore_link_power_mw %.3f\nni_power_mw %.3f\navg_latency_cycles %.3f\nmax_latency_cycles %.3f\nmax_inter_layer_links %d\ntsv_macros %d\nnoc_area_mm2 %.4f\n",
-		best.FreqMHz, best.Topology.NumSwitches(), best.Metrics.Power.TotalMW(),
-		best.Metrics.Power.SwitchMW, best.Metrics.Power.SwitchLinkMW, best.Metrics.Power.CoreLinkMW,
-		best.Metrics.Power.NIMW, best.Metrics.AvgLatencyCycles, best.Metrics.MaxLatencyCycles,
-		best.Metrics.MaxILL, best.Metrics.TSVMacros, best.Metrics.NoCAreaMM2)
-	if err := writeFile("report.txt", report); err != nil {
+	if err := writeFile("report.txt", best.Report()); err != nil {
 		return err
 	}
+	resJSON, err := os.Create(filepath.Join(*outDir, "result.json"))
+	if err != nil {
+		return err
+	}
+	if err := res.WriteJSON(resJSON); err != nil {
+		resJSON.Close()
+		return err
+	}
+	resJSON.Close()
 
 	if *floorplan {
-		work := best.Topology.Clone()
-		fp, err := place.InsertNoC(work)
+		fp, err := top.Floorplan()
 		if err != nil {
 			return fmt.Errorf("floorplan insertion: %w", err)
 		}
-		var sb []byte
-		for l, layer := range fp.Layers {
-			sb = append(sb, []byte(fmt.Sprintf("layer %d (bbox %.3f mm2)\n", l, fp.LayerBoundingBox(l).Area()))...)
-			for _, c := range layer {
-				sb = append(sb, []byte(fmt.Sprintf("  %-12s %-6s %v\n", c.Name, c.Kind, c.Rect))...)
-			}
-		}
-		sb = append(sb, []byte(fmt.Sprintf("chip_area_mm2 %.3f\n", fp.ChipAreaMM2()))...)
-		if err := os.WriteFile(filepath.Join(*outDir, "floorplan.txt"), sb, 0o644); err != nil {
+		if err := writeFile("floorplan.txt", fp.Text()); err != nil {
 			return err
 		}
 	}
 
-	fmt.Println("results written to", *outDir)
+	if !*asJSON {
+		fmt.Println("results written to", *outDir)
+	}
 	return nil
+}
+
+// parseFreqs parses a comma-separated frequency list like "400,600,800".
+func parseFreqs(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid frequency %q in -freqs", part)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-freqs lists no frequencies")
+	}
+	return out, nil
 }

@@ -1,0 +1,66 @@
+package sunfloor3d
+
+import (
+	"io"
+	"os"
+
+	"sunfloor3d/internal/model"
+)
+
+// Design is the input of a synthesis run: the cores of the system on chip
+// with their sizes, positions and 3-D layer assignment, plus the
+// communication flows between them (Definitions 1 and 2 of the paper).
+type Design = model.CommGraph
+
+// Core is one hardware block of the SoC (processor, memory, DMA,
+// accelerator, peripheral).
+type Core = model.Core
+
+// Flow is a directed communication flow between two cores.
+type Flow = model.Flow
+
+// MessageType distinguishes request from response traffic; the two classes
+// are routed on disjoint turn sets to avoid message-dependent deadlock.
+type MessageType = model.MessageType
+
+// Message classes of a Flow.
+const (
+	Request  = model.Request
+	Response = model.Response
+)
+
+// NewDesign builds a design from cores and flows and validates it.
+func NewDesign(cores []Core, flows []Flow) (*Design, error) {
+	return model.NewCommGraph(cores, flows)
+}
+
+// LoadDesign reads a design from a core specification and a communication
+// specification (the text formats written by WriteDesign and cmd/specgen).
+func LoadDesign(coreSpec, commSpec io.Reader) (*Design, error) {
+	return model.LoadDesign(coreSpec, commSpec)
+}
+
+// LoadDesignFiles reads a design from core and communication specification
+// files.
+func LoadDesignFiles(corePath, commPath string) (*Design, error) {
+	cf, err := os.Open(corePath)
+	if err != nil {
+		return nil, err
+	}
+	defer cf.Close()
+	mf, err := os.Open(commPath)
+	if err != nil {
+		return nil, err
+	}
+	defer mf.Close()
+	return model.LoadDesign(cf, mf)
+}
+
+// WriteDesign writes the design as a core specification and a communication
+// specification in the formats LoadDesign reads.
+func WriteDesign(coreSpec, commSpec io.Writer, d *Design) error {
+	if err := model.WriteCoreSpec(coreSpec, d.Cores); err != nil {
+		return err
+	}
+	return model.WriteCommSpec(commSpec, d)
+}

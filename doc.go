@@ -3,6 +3,28 @@
 // systems on chips by Seiculescu, Murali, Benini and De Micheli (DATE 2009 /
 // IEEE TCAD 29(12), 2010).
 //
+// The root package is the public, supported API. A synthesis run takes a
+// context, a *Design (cores with 3-D layer assignment and floorplan
+// positions, plus communication flows) and functional options, evaluates the
+// frequency x switch-count design-point sweep on a bounded worker pool, and
+// returns a structured *Result with stable JSON marshalling:
+//
+//	design, err := sunfloor3d.NewDesign(cores, flows)
+//	...
+//	res, err := sunfloor3d.Synthesize(ctx, design,
+//		sunfloor3d.WithFrequenciesMHz(400, 600),
+//		sunfloor3d.WithMaxILL(10),
+//		sunfloor3d.WithParallelism(-1), // one worker per CPU
+//	)
+//	...
+//	best := res.Best()
+//	fmt.Println(best.Report(), best.Topology().Describe())
+//
+// Cancelling the context stops a sweep promptly; WithProgress streams one
+// Event per evaluated design point; serial and parallel runs return
+// bit-identical results. See README.md for the full quickstart and the CLI
+// flag reference.
+//
 // The implementation lives in the internal/ packages:
 //
 //   - internal/model      — cores, flows and the communication graph
@@ -20,7 +42,6 @@
 //   - internal/experiments — one runner per table/figure of the evaluation
 //
 // The executables in cmd/ (sunfloor3d, specgen, sunfloor-bench) and the
-// programs in examples/ exercise the flow end to end; bench_test.go exposes
-// every paper experiment as a Go benchmark. See README.md, DESIGN.md and
-// EXPERIMENTS.md for the architecture and the reproduction results.
+// programs in examples/ exercise the flow end to end through the public API;
+// bench_test.go exposes every paper experiment as a Go benchmark.
 package sunfloor3d

@@ -1,0 +1,59 @@
+package sunfloor3d
+
+import (
+	"context"
+
+	"sunfloor3d/internal/synth"
+)
+
+// Engine is a configured synthesizer. An Engine is immutable after creation
+// and safe for concurrent use; each Synthesize call runs independently.
+type Engine struct {
+	cfg config
+}
+
+// NewEngine validates the options and returns an engine. The zero option
+// list reproduces the paper's defaults: a single 400 MHz sweep, max_ill of
+// 25, power-dominated objective, LP placement on the best point, serial
+// evaluation.
+func NewEngine(opts ...Option) (*Engine, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.opt.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Synthesize runs the full SunFloor 3D flow on the design: it sweeps the
+// configured frequencies and switch counts, evaluates every design point on
+// a bounded worker pool, and returns all explored points plus the best one.
+// Cancelling the context stops the sweep promptly and returns the context's
+// error. The ordering of Result.Points and the identity of the best point do
+// not depend on the parallelism.
+func (e *Engine) Synthesize(ctx context.Context, d *Design) (*Result, error) {
+	opt := e.cfg.opt
+	if e.cfg.progress != nil {
+		progress := e.cfg.progress
+		opt.Progress = func(ev synth.Event) {
+			progress(Event{Done: ev.Done, Total: ev.Total, Point: pointFromInternal(ev.Point)})
+		}
+	}
+	res, err := synth.SynthesizeContext(ctx, d, opt)
+	if err != nil {
+		return nil, err
+	}
+	return resultFromInternal(res), nil
+}
+
+// Synthesize is the package-level convenience wrapper: it builds an Engine
+// from the options and runs it once on the design.
+func Synthesize(ctx context.Context, d *Design, opts ...Option) (*Result, error) {
+	e, err := NewEngine(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return e.Synthesize(ctx, d)
+}

@@ -5,39 +5,42 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"sunfloor3d/internal/bench"
-	"sunfloor3d/internal/mesh"
-	"sunfloor3d/internal/synth"
+	"sunfloor3d"
 )
 
 func main() {
 	names := []string{"D_36_4", "D_35_bot", "D_38_tvopd"}
+	ctx := context.Background()
 	fmt.Println("benchmark     custom_mW   mesh_mW   power_saving   custom_lat   mesh_lat   pruned_mesh_links")
 	var savings float64
 	for _, name := range names {
-		b := bench.ByNameMust(name, 1)
-
-		res, err := synth.Synthesize(b.Graph3D, synth.DefaultOptions())
+		b, err := sunfloor3d.BenchmarkByName(name, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if res.Best == nil {
+
+		res, err := sunfloor3d.Synthesize(ctx, b.Graph3D, sunfloor3d.WithParallelism(-1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		best := res.Best()
+		if best == nil {
 			log.Fatalf("%s: no valid custom topology", name)
 		}
-		m, err := mesh.Build(b.Graph3D, mesh.DefaultOptions())
+		m, err := sunfloor3d.BuildMeshBaseline(b.Graph3D)
 		if err != nil {
 			log.Fatal(err)
 		}
-		meshMetrics := m.Topology.Evaluate()
-		custom := res.Best.Metrics
-		saving := 1 - custom.Power.TotalMW()/meshMetrics.Power.TotalMW()
+		custom := best.Metrics
+		saving := 1 - custom.Power.TotalMW()/m.Metrics.Power.TotalMW()
 		savings += saving
 		fmt.Printf("%-12s %10.2f %9.2f %13.0f%% %12.2f %10.2f %19d\n",
-			name, custom.Power.TotalMW(), meshMetrics.Power.TotalMW(), saving*100,
-			custom.AvgLatencyCycles, meshMetrics.AvgLatencyCycles, m.RemovedLinks)
+			name, custom.Power.TotalMW(), m.Metrics.Power.TotalMW(), saving*100,
+			custom.AvgLatencyCycles, m.Metrics.AvgLatencyCycles, m.RemovedLinks)
 	}
 	fmt.Printf("\naverage power saving of custom topologies over the optimized mesh: %.0f%%\n",
 		savings/float64(len(names))*100)

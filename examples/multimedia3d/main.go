@@ -6,30 +6,37 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"sunfloor3d/internal/bench"
-	"sunfloor3d/internal/synth"
+	"sunfloor3d"
 )
 
 func main() {
-	b := bench.D26Media(1)
+	b, err := sunfloor3d.BenchmarkByName("D_26_media", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("3-D design:", b.Graph3D.Summary())
 	fmt.Println("2-D design:", b.Graph2D.Summary())
 
-	opt := synth.DefaultOptions()
-	opt.MaxILL = 25
+	ctx := context.Background()
+	opts := []sunfloor3d.Option{
+		sunfloor3d.WithMaxILL(25),
+		sunfloor3d.WithParallelism(-1),
+	}
 
-	res3d, err := synth.Synthesize(b.Graph3D, opt)
+	res3d, err := sunfloor3d.Synthesize(ctx, b.Graph3D, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res2d, err := synth.Synthesize(b.Graph2D, opt)
+	res2d, err := sunfloor3d.Synthesize(ctx, b.Graph2D, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if res3d.Best == nil || res2d.Best == nil {
+	b3, b2 := res3d.Best(), res2d.Best()
+	if b3 == nil || b2 == nil {
 		log.Fatal("synthesis produced no valid design point")
 	}
 
@@ -45,17 +52,16 @@ func main() {
 		}
 	}
 
-	b3, b2 := res3d.Best, res2d.Best
 	fmt.Printf("\nbest 2-D point: %d switches, %.2f mW, %.2f cycles\n",
-		b2.Topology.NumSwitches(), b2.Metrics.Power.TotalMW(), b2.Metrics.AvgLatencyCycles)
+		b2.Metrics.NumSwitches, b2.Metrics.Power.TotalMW(), b2.Metrics.AvgLatencyCycles)
 	fmt.Printf("best 3-D point: %d switches, %.2f mW, %.2f cycles, %d inter-layer links\n",
-		b3.Topology.NumSwitches(), b3.Metrics.Power.TotalMW(), b3.Metrics.AvgLatencyCycles, b3.Metrics.MaxILL)
+		b3.Metrics.NumSwitches, b3.Metrics.Power.TotalMW(), b3.Metrics.AvgLatencyCycles, b3.Metrics.MaxILL)
 	fmt.Printf("3-D power saving vs. 2-D: %.0f%%\n",
 		(1-b3.Metrics.Power.TotalMW()/b2.Metrics.Power.TotalMW())*100)
 
 	fmt.Println("\nwire length distribution (0.5 mm bins):")
-	h2 := b2.Topology.WireLengthHistogram(0.5)
-	h3 := b3.Topology.WireLengthHistogram(0.5)
+	h2 := b2.Topology().WireLengthHistogram(0.5)
+	h3 := b3.Topology().WireLengthHistogram(0.5)
 	n := len(h2)
 	if len(h3) > n {
 		n = len(h3)
@@ -72,17 +78,16 @@ func main() {
 	}
 
 	// Phase 2 (layer-by-layer) topology for comparison with Fig. 14.
-	opt2 := opt
-	opt2.Phase = synth.Phase2Only
-	resP2, err := synth.Synthesize(b.Graph3D, opt2)
+	resP2, err := sunfloor3d.Synthesize(ctx, b.Graph3D,
+		append(opts, sunfloor3d.WithPhase(sunfloor3d.Phase2Only))...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if resP2.Best != nil {
+	if bp2 := resP2.Best(); bp2 != nil {
 		fmt.Printf("\nPhase-2 (layer-by-layer) best point: %.2f mW with %d inter-layer links (Phase 1 used %d)\n",
-			resP2.Best.Metrics.Power.TotalMW(), resP2.Best.Metrics.MaxILL, b3.Metrics.MaxILL)
+			bp2.Metrics.Power.TotalMW(), bp2.Metrics.MaxILL, b3.Metrics.MaxILL)
 	}
 
 	fmt.Println("\nbest 3-D topology (Fig. 13 analogue):")
-	fmt.Println(b3.Topology.Describe())
+	fmt.Println(b3.Topology().Describe())
 }

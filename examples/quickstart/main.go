@@ -1,23 +1,22 @@
 // Quickstart example: build a small 2-layer SoC description in code, run the
-// SunFloor 3D synthesis flow on it and print the resulting topology and its
-// power/latency metrics. This is the smallest end-to-end use of the public
-// API: model -> synth -> place.
+// SunFloor 3D synthesis flow on it through the public API and print the
+// resulting topology and its power/latency metrics. This is the smallest
+// end-to-end use of the package: Design -> Synthesize -> Result.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"sunfloor3d/internal/model"
-	"sunfloor3d/internal/place"
-	"sunfloor3d/internal/synth"
+	"sunfloor3d"
 )
 
 func main() {
 	// Describe the cores: a CPU and a DSP on the bottom die, their memories
 	// stacked directly above them on the top die. Positions are the input
 	// floorplan (in mm); layer 0 is the bottom die.
-	cores := []model.Core{
+	cores := []sunfloor3d.Core{
 		{Name: "cpu", Width: 2.0, Height: 2.0, X: 0.0, Y: 0.0, Layer: 0},
 		{Name: "dsp", Width: 1.8, Height: 1.6, X: 2.5, Y: 0.0, Layer: 0},
 		{Name: "dma", Width: 0.9, Height: 0.8, X: 4.6, Y: 0.0, Layer: 0},
@@ -27,43 +26,45 @@ func main() {
 	}
 	// Describe the traffic flows: bandwidth in MB/s, latency constraints in
 	// NoC cycles (0 = unconstrained).
-	flows := []model.Flow{
-		{Src: 0, Dst: 3, BandwidthMBps: 1200, LatencyCycles: 3, Type: model.Request},
-		{Src: 3, Dst: 0, BandwidthMBps: 600, LatencyCycles: 3, Type: model.Response},
-		{Src: 1, Dst: 4, BandwidthMBps: 1000, LatencyCycles: 3, Type: model.Request},
-		{Src: 4, Dst: 1, BandwidthMBps: 500, LatencyCycles: 3, Type: model.Response},
-		{Src: 0, Dst: 5, BandwidthMBps: 300, LatencyCycles: 6, Type: model.Request},
-		{Src: 1, Dst: 5, BandwidthMBps: 280, LatencyCycles: 6, Type: model.Request},
-		{Src: 2, Dst: 5, BandwidthMBps: 400, LatencyCycles: 8, Type: model.Request},
-		{Src: 2, Dst: 3, BandwidthMBps: 150, LatencyCycles: 8, Type: model.Request},
+	flows := []sunfloor3d.Flow{
+		{Src: 0, Dst: 3, BandwidthMBps: 1200, LatencyCycles: 3, Type: sunfloor3d.Request},
+		{Src: 3, Dst: 0, BandwidthMBps: 600, LatencyCycles: 3, Type: sunfloor3d.Response},
+		{Src: 1, Dst: 4, BandwidthMBps: 1000, LatencyCycles: 3, Type: sunfloor3d.Request},
+		{Src: 4, Dst: 1, BandwidthMBps: 500, LatencyCycles: 3, Type: sunfloor3d.Response},
+		{Src: 0, Dst: 5, BandwidthMBps: 300, LatencyCycles: 6, Type: sunfloor3d.Request},
+		{Src: 1, Dst: 5, BandwidthMBps: 280, LatencyCycles: 6, Type: sunfloor3d.Request},
+		{Src: 2, Dst: 5, BandwidthMBps: 400, LatencyCycles: 8, Type: sunfloor3d.Request},
+		{Src: 2, Dst: 3, BandwidthMBps: 150, LatencyCycles: 8, Type: sunfloor3d.Request},
 	}
-	design, err := model.NewCommGraph(cores, flows)
+	design, err := sunfloor3d.NewDesign(cores, flows)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("design:", design.Summary())
 
 	// Synthesize: sweep switch counts at 400 MHz and 600 MHz with at most 10
-	// links crossing the layer boundary.
-	opt := synth.DefaultOptions()
-	opt.FrequenciesMHz = []float64{400, 600}
-	opt.MaxILL = 10
-	res, err := synth.Synthesize(design, opt)
+	// links crossing the layer boundary, evaluating design points on all
+	// CPUs. Serial and parallel runs return bit-identical results.
+	res, err := sunfloor3d.Synthesize(context.Background(), design,
+		sunfloor3d.WithFrequenciesMHz(400, 600),
+		sunfloor3d.WithMaxILL(10),
+		sunfloor3d.WithParallelism(-1),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("explored %d design points (%d valid)\n", len(res.Points), len(res.ValidPoints()))
-	if res.Best == nil {
+	best := res.Best()
+	if best == nil {
 		log.Fatal("no valid topology found")
 	}
-	best := res.Best
 	fmt.Printf("best: %d switches at %.0f MHz -> %.2f mW, %.2f cycles average latency, %d inter-layer links\n\n",
-		best.Topology.NumSwitches(), best.FreqMHz,
+		best.Metrics.NumSwitches, best.FreqMHz,
 		best.Metrics.Power.TotalMW(), best.Metrics.AvgLatencyCycles, best.Metrics.MaxILL)
-	fmt.Println(best.Topology.Describe())
+	fmt.Println(best.Topology().Describe())
 
 	// Insert the NoC components into the floorplan and report the chip area.
-	fp, err := place.InsertNoC(best.Topology.Clone())
+	fp, err := best.Topology().Floorplan()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,6 +75,6 @@ func main() {
 	fmt.Println("\npower/latency trade-off points:")
 	for _, p := range res.ParetoFront() {
 		fmt.Printf("  %2d switches @ %.0f MHz: %7.2f mW  %5.2f cycles\n",
-			p.Topology.NumSwitches(), p.FreqMHz, p.Metrics.Power.TotalMW(), p.Metrics.AvgLatencyCycles)
+			p.Metrics.NumSwitches, p.FreqMHz, p.Metrics.Power.TotalMW(), p.Metrics.AvgLatencyCycles)
 	}
 }

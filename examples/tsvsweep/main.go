@@ -5,42 +5,47 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"sunfloor3d/internal/bench"
-	"sunfloor3d/internal/noclib"
-	"sunfloor3d/internal/synth"
+	"sunfloor3d"
 )
 
 func main() {
-	lib := noclib.DefaultLibrary()
+	lib := sunfloor3d.DefaultLibrary()
 
 	fmt.Println("Yield model (Fig. 1) and the inter-layer link budget it implies")
 	fmt.Println("process          target_yield   max_TSVs   max inter-layer links")
-	for _, p := range noclib.StandardProcesses() {
+	for _, p := range sunfloor3d.StandardProcesses() {
 		for _, target := range []float64{0.95, 0.90, 0.85} {
 			tsvs := p.MaxTSVsForYield(target)
 			fmt.Printf("%-16s %12.2f %10d %12d\n", p.Name, target, tsvs, lib.MaxInterLayerLinks(tsvs))
 		}
 	}
 
-	b := bench.ByNameMust("D_36_4", 1)
+	b, err := sunfloor3d.BenchmarkByName("D_36_4", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 	fmt.Println("\nImpact of max_ill on the synthesized NoC for", b.Name, "(Figs. 21-22)")
 	fmt.Println("max_ill   feasible   power_mW   avg_latency_cycles   switches")
 	for _, ill := range []int{6, 8, 10, 12, 14, 16, 18, 20, 24, 28} {
-		opt := synth.DefaultOptions()
-		opt.MaxILL = ill
-		res, err := synth.Synthesize(b.Graph3D, opt)
+		res, err := sunfloor3d.Synthesize(ctx, b.Graph3D,
+			sunfloor3d.WithMaxILL(ill),
+			sunfloor3d.WithParallelism(-1),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if res.Best == nil {
+		best := res.Best()
+		if best == nil {
 			fmt.Printf("%7d   %8s\n", ill, "no")
 			continue
 		}
-		m := res.Best.Metrics
+		m := best.Metrics
 		fmt.Printf("%7d   %8s   %8.2f   %18.2f   %8d\n",
-			ill, "yes", m.Power.TotalMW(), m.AvgLatencyCycles, res.Best.Topology.NumSwitches())
+			ill, "yes", m.Power.TotalMW(), m.AvgLatencyCycles, m.NumSwitches)
 	}
 }

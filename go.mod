@@ -1,0 +1,3 @@
+module sunfloor3d
+
+go 1.22

@@ -29,6 +29,9 @@ type Config struct {
 	// Quick trades thoroughness for speed (used by unit tests): smaller
 	// switch-count ranges and lighter floorplanning.
 	Quick bool
+	// Jobs bounds how many design points each synthesis run evaluates
+	// concurrently (0 or 1 = serial, negative = one worker per CPU).
+	Jobs int
 }
 
 // DefaultConfig matches the experimental setup of the paper: 400 MHz NoC,
@@ -44,6 +47,7 @@ func (c Config) synthOptions() synth.Options {
 	opt.FrequenciesMHz = []float64{c.FreqMHz}
 	opt.MaxILL = c.MaxILL
 	opt.Partition = partition.DefaultParams()
+	opt.Parallelism = c.Jobs
 	return opt
 }
 

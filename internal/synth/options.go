@@ -99,6 +99,14 @@ type Options struct {
 	// RequireLatencyMet rejects design points that violate any flow latency
 	// constraint.
 	RequireLatencyMet bool
+	// Parallelism bounds how many design points are evaluated concurrently.
+	// 0 or 1 evaluates serially, n > 1 uses at most n workers, and a negative
+	// value uses one worker per available CPU. Serial and parallel runs
+	// produce identical Result.Points ordering and identical Best.
+	Parallelism int
+	// Progress, when non-nil, receives an Event after every evaluated design
+	// point. Callbacks are serialised; a slow callback stalls the sweep.
+	Progress func(Event)
 }
 
 // DefaultOptions returns the options used throughout the paper's experiments:

@@ -1,0 +1,120 @@
+package synth
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Event reports the completion of one design-point evaluation during a
+// synthesis run. Events are delivered to Options.Progress in completion
+// order, serialised within the run (never concurrently), from the goroutine
+// that finished the point.
+type Event struct {
+	// Done is the number of design points evaluated so far.
+	Done int
+	// Total is the number of design points scheduled so far. It can grow
+	// while the run is in progress: the theta rescaling loop and the Phase-2
+	// fallback of Algorithm 1 schedule additional points only when the
+	// initial sweep leaves switch counts unmet.
+	Total int
+	// Point is the design point that just finished (valid or not).
+	Point DesignPoint
+}
+
+// pool evaluates design points on a bounded number of workers shared by every
+// stage of a synthesis run (all frequencies, theta retries and Phase-2
+// fallbacks draw from the same budget), tracks progress accounting, and
+// aborts scheduling when the run's context is cancelled.
+type pool struct {
+	ctx     context.Context
+	sem     chan struct{} // one slot per concurrent evaluation
+	serial  bool
+	onEvent func(Event)
+
+	mu          sync.Mutex
+	done, total int
+}
+
+// newPool sizes a pool from the options: Parallelism 0 or 1 evaluates points
+// serially, n > 1 uses at most n workers, and a negative value uses one
+// worker per available CPU.
+func newPool(ctx context.Context, opt Options) *pool {
+	n := opt.Parallelism
+	if n < 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	return &pool{
+		ctx:     ctx,
+		sem:     make(chan struct{}, n),
+		serial:  n == 1,
+		onEvent: opt.Progress,
+	}
+}
+
+// emit records one finished point and forwards it to the progress callback.
+func (p *pool) emit(dp DesignPoint) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if p.onEvent != nil {
+		p.onEvent(Event{Done: p.done, Total: p.total, Point: dp})
+	}
+}
+
+// forEach evaluates fn(i) for every i in [0, n) and stores each result with
+// sink(i, point). Results land at their own index, so the caller observes the
+// same ordering whether the pool is serial or parallel. When the context is
+// cancelled, no further evaluations start and the context error is returned;
+// evaluations already in flight finish first. sink must be safe for
+// concurrent calls on distinct indices (writing to distinct elements of a
+// pre-allocated slice is).
+func (p *pool) forEach(n int, fn func(i int) DesignPoint, sink func(i int, dp DesignPoint)) error {
+	p.mu.Lock()
+	p.total += n
+	p.mu.Unlock()
+
+	if p.serial {
+		for i := 0; i < n; i++ {
+			if err := p.ctx.Err(); err != nil {
+				return err
+			}
+			dp := fn(i)
+			sink(i, dp)
+			p.emit(dp)
+		}
+		return nil
+	}
+
+	var wg sync.WaitGroup
+	var err error
+	for i := 0; i < n; i++ {
+		// Check cancellation before contending for a slot: with both channels
+		// ready, select picks randomly and could start one more evaluation
+		// after the context was already cancelled.
+		if err = p.ctx.Err(); err != nil {
+			break
+		}
+		select {
+		case <-p.ctx.Done():
+			err = p.ctx.Err()
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				dp := fn(i)
+				sink(i, dp)
+				p.emit(dp)
+			}(i)
+		}
+		if err != nil {
+			break
+		}
+	}
+	wg.Wait()
+	return err
+}

@@ -1,9 +1,11 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"sunfloor3d/internal/graph"
 	"sunfloor3d/internal/model"
@@ -64,34 +66,60 @@ func (r *Result) ValidPoints() []DesignPoint {
 // (power, latency) by any other valid point, sorted by power.
 func (r *Result) ParetoFront() []DesignPoint {
 	valid := r.ValidPoints()
-	var front []DesignPoint
+	power := make([]float64, len(valid))
+	latency := make([]float64, len(valid))
 	for i, p := range valid {
+		power[i] = p.Metrics.Power.TotalMW()
+		latency[i] = p.Metrics.AvgLatencyCycles
+	}
+	idx := ParetoIndices(power, latency)
+	front := make([]DesignPoint, len(idx))
+	for i, j := range idx {
+		front[i] = valid[j]
+	}
+	return front
+}
+
+// ParetoIndices returns the indices of the points that are not dominated in
+// (power, latency) by any other point, sorted by ascending power. The inputs
+// are parallel slices.
+func ParetoIndices(power, latency []float64) []int {
+	var front []int
+	for i := range power {
 		dominated := false
-		for j, q := range valid {
+		for j := range power {
 			if i == j {
 				continue
 			}
-			if q.Metrics.Power.TotalMW() <= p.Metrics.Power.TotalMW() &&
-				q.Metrics.AvgLatencyCycles <= p.Metrics.AvgLatencyCycles &&
-				(q.Metrics.Power.TotalMW() < p.Metrics.Power.TotalMW() ||
-					q.Metrics.AvgLatencyCycles < p.Metrics.AvgLatencyCycles) {
+			if power[j] <= power[i] && latency[j] <= latency[i] &&
+				(power[j] < power[i] || latency[j] < latency[i]) {
 				dominated = true
 				break
 			}
 		}
 		if !dominated {
-			front = append(front, p)
+			front = append(front, i)
 		}
 	}
-	sort.Slice(front, func(a, b int) bool {
-		return front[a].Metrics.Power.TotalMW() < front[b].Metrics.Power.TotalMW()
-	})
+	sort.Slice(front, func(a, b int) bool { return power[front[a]] < power[front[b]] })
 	return front
 }
 
 // Synthesize runs the full SunFloor 3D flow on the design and returns all
-// explored design points plus the best one.
+// explored design points plus the best one. It is SynthesizeContext with a
+// background context.
 func Synthesize(g *model.CommGraph, opt Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), g, opt)
+}
+
+// SynthesizeContext runs the full SunFloor 3D flow on the design under the
+// given context. The frequency x switch-count sweep is decomposed into
+// independent design-point evaluations executed on a bounded worker pool
+// (Options.Parallelism wide); the ordering of Result.Points is deterministic
+// and identical between serial and parallel runs. Cancelling the context
+// stops the sweep promptly — points not yet started are abandoned — and
+// returns the context's error.
+func SynthesizeContext(ctx context.Context, g *model.CommGraph, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -102,10 +130,39 @@ func Synthesize(g *model.CommGraph, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("synth: design has no communication flows")
 	}
 
+	p := newPool(ctx, opt)
+	perFreq := make([][]DesignPoint, len(opt.FrequenciesMHz))
+	errs := make([]error, len(opt.FrequenciesMHz))
+	if p.serial {
+		// Serial reference path: one frequency after the other.
+		for fi, freq := range opt.FrequenciesMHz {
+			perFreq[fi], errs[fi] = synthesizeAtFrequency(g, opt, freq, p)
+			if errs[fi] != nil {
+				break
+			}
+		}
+	} else {
+		// Each frequency sweep progresses independently; the pool bounds the
+		// number of points in flight across all of them.
+		var wg sync.WaitGroup
+		for fi, freq := range opt.FrequenciesMHz {
+			wg.Add(1)
+			go func(fi int, freq float64) {
+				defer wg.Done()
+				perFreq[fi], errs[fi] = synthesizeAtFrequency(g, opt, freq, p)
+			}(fi, freq)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	res := &Result{}
-	for _, freq := range opt.FrequenciesMHz {
-		points := synthesizeAtFrequency(g, opt, freq)
-		res.Points = append(res.Points, points...)
+	for _, pts := range perFreq {
+		res.Points = append(res.Points, pts...)
 	}
 	res.Best = pickBest(res.Points, opt)
 	if res.Best != nil && opt.LPOnBest && !opt.RunLPPlacement {
@@ -141,33 +198,39 @@ func pickBest(pts []DesignPoint, opt Options) *DesignPoint {
 
 // synthesizeAtFrequency explores all switch counts for one operating
 // frequency, choosing Phase 1 / Phase 2 per the configured policy.
-func synthesizeAtFrequency(g *model.CommGraph, opt Options, freq float64) []DesignPoint {
+func synthesizeAtFrequency(g *model.CommGraph, opt Options, freq float64, p *pool) ([]DesignPoint, error) {
 	switch opt.Phase {
 	case Phase2Only:
-		return phase2Sweep(g, opt, freq)
+		return phase2Sweep(g, opt, freq, p)
 	case Phase1Only:
-		return phase1Sweep(g, opt, freq, false)
+		return phase1Sweep(g, opt, freq, false, p)
 	default:
 		// Auto: Phase 1 with Phase 2 as fallback for unmet switch counts.
-		return phase1Sweep(g, opt, freq, true)
+		return phase1Sweep(g, opt, freq, true, p)
 	}
 }
 
-// phase1Sweep implements Algorithm 1. When fallbackPhase2 is set, switch
-// counts that remain unmet after the theta sweep are retried with the
-// layer-by-layer method.
-func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 bool) []DesignPoint {
+// phase1Sweep implements Algorithm 1. The initial sweep over switch counts
+// and every theta retry round fan out onto the worker pool; the rounds
+// themselves stay sequential because each one only re-attempts the counts the
+// previous round left unmet. When fallbackPhase2 is set, switch counts that
+// remain unmet after the theta sweep are retried with the layer-by-layer
+// method.
+func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 bool, p *pool) ([]DesignPoint, error) {
 	n := g.NumCores()
 	pg := partition.BuildPG(g, opt.Partition.Alpha)
-	points := make([]DesignPoint, 0, n)
+	points := make([]DesignPoint, n)
+	err := p.forEach(n,
+		func(i int) DesignPoint { return buildPhase1Point(g, opt, freq, pg, i+1, 0) },
+		func(i int, dp DesignPoint) { points[i] = dp })
+	if err != nil {
+		return nil, err
+	}
 	var unmet []int
-
-	for i := 1; i <= n; i++ {
-		dp := buildPhase1Point(g, opt, freq, pg, i, 0)
-		if !dp.Valid {
-			unmet = append(unmet, i)
+	for i := range points {
+		if !points[i].Valid {
+			unmet = append(unmet, i+1)
 		}
-		points = append(points, dp)
 	}
 
 	// Theta scaling loop (steps 11-19 of Algorithm 1).
@@ -177,13 +240,19 @@ func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 b
 				break
 			}
 			spg := partition.BuildSPG(g, opt.Partition.Alpha, theta, opt.Partition.ThetaMax)
+			retried := make([]DesignPoint, len(unmet))
+			err := p.forEach(len(unmet),
+				func(j int) DesignPoint { return buildPhase1Point(g, opt, freq, spg, unmet[j], theta) },
+				func(j int, dp DesignPoint) { retried[j] = dp })
+			if err != nil {
+				return nil, err
+			}
 			var still []int
-			for _, i := range unmet {
-				dp := buildPhase1Point(g, opt, freq, spg, i, theta)
+			for j, dp := range retried {
 				if dp.Valid {
-					points[i-1] = dp
+					points[unmet[j]-1] = dp
 				} else {
-					still = append(still, i)
+					still = append(still, unmet[j])
 				}
 			}
 			unmet = still
@@ -192,7 +261,10 @@ func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 b
 
 	// Optional Phase-2 fallback for counts that even the SPG could not fix.
 	if fallbackPhase2 && len(unmet) > 0 && g.NumLayers() > 1 {
-		p2 := phase2Sweep(g, opt, freq)
+		p2, err := phase2Sweep(g, opt, freq, p)
+		if err != nil {
+			return nil, err
+		}
 		for _, i := range unmet {
 			// Find a valid Phase-2 point with a comparable total switch count.
 			for _, dp := range p2 {
@@ -203,7 +275,7 @@ func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 b
 			}
 		}
 	}
-	return points
+	return points, nil
 }
 
 // buildPhase1Point builds and evaluates one Phase-1 design point with the
@@ -251,8 +323,10 @@ func buildPhase1Point(g *model.CommGraph, opt Options, freq float64, pg *graph.G
 }
 
 // phase2Sweep implements Algorithm 2: layer-by-layer core-to-switch
-// connectivity with adjacent-layer-only vertical links.
-func phase2Sweep(g *model.CommGraph, opt Options, freq float64) []DesignPoint {
+// connectivity with adjacent-layer-only vertical links. Every sweep step
+// (number of extra switches per layer) is an independent design point
+// evaluated on the worker pool.
+func phase2Sweep(g *model.CommGraph, opt Options, freq float64, p *pool) ([]DesignPoint, error) {
 	lpgs := partition.BuildLPGs(g, opt.Partition)
 	maxSwSize := opt.Lib.MaxSwitchSize(freq)
 
@@ -274,38 +348,47 @@ func phase2Sweep(g *model.CommGraph, opt Options, freq float64) []DesignPoint {
 		maxExtra = opt.MaxSwitchesPerLayer
 	}
 
-	var points []DesignPoint
-	for i := 0; i <= maxExtra; i++ {
-		dp := DesignPoint{FreqMHz: freq, Phase: 2}
-		top := topology.New(g, opt.Lib, freq)
-		totalSwitches := 0
-		for j, l := range lpgs {
-			if len(l.Vertices) == 0 {
-				continue
-			}
-			np := minPerLayer[j] + i
-			if np > len(l.Vertices) {
-				np = len(l.Vertices)
-			}
-			if np < 1 {
-				np = 1
-			}
-			assignment := partition.PartitionLPG(l, np)
-			// Create one switch per block on this layer.
-			swOf := make(map[int]int, np)
-			for b := 0; b < np; b++ {
-				swOf[b] = top.AddSwitch(l.Layer)
-			}
-			totalSwitches += np
-			for core, block := range assignment {
-				top.AttachCore(core, swOf[block])
-			}
-		}
-		dp.SwitchCount = totalSwitches
-		top.EstimateSwitchPositions()
-		points = append(points, finishPoint2(top, opt, freq, dp))
+	points := make([]DesignPoint, maxExtra+1)
+	err := p.forEach(maxExtra+1,
+		func(i int) DesignPoint { return buildPhase2Point(g, opt, freq, lpgs, minPerLayer, i) },
+		func(i int, dp DesignPoint) { points[i] = dp })
+	if err != nil {
+		return nil, err
 	}
-	return points
+	return points, nil
+}
+
+// buildPhase2Point builds and evaluates the Phase-2 design point with `extra`
+// switches per layer beyond each layer's minimum.
+func buildPhase2Point(g *model.CommGraph, opt Options, freq float64, lpgs []partition.LPG, minPerLayer []int, extra int) DesignPoint {
+	dp := DesignPoint{FreqMHz: freq, Phase: 2}
+	top := topology.New(g, opt.Lib, freq)
+	totalSwitches := 0
+	for j, l := range lpgs {
+		if len(l.Vertices) == 0 {
+			continue
+		}
+		np := minPerLayer[j] + extra
+		if np > len(l.Vertices) {
+			np = len(l.Vertices)
+		}
+		if np < 1 {
+			np = 1
+		}
+		assignment := partition.PartitionLPG(l, np)
+		// Create one switch per block on this layer.
+		swOf := make(map[int]int, np)
+		for b := 0; b < np; b++ {
+			swOf[b] = top.AddSwitch(l.Layer)
+		}
+		totalSwitches += np
+		for core, block := range assignment {
+			top.AttachCore(core, swOf[block])
+		}
+	}
+	dp.SwitchCount = totalSwitches
+	top.EstimateSwitchPositions()
+	return finishPoint2(top, opt, freq, dp)
 }
 
 // finishPoint routes, optionally LP-places, evaluates and validates a Phase-1

@@ -1,0 +1,170 @@
+package sunfloor3d
+
+import (
+	"fmt"
+
+	"sunfloor3d/internal/noclib"
+	"sunfloor3d/internal/synth"
+)
+
+// Phase selects which core-to-switch connectivity method the engine may use.
+type Phase = synth.Phase
+
+// Connectivity methods.
+const (
+	// PhaseAuto runs Phase 1 and falls back to Phase 2 for switch counts
+	// where Phase 1 cannot meet the inter-layer link constraint.
+	PhaseAuto = synth.PhaseAuto
+	// Phase1Only restricts the engine to Phase 1 (cores may connect to
+	// switches in any layer).
+	Phase1Only = synth.Phase1Only
+	// Phase2Only restricts the engine to Phase 2 (cores connect only to
+	// switches in their own layer; links only between adjacent layers).
+	Phase2Only = synth.Phase2Only
+)
+
+// ParsePhase converts a phase name ("auto", "phase1", "phase2") to a Phase.
+func ParsePhase(s string) (Phase, error) {
+	switch s {
+	case "auto":
+		return PhaseAuto, nil
+	case "phase1":
+		return Phase1Only, nil
+	case "phase2":
+		return Phase2Only, nil
+	default:
+		return PhaseAuto, fmt.Errorf("sunfloor3d: unknown phase %q (valid: auto, phase1, phase2)", s)
+	}
+}
+
+// SwitchLayerRule selects how the layer of a Phase-1 switch is derived from
+// its member cores.
+type SwitchLayerRule = synth.SwitchLayerRule
+
+// Switch layer assignment rules.
+const (
+	// LayerAverage assigns the switch to the rounded average layer of its
+	// cores.
+	LayerAverage = synth.LayerAverage
+	// LayerMajority assigns the switch to the layer holding most of its
+	// cores.
+	LayerMajority = synth.LayerMajority
+)
+
+// Library is the NoC component library: switch/link/TSV power, delay and
+// area models.
+type Library = noclib.Library
+
+// DefaultLibrary returns the component library used throughout the paper's
+// experiments.
+func DefaultLibrary() Library { return noclib.DefaultLibrary() }
+
+// Process is a 3-D integration process with its TSV yield model.
+type Process = noclib.Process
+
+// StandardProcesses returns the processes of the paper's yield study
+// (Fig. 1).
+func StandardProcesses() []Process { return noclib.StandardProcesses() }
+
+// config collects the effect of the functional options of a run.
+type config struct {
+	opt      synth.Options
+	progress func(Event)
+}
+
+func defaultConfig() config {
+	return config{opt: synth.DefaultOptions()}
+}
+
+// Option configures a synthesis run. Options are applied in order; later
+// options override earlier ones. Options are created with the With*
+// constructors in this package.
+type Option func(*config)
+
+// WithFrequenciesMHz sets the NoC operating frequencies to sweep. The best
+// design point over all frequencies is reported.
+func WithFrequenciesMHz(freqs ...float64) Option {
+	return func(c *config) { c.opt.FrequenciesMHz = append([]float64(nil), freqs...) }
+}
+
+// WithMaxILL sets the maximum number of NoC links allowed across any two
+// adjacent layers (0 = unconstrained).
+func WithMaxILL(n int) Option {
+	return func(c *config) { c.opt.MaxILL = n }
+}
+
+// WithSoftILLMargin sets the distance below the max-ILL constraint at which
+// the router starts penalising new vertical links.
+func WithSoftILLMargin(n int) Option {
+	return func(c *config) { c.opt.SoftILLMargin = n }
+}
+
+// WithPhase selects the connectivity method.
+func WithPhase(p Phase) Option {
+	return func(c *config) { c.opt.Phase = p }
+}
+
+// WithObjective sets the weights of the scalar objective used to pick the
+// best design point: powerWeight*TotalPowerMW + latencyWeight*AvgLatency.
+func WithObjective(powerWeight, latencyWeight float64) Option {
+	return func(c *config) {
+		c.opt.PowerWeight = powerWeight
+		c.opt.LatencyWeight = latencyWeight
+	}
+}
+
+// WithAlpha sets the bandwidth/latency weight of the partitioning graphs
+// (1 = bandwidth only, 0 = latency only).
+func WithAlpha(alpha float64) Option {
+	return func(c *config) { c.opt.Partition.Alpha = alpha }
+}
+
+// WithParallelism bounds how many design points are evaluated concurrently.
+// 0 or 1 evaluates serially, n > 1 uses at most n workers, and a negative
+// value uses one worker per available CPU. Serial and parallel runs produce
+// identical Result.Points ordering and an identical best point.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.opt.Parallelism = n }
+}
+
+// WithProgress registers a callback that receives an Event after every
+// evaluated design point. Within one Synthesize call, callbacks are
+// serialised (never invoked concurrently) and a slow callback stalls the
+// sweep. Concurrent Synthesize calls on a shared Engine invoke the callback
+// independently, so a callback shared across runs must be safe for
+// concurrent use.
+func WithProgress(fn func(Event)) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// WithLibrary replaces the NoC component library.
+func WithLibrary(lib Library) Option {
+	return func(c *config) { c.opt.Lib = lib }
+}
+
+// WithSwitchLayerRule selects the Phase-1 switch layer assignment rule.
+func WithSwitchLayerRule(r SwitchLayerRule) Option {
+	return func(c *config) { c.opt.SwitchLayer = r }
+}
+
+// WithMaxSwitchesPerLayer caps the Phase-2 sweep (0 = up to one switch per
+// core, the full sweep of Algorithm 2).
+func WithMaxSwitchesPerLayer(n int) Option {
+	return func(c *config) { c.opt.MaxSwitchesPerLayer = n }
+}
+
+// WithLPPlacement runs the switch-position LP on every explored design point
+// instead of only on the best one. Slower, but exact positions for every
+// point.
+func WithLPPlacement(everyPoint bool) Option {
+	return func(c *config) {
+		c.opt.RunLPPlacement = everyPoint
+		c.opt.LPOnBest = !everyPoint
+	}
+}
+
+// WithRequireLatencyMet rejects design points that violate any flow latency
+// constraint.
+func WithRequireLatencyMet(require bool) Option {
+	return func(c *config) { c.opt.RequireLatencyMet = require }
+}

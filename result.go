@@ -1,0 +1,248 @@
+package sunfloor3d
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"sunfloor3d/internal/synth"
+	"sunfloor3d/internal/topology"
+)
+
+// PowerBreakdown splits the NoC power into its components, in milliwatts.
+type PowerBreakdown struct {
+	SwitchMW     float64 `json:"switch_mw"`
+	SwitchLinkMW float64 `json:"switch_link_mw"`
+	CoreLinkMW   float64 `json:"core_link_mw"`
+	NIMW         float64 `json:"ni_mw"`
+}
+
+// TotalMW returns the total NoC power.
+func (p PowerBreakdown) TotalMW() float64 {
+	return p.SwitchMW + p.SwitchLinkMW + p.CoreLinkMW + p.NIMW
+}
+
+// LinkMW returns the total link power (switch-to-switch plus core-to-switch).
+func (p PowerBreakdown) LinkMW() float64 { return p.SwitchLinkMW + p.CoreLinkMW }
+
+// Metrics summarises a fully evaluated topology.
+type Metrics struct {
+	// Power is the NoC power breakdown.
+	Power PowerBreakdown `json:"power"`
+	// AvgLatencyCycles is the average zero-load latency over all flows.
+	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
+	// MaxLatencyCycles is the worst zero-load latency over all flows.
+	MaxLatencyCycles float64 `json:"max_latency_cycles"`
+	// TotalWireLengthMM is the total planar length of all physical links.
+	TotalWireLengthMM float64 `json:"total_wire_length_mm"`
+	// NoCAreaMM2 is the silicon area of switches, NIs and TSV macros.
+	NoCAreaMM2 float64 `json:"noc_area_mm2"`
+	// MaxILL is the maximum number of links crossing any adjacent layer pair.
+	MaxILL int `json:"max_ill"`
+	// TSVMacros is the number of TSV macros needed.
+	TSVMacros int `json:"tsv_macros"`
+	// NumSwitches is the number of switches in the topology.
+	NumSwitches int `json:"num_switches"`
+	// LatencyViolations counts flows whose zero-load latency exceeds their
+	// latency constraint.
+	LatencyViolations int `json:"latency_violations"`
+	// WireLengthsMM lists the planar length of every physical link.
+	WireLengthsMM []float64 `json:"wire_lengths_mm,omitempty"`
+}
+
+func metricsFromInternal(m topology.Metrics) Metrics {
+	return Metrics{
+		Power: PowerBreakdown{
+			SwitchMW:     m.Power.SwitchMW,
+			SwitchLinkMW: m.Power.SwitchLinkMW,
+			CoreLinkMW:   m.Power.CoreLinkMW,
+			NIMW:         m.Power.NIMW,
+		},
+		AvgLatencyCycles:  m.AvgLatencyCycles,
+		MaxLatencyCycles:  m.MaxLatencyCycles,
+		TotalWireLengthMM: m.TotalWireLengthMM,
+		NoCAreaMM2:        m.NoCAreaMM2,
+		MaxILL:            m.MaxILL,
+		TSVMacros:         m.TSVMacros,
+		NumSwitches:       m.NumSwitches,
+		LatencyViolations: m.LatencyViolations,
+		WireLengthsMM:     append([]float64(nil), m.WireLengthsMM...),
+	}
+}
+
+// DesignPoint is one explored topology with its evaluation. The scalar
+// fields and Metrics survive JSON round trips; the synthesized topology
+// itself is only available on points produced by a live run (Topology
+// returns nil after unmarshalling).
+type DesignPoint struct {
+	// FreqMHz is the NoC operating frequency of this point.
+	FreqMHz float64 `json:"freq_mhz"`
+	// SwitchCount is the number of switches requested by the sweep.
+	SwitchCount int `json:"switch_count"`
+	// Phase is 1 or 2 depending on which connectivity method produced it.
+	Phase int `json:"phase"`
+	// Theta is the SPG scaling factor used (0 when the plain PG sufficed).
+	Theta float64 `json:"theta,omitempty"`
+	// Valid reports whether the point meets all constraints.
+	Valid bool `json:"valid"`
+	// FailReason explains why an invalid point was rejected.
+	FailReason string `json:"fail_reason,omitempty"`
+	// Metrics is the evaluation of the point's topology.
+	Metrics Metrics `json:"metrics"`
+
+	topo *topology.Topology
+}
+
+func pointFromInternal(dp synth.DesignPoint) DesignPoint {
+	return DesignPoint{
+		FreqMHz:     dp.FreqMHz,
+		SwitchCount: dp.SwitchCount,
+		Phase:       dp.Phase,
+		Theta:       dp.Theta,
+		Valid:       dp.Valid,
+		FailReason:  dp.FailReason,
+		Metrics:     metricsFromInternal(dp.Metrics),
+		topo:        dp.Topology,
+	}
+}
+
+// Topology returns the synthesized NoC of this point, or nil when the point
+// has none (some rejected points, or points restored from JSON).
+func (p *DesignPoint) Topology() *Topology {
+	if p.topo == nil {
+		return nil
+	}
+	return &Topology{t: p.topo}
+}
+
+// Cost returns the scalar objective of the point under the given weights.
+func (p DesignPoint) Cost(powerWeight, latencyWeight float64) float64 {
+	return powerWeight*p.Metrics.Power.TotalMW() + latencyWeight*p.Metrics.AvgLatencyCycles
+}
+
+// Report renders the point's metrics as "key value" lines, one metric per
+// line (the format of the CLI's report.txt).
+func (p *DesignPoint) Report() string {
+	var b strings.Builder
+	m := p.Metrics
+	fmt.Fprintf(&b, "frequency_mhz %g\n", p.FreqMHz)
+	fmt.Fprintf(&b, "switches %d\n", m.NumSwitches)
+	fmt.Fprintf(&b, "total_power_mw %.3f\n", m.Power.TotalMW())
+	fmt.Fprintf(&b, "switch_power_mw %.3f\n", m.Power.SwitchMW)
+	fmt.Fprintf(&b, "switch_link_power_mw %.3f\n", m.Power.SwitchLinkMW)
+	fmt.Fprintf(&b, "core_link_power_mw %.3f\n", m.Power.CoreLinkMW)
+	fmt.Fprintf(&b, "ni_power_mw %.3f\n", m.Power.NIMW)
+	fmt.Fprintf(&b, "avg_latency_cycles %.3f\n", m.AvgLatencyCycles)
+	fmt.Fprintf(&b, "max_latency_cycles %.3f\n", m.MaxLatencyCycles)
+	fmt.Fprintf(&b, "max_inter_layer_links %d\n", m.MaxILL)
+	fmt.Fprintf(&b, "tsv_macros %d\n", m.TSVMacros)
+	fmt.Fprintf(&b, "noc_area_mm2 %.4f\n", m.NoCAreaMM2)
+	return b.String()
+}
+
+// Event reports the completion of one design-point evaluation during a run.
+type Event struct {
+	// Done is the number of design points evaluated so far.
+	Done int `json:"done"`
+	// Total is the number of design points scheduled so far. It can grow
+	// while the run is in progress: the theta rescaling loop and the Phase-2
+	// fallback schedule additional points only when the initial sweep leaves
+	// switch counts unmet.
+	Total int `json:"total"`
+	// Point is the design point that just finished (valid or not).
+	Point DesignPoint `json:"point"`
+}
+
+// Result is the outcome of a synthesis run.
+type Result struct {
+	// Points holds every explored design point (valid and invalid), ordered
+	// by frequency then switch count. The ordering is deterministic and
+	// independent of the parallelism used.
+	Points []DesignPoint `json:"points"`
+	// BestIndex is the index into Points of the valid point with the lowest
+	// objective, or -1 when no valid point exists.
+	BestIndex int `json:"best_index"`
+}
+
+func resultFromInternal(r *synth.Result) *Result {
+	out := &Result{Points: make([]DesignPoint, len(r.Points)), BestIndex: -1}
+	for i := range r.Points {
+		// Best aliases an element of Points, so any LP refinement of the
+		// winning point is already reflected in the slice element.
+		out.Points[i] = pointFromInternal(r.Points[i])
+		if r.Best == &r.Points[i] {
+			out.BestIndex = i
+		}
+	}
+	return out
+}
+
+// Best returns the best valid design point, or nil when no valid point
+// exists.
+func (r *Result) Best() *DesignPoint {
+	if r.BestIndex < 0 || r.BestIndex >= len(r.Points) {
+		return nil
+	}
+	return &r.Points[r.BestIndex]
+}
+
+// ValidPoints returns only the valid design points.
+func (r *Result) ValidPoints() []DesignPoint {
+	var out []DesignPoint
+	for _, p := range r.Points {
+		if p.Valid {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ParetoFront returns the valid points that are not dominated in
+// (power, latency) by any other valid point, sorted by power.
+func (r *Result) ParetoFront() []DesignPoint {
+	valid := r.ValidPoints()
+	power := make([]float64, len(valid))
+	latency := make([]float64, len(valid))
+	for i, p := range valid {
+		power[i] = p.Metrics.Power.TotalMW()
+		latency[i] = p.Metrics.AvgLatencyCycles
+	}
+	idx := synth.ParetoIndices(power, latency)
+	front := make([]DesignPoint, len(idx))
+	for i, j := range idx {
+		front[i] = valid[j]
+	}
+	return front
+}
+
+// Text renders a human-readable summary of the run: point counts, the best
+// point, and the power/latency trade-off curve.
+func (r *Result) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "explored %d design points, %d valid\n", len(r.Points), len(r.ValidPoints()))
+	best := r.Best()
+	if best == nil {
+		b.WriteString("no valid topology meets the constraints\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "best point: %d switches at %.0f MHz, %.2f mW, %.2f cycles avg latency, %d inter-layer links\n",
+		best.Metrics.NumSwitches, best.FreqMHz, best.Metrics.Power.TotalMW(),
+		best.Metrics.AvgLatencyCycles, best.Metrics.MaxILL)
+	front := r.ParetoFront()
+	if len(front) > 1 {
+		b.WriteString("power/latency trade-off:\n")
+		for _, p := range front {
+			fmt.Fprintf(&b, "  %3d switches @ %4.0f MHz: %8.2f mW  %6.2f cycles\n",
+				p.Metrics.NumSwitches, p.FreqMHz, p.Metrics.Power.TotalMW(), p.Metrics.AvgLatencyCycles)
+		}
+	}
+	return b.String()
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
