@@ -13,8 +13,12 @@ package sunfloor3d_test
 // cmd/sunfloor-bench without -quick for the complete sweeps.
 
 import (
+	"encoding/json"
+	"math"
+	"os"
 	"testing"
 
+	"sunfloor3d"
 	"sunfloor3d/internal/bench"
 	"sunfloor3d/internal/experiments"
 	"sunfloor3d/internal/graph"
@@ -268,6 +272,53 @@ func BenchmarkFig23MeshComparison(b *testing.B) {
 			sp += r.PowerSaving()
 		}
 		b.ReportMetric(sp/float64(len(rows))*100, "avg_power_saving_pct")
+	}
+}
+
+// BenchmarkSweepHotPath measures the multi-frequency synthesis sweep before
+// and after the hot-path overhaul of PR 2: the baseline recomputes every
+// partition per frequency and rebuilds the router's full O(S^2) cost graph
+// per flow and retry, the optimized run uses the sweep-wide partition cache
+// and the incremental cost graph. Besides the usual ns/op it reports the
+// geometric-mean speedup across the benchmark suite and records the
+// per-design numbers to BENCH_PR2.json (the CI smoke step runs it with
+// -benchtime=1x).
+func BenchmarkSweepHotPath(b *testing.B) {
+	suite := []string{"D_26_media", "D_36_4", "D_36_8"}
+	var results []sunfloor3d.SweepBenchmark
+	for i := 0; i < b.N; i++ {
+		results = results[:0]
+		for _, name := range suite {
+			r, err := sunfloor3d.RunSweepBenchmark(name, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results = append(results, r)
+		}
+	}
+	logSpeedup := 0.0
+	for _, r := range results {
+		logSpeedup += math.Log(r.Speedup)
+	}
+	speedup := math.Exp(logSpeedup / float64(len(results)))
+	b.ReportMetric(speedup, "speedup")
+	out := struct {
+		Description string                      `json:"description"`
+		Speedup     float64                     `json:"geomean_speedup"`
+		Sweeps      []sunfloor3d.SweepBenchmark `json:"sweeps"`
+	}{
+		Description: "Multi-frequency synthesis sweep: baseline (per-frequency partitioning, " +
+			"full per-flow cost-graph rebuilds) vs optimized (sweep-wide partition cache, " +
+			"incremental cost graph). Regenerate with: go test -bench=Sweep -benchtime=1x",
+		Speedup: speedup,
+		Sweeps:  results,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR2.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

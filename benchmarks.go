@@ -1,8 +1,12 @@
 package sunfloor3d
 
 import (
+	"fmt"
+	"time"
+
 	"sunfloor3d/internal/bench"
 	"sunfloor3d/internal/mesh"
+	"sunfloor3d/internal/synth"
 )
 
 // Benchmark is one design of the paper's synthetic benchmark suite, in both
@@ -43,6 +47,91 @@ func BenchmarkByName(name string, seed int64) (Benchmark, error) {
 		return Benchmark{}, err
 	}
 	return benchmarkFromInternal(b), nil
+}
+
+// SweepBenchmark reports the timing of one multi-frequency synthesis sweep
+// in two configurations of the hot path. The baseline reproduces the
+// pre-optimization engine: every frequency recomputes its PG/SPG/LPG min-cut
+// partitions and the router rebuilds its full O(S^2) arc-cost graph for every
+// flow and deadlock retry. The optimized run is the production configuration:
+// a sweep-wide partition cache shared across frequencies plus the
+// incrementally maintained cost graph.
+type SweepBenchmark struct {
+	// Benchmark is the name of the design (e.g. "D_26_media").
+	Benchmark string `json:"benchmark"`
+	// FrequenciesMHz is the swept frequency list.
+	FrequenciesMHz []float64 `json:"frequencies_mhz"`
+	// Points is the number of design points the sweep explored.
+	Points int `json:"points"`
+	// BaselineMS and OptimizedMS are the wall-clock times of the two runs.
+	BaselineMS  float64 `json:"baseline_ms"`
+	OptimizedMS float64 `json:"optimized_ms"`
+	// Speedup is BaselineMS / OptimizedMS.
+	Speedup float64 `json:"speedup"`
+	// CacheHits and CacheMisses report the partition-cache activity of the
+	// optimized run.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+}
+
+// DefaultSweepFrequenciesMHz is the frequency sweep used by RunSweepBenchmark
+// when the caller passes none: the paper's 400 MHz - 1 GHz operating range in
+// 100 MHz steps.
+func DefaultSweepFrequenciesMHz() []float64 {
+	return []float64{400, 500, 600, 700, 800, 900, 1000}
+}
+
+// RunSweepBenchmark times the full frequency x switch-count sweep on the
+// named benchmark design in the baseline and optimized hot-path
+// configurations and returns both timings. Both runs are serial, so the
+// speedup isolates the algorithmic effect (partition cache + incremental
+// cost graph) from scheduling noise. go test -bench=Sweep records the
+// results of the standard suite to BENCH_PR2.json.
+func RunSweepBenchmark(name string, seed int64, freqs ...float64) (SweepBenchmark, error) {
+	bm, err := bench.ByName(name, seed)
+	if err != nil {
+		return SweepBenchmark{}, err
+	}
+	if len(freqs) == 0 {
+		freqs = DefaultSweepFrequenciesMHz()
+	}
+	opt := synth.DefaultOptions()
+	opt.FrequenciesMHz = freqs
+
+	baseline := opt
+	baseline.DisablePartitionCache = true
+	baseline.FullRebuildRouter = true
+	start := time.Now()
+	baseRes, err := synth.Synthesize(bm.Graph3D, baseline)
+	if err != nil {
+		return SweepBenchmark{}, fmt.Errorf("baseline sweep: %w", err)
+	}
+	baseMS := float64(time.Since(start).Microseconds()) / 1e3
+
+	start = time.Now()
+	optRes, err := synth.Synthesize(bm.Graph3D, opt)
+	if err != nil {
+		return SweepBenchmark{}, fmt.Errorf("optimized sweep: %w", err)
+	}
+	optMS := float64(time.Since(start).Microseconds()) / 1e3
+
+	if len(optRes.Points) != len(baseRes.Points) {
+		return SweepBenchmark{}, fmt.Errorf("sweep size diverged: %d baseline vs %d optimized points",
+			len(baseRes.Points), len(optRes.Points))
+	}
+	out := SweepBenchmark{
+		Benchmark:      name,
+		FrequenciesMHz: freqs,
+		Points:         len(optRes.Points),
+		BaselineMS:     baseMS,
+		OptimizedMS:    optMS,
+		CacheHits:      optRes.Cache.Hits,
+		CacheMisses:    optRes.Cache.Misses,
+	}
+	if optMS > 0 {
+		out.Speedup = baseMS / optMS
+	}
+	return out, nil
 }
 
 // MeshBaseline maps the design onto a regular mesh NoC (one mesh per layer,

@@ -25,6 +25,25 @@
 // bit-identical results. See README.md for the full quickstart and the CLI
 // flag reference.
 //
+// # The synthesis hot path
+//
+// The frequency x switch-count sweep shares its partitioning work run-wide:
+// the PG/SPG/LPG graphs and their min-cut partitions depend only on the
+// communication graph and the partitioning parameters, so each is computed
+// once and shared read-only across all swept frequencies and workers
+// (WithPartitionCache toggles this; results are bit-identical either way,
+// and Result.Cache reports the hit/miss counts). Inside the router, the
+// per-flow arc-cost graph of Algorithm 3 is maintained incrementally: each
+// arc cost splits into a geometry-only bandwidth slope plus a state term
+// that a committed path invalidates only for the arcs whose port counts,
+// inter-layer-link occupancy or link existence it changed, and deadlock
+// retries overlay forbidden arcs on the shortest-path search instead of
+// rebuilding anything. Every DesignPoint records its router statistics
+// (Route) and wall-clock build time (Elapsed). BenchmarkSweepHotPath
+// ("go test -bench=Sweep -benchtime=1x") compares this hot path against the
+// original recompute-everything configuration and records the speedups to
+// BENCH_PR2.json.
+//
 // The implementation lives in the internal/ packages:
 //
 //   - internal/model      — cores, flows and the communication graph

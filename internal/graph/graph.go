@@ -39,6 +39,21 @@ func New(n int) *Graph {
 // NumVertices returns the number of vertices.
 func (g *Graph) NumVertices() int { return g.n }
 
+// Grow appends k isolated vertices to the graph and returns the index of the
+// first new vertex. Existing vertices and edges are untouched, so callers can
+// extend a graph in place instead of rebuilding it (the channel dependency
+// graph of the router gains one vertex per newly opened link this way).
+func (g *Graph) Grow(k int) int {
+	first := g.n
+	for i := 0; i < k; i++ {
+		g.adj = append(g.adj, make(map[int]float64))
+	}
+	if k > 0 {
+		g.n += k
+	}
+	return first
+}
+
 // NumEdges returns the number of directed edges with non-zero weight.
 func (g *Graph) NumEdges() int {
 	c := 0

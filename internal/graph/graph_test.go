@@ -40,6 +40,30 @@ func TestAddAndQueryEdges(t *testing.T) {
 	}
 }
 
+func TestGrow(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 3)
+	if first := g.Grow(2); first != 2 {
+		t.Errorf("Grow(2) returned first index %d, want 2", first)
+	}
+	if g.NumVertices() != 4 {
+		t.Fatalf("NumVertices = %d, want 4", g.NumVertices())
+	}
+	if !g.HasEdge(0, 1) || g.Weight(0, 1) != 3 {
+		t.Error("existing edge lost after Grow")
+	}
+	g.AddEdge(3, 0, 1)
+	if !g.HasEdge(3, 0) {
+		t.Error("cannot add edge to grown vertex")
+	}
+	if g.HasCycle() {
+		t.Error("spurious cycle after Grow")
+	}
+	if first := g.Grow(0); first != 4 || g.NumVertices() != 4 {
+		t.Errorf("Grow(0) = %d with %d vertices, want 4 and 4", first, g.NumVertices())
+	}
+}
+
 func TestSuccessorsAndEdges(t *testing.T) {
 	g := New(4)
 	g.AddEdge(2, 0, 1)

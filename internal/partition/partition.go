@@ -88,7 +88,13 @@ func BuildPG(g *model.CommGraph, alpha float64) *graph.Graph {
 //     pair of cores in the same layer that do not already communicate, so the
 //     partitioner prefers grouping same-layer cores.
 func BuildSPG(g *model.CommGraph, alpha, theta, thetaMax float64) *graph.Graph {
-	pg := BuildPG(g, alpha)
+	return BuildSPGFrom(BuildPG(g, alpha), g, theta, thetaMax)
+}
+
+// BuildSPGFrom is BuildSPG for callers that already hold the design's PG
+// (the sweep-wide partition cache builds the PG once and derives every SPG of
+// the theta sweep from it). pg is read, never modified.
+func BuildSPGFrom(pg *graph.Graph, g *model.CommGraph, theta, thetaMax float64) *graph.Graph {
 	spg := graph.New(g.NumCores())
 
 	// Maximum edge weight in PG (max_wt in Eq. 1).

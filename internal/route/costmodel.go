@@ -1,0 +1,271 @@
+package route
+
+import (
+	"sunfloor3d/internal/geom"
+	"sunfloor3d/internal/graph"
+)
+
+// costModel is the incrementally maintained routing cost graph of Algorithm 3.
+// The cost of sending a flow of bandwidth bw over the arc (i, j) decomposes as
+//
+//	arcCost(i, j, bw) = state[i][j] + slope[i][j]*bw
+//
+// because the library's wire and TSV power are linear in bandwidth. slope is
+// pure geometry and never changes during a run; state bundles everything the
+// router mutates while committing paths — link existence (port-opening power,
+// switch-size thresholds), port counts and inter-layer-link occupancy — plus
+// the constant wire leakage, pipeline latency and SOFT_INF penalties
+// (Infinity marks forbidden arcs). A commit therefore only has to refresh the
+// arcs its bookkeeping updates invalidated instead of rebuilding all O(S^2)
+// arc costs for every flow and deadlock retry.
+type costModel struct {
+	r *router
+	n int
+	// state[i][j] is the bandwidth-independent arc cost (Infinity when the
+	// arc violates a hard constraint); slope[i][j] is the cost per MBps.
+	state [][]float64
+	slope [][]float64
+	// Dijkstra scratch space, reused across flows.
+	dist    []float64
+	prev    []int
+	settled []bool
+	// Commit scratch space, reused across commits.
+	dirtyRow []bool
+	dirtyCol []bool
+	boundary []bool
+}
+
+// newCostModel computes the initial arc costs for every switch pair. This is
+// the only full O(S^2) pass of a run; everything after is incremental.
+func newCostModel(r *router) *costModel {
+	m := &costModel{r: r, boundary: make([]bool, len(r.ill))}
+	for len(m.state) < r.top.NumSwitches() {
+		m.grow()
+	}
+	return m
+}
+
+// refBW is the bandwidth at which the per-MBps slope of an arc is sampled.
+// Wire and TSV power are linear in bandwidth, so any positive value yields
+// the same slope up to rounding.
+const refBW = 1000.0
+
+// bwSlope returns the bandwidth-proportional cost of the arc (i, j): the
+// dynamic power of the planar wire and of the TSVs it crosses, per MBps.
+func (m *costModel) bwSlope(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	t := m.r.top
+	planar := geom.Manhattan(t.Switches[i].Pos, t.Switches[j].Pos)
+	span := t.Switches[i].Layer - t.Switches[j].Layer
+	if span < 0 {
+		span = -span
+	}
+	dyn := t.Lib.WirePowerMW(planar, refBW) - t.Lib.WirePowerMW(planar, 0) +
+		t.Lib.VerticalLinkPowerMW(span, refBW)
+	return m.r.cfg.PowerWeight * dyn / refBW
+}
+
+// refresh recomputes the state cost of the arc (i, j) from the router's
+// current bookkeeping.
+func (m *costModel) refresh(i, j int) {
+	m.state[i][j] = m.r.arcCost(i, j, 0, m.r.softInf)
+}
+
+// grow extends the model with one switch (the router just appended it to the
+// topology) and computes the arcs to and from it.
+func (m *costModel) grow() {
+	n := m.n
+	for i := 0; i < n; i++ {
+		m.state[i] = append(m.state[i], 0)
+		m.slope[i] = append(m.slope[i], m.bwSlope(i, n))
+	}
+	m.state = append(m.state, make([]float64, n+1))
+	m.slope = append(m.slope, make([]float64, n+1))
+	for j := 0; j < n; j++ {
+		m.slope[n][j] = m.bwSlope(n, j)
+	}
+	m.n = n + 1
+	m.state[n][n] = graph.Infinity
+	for i := 0; i < n; i++ {
+		m.refresh(i, n)
+		m.refresh(n, i)
+	}
+	m.dist = append(m.dist, 0)
+	m.prev = append(m.prev, 0)
+	m.settled = append(m.settled, false)
+	m.dirtyRow = append(m.dirtyRow, false)
+	m.dirtyCol = append(m.dirtyCol, false)
+}
+
+// shrink drops the last switch from the model (rolling back a failed indirect
+// switch insertion). The underlying arrays keep their capacity for the next
+// grow, which overwrites every re-appended entry.
+func (m *costModel) shrink() {
+	m.n--
+	m.state = m.state[:m.n]
+	m.slope = m.slope[:m.n]
+	for i := 0; i < m.n; i++ {
+		m.state[i] = m.state[i][:m.n]
+		m.slope[i] = m.slope[i][:m.n]
+	}
+	m.dist = m.dist[:m.n]
+	m.prev = m.prev[:m.n]
+	m.settled = m.settled[:m.n]
+	m.dirtyRow = m.dirtyRow[:m.n]
+	m.dirtyCol = m.dirtyCol[:m.n]
+}
+
+// applyCommit refreshes the arcs invalidated by a committed path that opened
+// the given new links: every arc leaving a switch whose output ports grew,
+// every arc entering a switch whose input ports grew (this includes the new
+// links themselves, whose existence flag flipped), and every arc crossing a
+// layer boundary whose inter-layer-link count changed.
+//
+// Refreshing only row i / column j per grown port relies on SwitchPowerMW
+// being additive in inPorts+outPorts: the port-opening marginal on one
+// dimension is then independent of the other, so an outPorts[i] change
+// cannot alter arcs (*, i) and an inPorts[j] change cannot alter arcs
+// (j, *). If the power model ever couples the dimensions (e.g. crossbar-
+// style in*out, as SwitchAreaMM2 does for area), both the row and the
+// column of every grown switch must be refreshed here.
+func (m *costModel) applyCommit(opened [][2]int) {
+	t := m.r.top
+	dirtyRow, dirtyCol, boundary := m.dirtyRow, m.dirtyCol, m.boundary
+	for i := range dirtyRow {
+		dirtyRow[i] = false
+		dirtyCol[i] = false
+	}
+	for b := range boundary {
+		boundary[b] = false
+	}
+	anyBoundary := false
+	for _, l := range opened {
+		dirtyRow[l[0]] = true
+		dirtyCol[l[1]] = true
+		if m.r.cfg.MaxILL <= 0 {
+			continue // arc costs ignore ILL occupancy when unconstrained
+		}
+		lo, hi := t.Switches[l[0]].Layer, t.Switches[l[1]].Layer
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for b := lo; b < hi; b++ {
+			if b >= 0 && b < len(boundary) {
+				boundary[b] = true
+				anyBoundary = true
+			}
+		}
+	}
+	for i := 0; i < m.n; i++ {
+		if !dirtyRow[i] {
+			continue
+		}
+		for j := 0; j < m.n; j++ {
+			if i != j {
+				m.refresh(i, j)
+			}
+		}
+	}
+	for j := 0; j < m.n; j++ {
+		if !dirtyCol[j] {
+			continue
+		}
+		for i := 0; i < m.n; i++ {
+			if i != j && !dirtyRow[i] {
+				m.refresh(i, j)
+			}
+		}
+	}
+	if !anyBoundary {
+		return
+	}
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if i == j || dirtyRow[i] || dirtyCol[j] {
+				continue
+			}
+			if m.crossesDirty(boundary, i, j) {
+				m.refresh(i, j)
+			}
+		}
+	}
+}
+
+// crossesDirty reports whether the arc (i, j) crosses any boundary marked
+// dirty.
+func (m *costModel) crossesDirty(boundary []bool, i, j int) bool {
+	lo, hi := m.r.top.Switches[i].Layer, m.r.top.Switches[j].Layer
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for b := lo; b < hi; b++ {
+		if b >= 0 && b < len(boundary) && boundary[b] {
+			return true
+		}
+	}
+	return false
+}
+
+// cost returns the full arc cost at the given bandwidth (Infinity for
+// forbidden arcs). It mirrors router.arcCost on the cached state.
+func (m *costModel) cost(i, j int, bw float64) float64 {
+	if m.state[i][j] >= graph.Infinity {
+		return graph.Infinity
+	}
+	return m.state[i][j] + m.slope[i][j]*bw
+}
+
+// shortestPath runs Dijkstra over the dense cached arc costs for a flow of
+// bandwidth bw, skipping arcs in forbidden (the deadlock-retry overlay, so
+// retries need no graph mutation at all). Neighbours relax in ascending index
+// order, making the returned path deterministic even between equal-cost
+// alternatives. It returns (nil, Infinity) when dst is unreachable.
+func (m *costModel) shortestPath(src, dst int, bw float64, forbidden map[[2]int]bool) ([]int, float64) {
+	n := m.n
+	for i := 0; i < n; i++ {
+		m.dist[i] = graph.Infinity
+		m.prev[i] = -1
+		m.settled[i] = false
+	}
+	m.dist[src] = 0
+	for {
+		// Dense graph: the O(n) min scan beats a heap here.
+		u, best := -1, graph.Infinity
+		for i := 0; i < n; i++ {
+			if !m.settled[i] && m.dist[i] < best {
+				u, best = i, m.dist[i]
+			}
+		}
+		if u < 0 || u == dst {
+			break
+		}
+		m.settled[u] = true
+		state, slope := m.state[u], m.slope[u]
+		for v := 0; v < n; v++ {
+			if m.settled[v] || state[v] >= graph.Infinity {
+				continue
+			}
+			if len(forbidden) > 0 && forbidden[[2]int{u, v}] {
+				continue
+			}
+			if nd := best + state[v] + slope[v]*bw; nd < m.dist[v] {
+				m.dist[v] = nd
+				m.prev[v] = u
+			}
+		}
+	}
+	if m.dist[dst] >= graph.Infinity {
+		return nil, graph.Infinity
+	}
+	var rev []int
+	for v := dst; v != -1; v = m.prev[v] {
+		rev = append(rev, v)
+	}
+	path := make([]int, len(rev))
+	for i, v := range rev {
+		path[len(rev)-1-i] = v
+	}
+	return path, m.dist[dst]
+}

@@ -44,6 +44,12 @@ type Config struct {
 	// MaxDeadlockRetries bounds how many times a flow's path is recomputed
 	// with penalised arcs after a channel-dependency cycle is detected.
 	MaxDeadlockRetries int
+	// FullRebuild disables the incrementally maintained cost graph and
+	// rebuilds the full O(S^2) arc-cost graph for every flow and deadlock
+	// retry, as the original CHECK_CONSTRAINTS loop does. It exists as the
+	// reference implementation for equivalence tests and before/after
+	// benchmarks; production runs should leave it off.
+	FullRebuild bool
 }
 
 // DefaultConfig returns the configuration used by the experiments: a blend
@@ -98,6 +104,12 @@ type router struct {
 	cdg      *graph.Graph
 	linkIdx  map[[2]int]int
 	deadlock int
+	// softInf is the SOFT_INF penalty of Algorithm 3, fixed for the whole
+	// run (it depends only on the design, library, frequency and weights).
+	softInf float64
+	// cost is the incrementally maintained arc-cost graph (nil when
+	// Config.FullRebuild selects the reference per-flow rebuild).
+	cost *costModel
 }
 
 // ComputePaths assigns a route to every flow of the topology. Switches and
@@ -121,9 +133,16 @@ func ComputePaths(t *topology.Topology, cfg Config) (Result, error) {
 	for _, f := range t.Design.FlowsByBandwidth() {
 		if ok := r.routeFlow(f); ok {
 			res.Routed++
-		} else if cfg.AllowIndirectSwitches && r.tryWithIndirectSwitch(f) {
-			res.Routed++
-			res.IndirectSwitches++
+		} else if cfg.AllowIndirectSwitches {
+			routed, kept := r.tryWithIndirectSwitch(f)
+			if routed {
+				res.Routed++
+				if kept {
+					res.IndirectSwitches++
+				}
+			} else {
+				res.Failed = append(res.Failed, f)
+			}
 		} else {
 			res.Failed = append(res.Failed, f)
 		}
@@ -159,6 +178,10 @@ func (r *router) init() {
 	}
 	for f := range t.Routes {
 		t.Routes[f] = topology.Route{Flow: f}
+	}
+	r.softInf = 10 * r.maxFlowCost()
+	if !r.cfg.FullRebuild {
+		r.cost = newCostModel(r)
 	}
 }
 
@@ -282,18 +305,19 @@ func (r *router) arcCost(i, j int, bw float64, softInf float64) float64 {
 	return cost
 }
 
-// buildCostGraph builds the per-flow routing graph over switches.
+// buildCostGraph builds the per-flow routing graph over switches from scratch.
 // forbidden holds arcs temporarily excluded by deadlock-avoidance retries.
+// It is the reference implementation behind Config.FullRebuild; the normal
+// path uses the incrementally maintained costModel instead.
 func (r *router) buildCostGraph(bw float64, forbidden map[[2]int]bool) *graph.Graph {
 	n := r.top.NumSwitches()
-	softInf := 10 * r.maxFlowCost()
 	cg := graph.New(n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j || forbidden[[2]int{i, j}] {
 				continue
 			}
-			c := r.arcCost(i, j, bw, softInf)
+			c := r.arcCost(i, j, bw, r.softInf)
 			if c < graph.Infinity {
 				cg.SetEdge(i, j, c)
 			}
@@ -316,8 +340,14 @@ func (r *router) routeFlow(f int) bool {
 
 	forbidden := make(map[[2]int]bool)
 	for try := 0; try <= r.cfg.MaxDeadlockRetries; try++ {
-		cg := r.buildCostGraph(fl.BandwidthMBps, forbidden)
-		path, cost := cg.ShortestPath(src, dst)
+		var path []int
+		var cost float64
+		if r.cost != nil {
+			path, cost = r.cost.shortestPath(src, dst, fl.BandwidthMBps, forbidden)
+		} else {
+			cg := r.buildCostGraph(fl.BandwidthMBps, forbidden)
+			path, cost = cg.ShortestPath(src, dst)
+		}
 		if path == nil || cost >= graph.Infinity {
 			return false
 		}
@@ -373,45 +403,50 @@ func (r *router) ensureLinkVertex(i, j int) int {
 	if v, ok := r.linkIdx[key]; ok {
 		return v
 	}
-	v := r.cdg.NumVertices()
-	// Grow the CDG by rebuilding with one more vertex (cheap at these sizes).
-	ng := graph.New(v + 1)
-	for _, e := range r.cdg.Edges() {
-		ng.AddEdge(e.From, e.To, e.Weight)
-	}
-	r.cdg = ng
+	v := r.cdg.Grow(1)
 	r.linkIdx[key] = v
 	return v
 }
 
 // commit records the route and updates link, port and inter-layer-link
-// bookkeeping.
+// bookkeeping, then refreshes the cost-graph arcs those updates invalidated.
 func (r *router) commit(f int, path []int) {
 	t := r.top
 	bw := t.Design.Flows[f].BandwidthMBps
+	var opened [][2]int
 	for i := 1; i < len(path); i++ {
 		key := [2]int{path[i-1], path[i]}
 		if _, exists := r.linkBW[key]; !exists {
 			r.outPorts[path[i-1]]++
 			r.inPorts[path[i]]++
 			r.addBoundaryCrossings(t.Switches[path[i-1]].Layer, t.Switches[path[i]].Layer, 1)
+			opened = append(opened, key)
 		}
 		r.linkBW[key] += bw
 	}
 	t.SetRoute(f, path)
+	if r.cost != nil && len(opened) > 0 {
+		r.cost.applyCommit(opened)
+	}
 }
 
 // tryWithIndirectSwitch adds an indirect switch between the source and
 // destination switches of the failed flow and retries the routing once. This
 // mirrors the paper's insertion of indirect switches when the
-// max_switch_size constraint cannot be met directly.
-func (r *router) tryWithIndirectSwitch(f int) bool {
+// max_switch_size constraint cannot be met directly. It returns whether the
+// flow was routed and whether the inserted switch was kept: the insertion is
+// rolled back — restoring the topology (switch list, port counts, power and
+// area) to exactly its pre-attempt state — both when the retry still fails
+// and when the retry happens to commit a path that never traverses the new
+// switch (a fresh deadlock-retry sequence can succeed on existing switches
+// alone; keeping the unused switch would pollute the point's metrics).
+func (r *router) tryWithIndirectSwitch(f int) (routed, kept bool) {
 	t := r.top
 	fl := t.Design.Flows[f]
 	src := t.CoreAttach[fl.Src]
 	dst := t.CoreAttach[fl.Dst]
 	if src == dst {
-		return false
+		return false, false
 	}
 	// Place the new switch between the two endpoints, on an intermediate
 	// layer when the endpoints are on different layers.
@@ -424,5 +459,34 @@ func (r *router) tryWithIndirectSwitch(f int) bool {
 	}
 	r.inPorts = append(r.inPorts, 0)
 	r.outPorts = append(r.outPorts, 0)
-	return r.routeFlow(f)
+	if r.cost != nil {
+		r.cost.grow()
+	}
+	routed = r.routeFlow(f)
+	if routed {
+		for _, s := range t.Routes[f].Switches {
+			if s == id {
+				return true, true
+			}
+		}
+		// Routed without the new switch: no committed link touches it, so
+		// the insertion can be undone like a failed retry.
+	}
+	// Undoing the insertion restores the pre-attempt state: nothing involving
+	// the switch was committed. CDG vertices created for candidate links
+	// through the removed switch keep their (edge-free) slots, but their
+	// linkIdx entries must go so a future switch reusing this ID starts from
+	// a clean link identity.
+	t.Switches = t.Switches[:id]
+	r.inPorts = r.inPorts[:id]
+	r.outPorts = r.outPorts[:id]
+	for key := range r.linkIdx {
+		if key[0] == id || key[1] == id {
+			delete(r.linkIdx, key)
+		}
+	}
+	if r.cost != nil {
+		r.cost.shrink()
+	}
+	return routed, false
 }

@@ -1,0 +1,275 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"sunfloor3d/internal/geom"
+	"sunfloor3d/internal/topology"
+)
+
+// stripTimings zeroes the non-deterministic per-point durations so results
+// can be compared structurally.
+func stripTimings(res *Result) {
+	for i := range res.Points {
+		res.Points[i].Elapsed = 0
+	}
+}
+
+// TestPartitionCacheEquivalence checks the core contract of the sweep-wide
+// partition cache: cached, uncached, serial and parallel runs all return
+// identical design points (the partitioner is deterministic, so sharing a
+// computed partition across frequencies must not change anything).
+func TestPartitionCacheEquivalence(t *testing.T) {
+	g := smallDesign(t)
+	base := DefaultOptions()
+	base.FrequenciesMHz = []float64{400, 600, 800}
+
+	cached := base
+	cachedRes, err := Synthesize(g, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached := base
+	uncached.DisablePartitionCache = true
+	uncachedRes, err := Synthesize(g, uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := base
+	parallel.Parallelism = 8
+	parallelRes, err := Synthesize(g, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if cachedRes.Cache.Hits == 0 {
+		t.Error("multi-frequency sweep produced no cache hits")
+	}
+	if uncachedRes.Cache.Hits != 0 {
+		t.Errorf("disabled cache reported %d hits", uncachedRes.Cache.Hits)
+	}
+
+	stripTimings(cachedRes)
+	stripTimings(uncachedRes)
+	stripTimings(parallelRes)
+	for name, other := range map[string]*Result{"uncached": uncachedRes, "parallel": parallelRes} {
+		if len(other.Points) != len(cachedRes.Points) {
+			t.Fatalf("%s run explored %d points, cached %d", name, len(other.Points), len(cachedRes.Points))
+		}
+		for i := range cachedRes.Points {
+			a, b := cachedRes.Points[i], other.Points[i]
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s run diverges at point %d:\ncached: %+v\nother:  %+v", name, i, a, b)
+			}
+		}
+		bestA, bestB := cachedRes.Best, other.Best
+		if (bestA == nil) != (bestB == nil) {
+			t.Fatalf("%s run best-point presence differs", name)
+		}
+		if bestA != nil && !reflect.DeepEqual(bestA.Metrics, bestB.Metrics) {
+			t.Fatalf("%s run best metrics differ", name)
+		}
+	}
+}
+
+// TestFullRebuildRouterEquivalentSweep checks that the reference full-rebuild
+// router and the incremental router agree on the sweep outcome (same validity
+// pattern and best objective) on the small design, where arc costs have no
+// exact ties.
+func TestFullRebuildRouterEquivalentSweep(t *testing.T) {
+	g := smallDesign(t)
+	opt := DefaultOptions()
+	fast, err := Synthesize(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := opt
+	ref.FullRebuildRouter = true
+	slow, err := Synthesize(g, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast.Points) != len(slow.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(fast.Points), len(slow.Points))
+	}
+	for i := range fast.Points {
+		if fast.Points[i].Valid != slow.Points[i].Valid {
+			t.Errorf("point %d validity differs: incremental %v, rebuild %v",
+				i, fast.Points[i].Valid, slow.Points[i].Valid)
+		}
+	}
+	if fast.Best == nil || slow.Best == nil {
+		t.Fatal("missing best point")
+	}
+	fc := fast.Best.Cost(opt.PowerWeight, opt.LatencyWeight)
+	sc := slow.Best.Cost(opt.PowerWeight, opt.LatencyWeight)
+	if diff := fc - sc; diff > 1e-6*sc || diff < -1e-6*sc {
+		t.Errorf("best objective differs: incremental %v, rebuild %v", fc, sc)
+	}
+}
+
+// TestRefineBestRejectsWorseningRefinement checks the LPOnBest fix: a
+// refinement that worsens the objective must not overwrite the best point.
+func TestRefineBestRejectsWorseningRefinement(t *testing.T) {
+	g := smallDesign(t)
+	opt := DefaultOptions()
+	opt.LPOnBest = false
+	res, err := Synthesize(g, opt)
+	if err != nil || res.Best == nil {
+		t.Fatalf("synthesis failed: %v", err)
+	}
+	wantMetrics := res.Best.Metrics
+	wantTop := res.Best.Topology
+
+	scramble := func(top *topology.Topology) error {
+		for i := range top.Switches {
+			top.Switches[i].Pos = geom.Point{X: top.Switches[i].Pos.X + 500, Y: 500}
+		}
+		return nil
+	}
+	refineBest(res, opt, scramble)
+	if res.Best.Topology != wantTop {
+		t.Error("worsening refinement replaced the best topology")
+	}
+	if !reflect.DeepEqual(res.Best.Metrics, wantMetrics) {
+		t.Errorf("worsening refinement overwrote metrics:\ngot  %+v\nwant %+v", res.Best.Metrics, wantMetrics)
+	}
+}
+
+// TestRefineBestIgnoresFailedRefinement checks that a refiner error leaves
+// the best point untouched.
+func TestRefineBestIgnoresFailedRefinement(t *testing.T) {
+	g := smallDesign(t)
+	opt := DefaultOptions()
+	opt.LPOnBest = false
+	res, err := Synthesize(g, opt)
+	if err != nil || res.Best == nil {
+		t.Fatalf("synthesis failed: %v", err)
+	}
+	wantMetrics := res.Best.Metrics
+	refineBest(res, opt, func(*topology.Topology) error { return fmt.Errorf("no solution") })
+	if !reflect.DeepEqual(res.Best.Metrics, wantMetrics) {
+		t.Error("failed refinement changed the best point")
+	}
+}
+
+// TestRefineBestKeepsBestMinimal checks that after the production LPOnBest
+// refinement the best point is still valid and still the minimum-cost valid
+// point — the invariant the old code could break.
+func TestRefineBestKeepsBestMinimal(t *testing.T) {
+	g := smallDesign(t)
+	opt := DefaultOptions()
+	opt.LPOnBest = true
+	res, err := Synthesize(g, opt)
+	if err != nil || res.Best == nil {
+		t.Fatalf("synthesis failed: %v", err)
+	}
+	if !res.Best.Valid {
+		t.Fatal("refined best point is not valid")
+	}
+	if reason := validateTopology(res.Best.Topology, opt, res.Best.Metrics, res.Best.FreqMHz); reason != "" {
+		t.Fatalf("refined best point violates constraints: %s", reason)
+	}
+	bestCost := res.Best.Cost(opt.PowerWeight, opt.LatencyWeight)
+	for _, p := range res.ValidPoints() {
+		if c := p.Cost(opt.PowerWeight, opt.LatencyWeight); c < bestCost-1e-9 {
+			t.Errorf("refined best (%v) beaten by a point with cost %v", bestCost, c)
+		}
+	}
+
+	noLP := opt
+	noLP.LPOnBest = false
+	plain, err := Synthesize(g, noLP)
+	if err != nil || plain.Best == nil {
+		t.Fatalf("unrefined synthesis failed: %v", err)
+	}
+	if bestCost > plain.Best.Cost(opt.PowerWeight, opt.LatencyWeight)+1e-9 {
+		t.Errorf("LPOnBest worsened the shipped best: %v > %v",
+			bestCost, plain.Best.Cost(opt.PowerWeight, opt.LatencyWeight))
+	}
+}
+
+// bruteForcePareto is the quadratic reference: non-dominated points, deduped
+// to the lowest index per (power, latency) pair, sorted like ParetoIndices.
+func bruteForcePareto(power, latency []float64) []int {
+	seen := make(map[[2]float64]bool)
+	var front []int
+	idx := make([]int, len(power))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if power[i] != power[j] {
+			return power[i] < power[j]
+		}
+		if latency[i] != latency[j] {
+			return latency[i] < latency[j]
+		}
+		return i < j
+	})
+	for _, i := range idx {
+		dominated := false
+		for j := range power {
+			if i == j {
+				continue
+			}
+			if power[j] <= power[i] && latency[j] <= latency[i] &&
+				(power[j] < power[i] || latency[j] < latency[i]) {
+				dominated = true
+				break
+			}
+		}
+		key := [2]float64{power[i], latency[i]}
+		if !dominated && !seen[key] {
+			seen[key] = true
+			front = append(front, i)
+		}
+	}
+	return front
+}
+
+func TestParetoIndicesDeduplicates(t *testing.T) {
+	power := []float64{1, 1, 2, 3, 2}
+	latency := []float64{5, 5, 4, 6, 4}
+	got := ParetoIndices(power, latency)
+	want := []int{0, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParetoIndices = %v, want %v (duplicates kept?)", got, want)
+	}
+	if out := ParetoIndices(nil, nil); out != nil {
+		t.Errorf("empty input returned %v", out)
+	}
+}
+
+func TestParetoIndicesMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		power := make([]float64, n)
+		latency := make([]float64, n)
+		for i := range power {
+			// Coarse grid so exact duplicates and ties actually occur.
+			power[i] = float64(rng.Intn(8))
+			latency[i] = float64(rng.Intn(8))
+		}
+		got := ParetoIndices(power, latency)
+		want := bruteForcePareto(power, latency)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: ParetoIndices = %v, want %v\npower   %v\nlatency %v",
+				trial, got, want, power, latency)
+		}
+		for i := 1; i < len(got); i++ {
+			if power[got[i-1]] >= power[got[i]] {
+				t.Fatalf("trial %d: front power not strictly increasing: %v", trial, got)
+			}
+			if latency[got[i-1]] <= latency[got[i]] {
+				t.Fatalf("trial %d: front latency not strictly decreasing: %v", trial, got)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"sunfloor3d/internal/graph"
 	"sunfloor3d/internal/model"
@@ -34,6 +35,13 @@ type DesignPoint struct {
 	Valid bool
 	// FailReason explains why an invalid point was rejected.
 	FailReason string
+	// Route reports what the path-computation step did for this point
+	// (deterministic given the topology, so identical between serial,
+	// parallel, cached and uncached runs).
+	Route route.Result
+	// Elapsed is the wall-clock time spent building, routing and evaluating
+	// this point.
+	Elapsed time.Duration
 }
 
 // Cost returns the scalar objective of the point under the given weights.
@@ -49,6 +57,8 @@ type Result struct {
 	// Best is the valid point with the lowest objective, or nil when no valid
 	// point exists.
 	Best *DesignPoint
+	// Cache reports the partition-cache activity of the run.
+	Cache CacheStats
 }
 
 // ValidPoints returns only the valid design points.
@@ -81,27 +91,38 @@ func (r *Result) ParetoFront() []DesignPoint {
 }
 
 // ParetoIndices returns the indices of the points that are not dominated in
-// (power, latency) by any other point, sorted by ascending power. The inputs
-// are parallel slices.
+// (power, latency) by any other point, sorted by ascending power, keeping one
+// representative (the lowest index) per distinct (power, latency) pair. The
+// inputs are parallel slices. The scan is the standard sort-based O(n log n)
+// Pareto sweep: after ordering by (power, latency, index), a point is on the
+// front exactly when its latency strictly improves on everything before it.
 func ParetoIndices(power, latency []float64) []int {
-	var front []int
-	for i := range power {
-		dominated := false
-		for j := range power {
-			if i == j {
-				continue
-			}
-			if power[j] <= power[i] && latency[j] <= latency[i] &&
-				(power[j] < power[i] || latency[j] < latency[i]) {
-				dominated = true
-				break
-			}
+	n := len(power)
+	if n == 0 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if power[i] != power[j] {
+			return power[i] < power[j]
 		}
-		if !dominated {
+		if latency[i] != latency[j] {
+			return latency[i] < latency[j]
+		}
+		return i < j
+	})
+	var front []int
+	bestLatency := math.Inf(1)
+	for _, i := range order {
+		if latency[i] < bestLatency {
 			front = append(front, i)
+			bestLatency = latency[i]
 		}
 	}
-	sort.Slice(front, func(a, b int) bool { return power[front[a]] < power[front[b]] })
 	return front
 }
 
@@ -131,12 +152,13 @@ func SynthesizeContext(ctx context.Context, g *model.CommGraph, opt Options) (*R
 	}
 
 	p := newPool(ctx, opt)
+	cache := newPartitionCache(g, opt.Partition, !opt.DisablePartitionCache)
 	perFreq := make([][]DesignPoint, len(opt.FrequenciesMHz))
 	errs := make([]error, len(opt.FrequenciesMHz))
 	if p.serial {
 		// Serial reference path: one frequency after the other.
 		for fi, freq := range opt.FrequenciesMHz {
-			perFreq[fi], errs[fi] = synthesizeAtFrequency(g, opt, freq, p)
+			perFreq[fi], errs[fi] = synthesizeAtFrequency(g, opt, freq, cache, p)
 			if errs[fi] != nil {
 				break
 			}
@@ -149,7 +171,7 @@ func SynthesizeContext(ctx context.Context, g *model.CommGraph, opt Options) (*R
 			wg.Add(1)
 			go func(fi int, freq float64) {
 				defer wg.Done()
-				perFreq[fi], errs[fi] = synthesizeAtFrequency(g, opt, freq, p)
+				perFreq[fi], errs[fi] = synthesizeAtFrequency(g, opt, freq, cache, p)
 			}(fi, freq)
 		}
 		wg.Wait()
@@ -165,14 +187,38 @@ func SynthesizeContext(ctx context.Context, g *model.CommGraph, opt Options) (*R
 		res.Points = append(res.Points, pts...)
 	}
 	res.Best = pickBest(res.Points, opt)
-	if res.Best != nil && opt.LPOnBest && !opt.RunLPPlacement {
-		refined := res.Best.Topology.Clone()
-		if err := place.OptimizeSwitchPositions(refined); err == nil {
-			res.Best.Topology = refined
-			res.Best.Metrics = refined.Evaluate()
-		}
+	if opt.LPOnBest && !opt.RunLPPlacement {
+		refineBest(res, opt, place.OptimizeSwitchPositions)
 	}
+	res.Cache = cache.stats()
 	return res, nil
+}
+
+// refineBest applies the switch-placement refinement to the winning design
+// point. The refined topology is re-evaluated and re-checked against every
+// constraint, and it replaces the best point only when it is still valid and
+// does not worsen the objective; otherwise the unrefined point — which was
+// already the minimum over all valid points — is kept, so Best never silently
+// ships a refinement that broke a constraint or lost to another point.
+func refineBest(res *Result, opt Options, refine func(*topology.Topology) error) {
+	best := res.Best
+	if best == nil || best.Topology == nil {
+		return
+	}
+	refined := best.Topology.Clone()
+	if err := refine(refined); err != nil {
+		return
+	}
+	m := refined.Evaluate()
+	if reason := validateTopology(refined, opt, m, best.FreqMHz); reason != "" {
+		return
+	}
+	cost := opt.PowerWeight*m.Power.TotalMW() + opt.LatencyWeight*m.AvgLatencyCycles
+	if cost > best.Cost(opt.PowerWeight, opt.LatencyWeight) {
+		return
+	}
+	best.Topology = refined
+	best.Metrics = m
 }
 
 // pickBest returns a pointer to the best valid point in pts (the slice
@@ -196,17 +242,25 @@ func pickBest(pts []DesignPoint, opt Options) *DesignPoint {
 	return &pts[bestIdx]
 }
 
+// timed runs one design-point build and stamps its wall-clock duration.
+func timed(build func() DesignPoint) DesignPoint {
+	start := time.Now()
+	dp := build()
+	dp.Elapsed = time.Since(start)
+	return dp
+}
+
 // synthesizeAtFrequency explores all switch counts for one operating
 // frequency, choosing Phase 1 / Phase 2 per the configured policy.
-func synthesizeAtFrequency(g *model.CommGraph, opt Options, freq float64, p *pool) ([]DesignPoint, error) {
+func synthesizeAtFrequency(g *model.CommGraph, opt Options, freq float64, cache *partitionCache, p *pool) ([]DesignPoint, error) {
 	switch opt.Phase {
 	case Phase2Only:
-		return phase2Sweep(g, opt, freq, p)
+		return phase2Sweep(g, opt, freq, cache, p)
 	case Phase1Only:
-		return phase1Sweep(g, opt, freq, false, p)
+		return phase1Sweep(g, opt, freq, false, cache, p)
 	default:
 		// Auto: Phase 1 with Phase 2 as fallback for unmet switch counts.
-		return phase1Sweep(g, opt, freq, true, p)
+		return phase1Sweep(g, opt, freq, true, cache, p)
 	}
 }
 
@@ -216,12 +270,14 @@ func synthesizeAtFrequency(g *model.CommGraph, opt Options, freq float64, p *poo
 // previous round left unmet. When fallbackPhase2 is set, switch counts that
 // remain unmet after the theta sweep are retried with the layer-by-layer
 // method.
-func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 bool, p *pool) ([]DesignPoint, error) {
+func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 bool, cache *partitionCache, p *pool) ([]DesignPoint, error) {
 	n := g.NumCores()
-	pg := partition.BuildPG(g, opt.Partition.Alpha)
+	pg := cache.pg(0)
 	points := make([]DesignPoint, n)
 	err := p.forEach(n,
-		func(i int) DesignPoint { return buildPhase1Point(g, opt, freq, pg, i+1, 0) },
+		func(i int) DesignPoint {
+			return timed(func() DesignPoint { return buildPhase1Point(g, opt, freq, cache, pg, i+1, 0) })
+		},
 		func(i int, dp DesignPoint) { points[i] = dp })
 	if err != nil {
 		return nil, err
@@ -239,10 +295,12 @@ func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 b
 			if len(unmet) == 0 {
 				break
 			}
-			spg := partition.BuildSPG(g, opt.Partition.Alpha, theta, opt.Partition.ThetaMax)
+			spg := cache.pg(theta)
 			retried := make([]DesignPoint, len(unmet))
 			err := p.forEach(len(unmet),
-				func(j int) DesignPoint { return buildPhase1Point(g, opt, freq, spg, unmet[j], theta) },
+				func(j int) DesignPoint {
+					return timed(func() DesignPoint { return buildPhase1Point(g, opt, freq, cache, spg, unmet[j], theta) })
+				},
 				func(j int, dp DesignPoint) { retried[j] = dp })
 			if err != nil {
 				return nil, err
@@ -261,7 +319,7 @@ func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 b
 
 	// Optional Phase-2 fallback for counts that even the SPG could not fix.
 	if fallbackPhase2 && len(unmet) > 0 && g.NumLayers() > 1 {
-		p2, err := phase2Sweep(g, opt, freq, p)
+		p2, err := phase2Sweep(g, opt, freq, cache, p)
 		if err != nil {
 			return nil, err
 		}
@@ -278,11 +336,12 @@ func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 b
 	return points, nil
 }
 
-// buildPhase1Point builds and evaluates one Phase-1 design point with the
-// given partitioning graph and switch count.
-func buildPhase1Point(g *model.CommGraph, opt Options, freq float64, pg *graph.Graph, switches int, theta float64) DesignPoint {
+// buildPhase1Point builds and evaluates one Phase-1 design point for the
+// given switch count, fetching the core partition of pg (the PG for theta 0,
+// the theta-scaled SPG otherwise) from the sweep-wide cache.
+func buildPhase1Point(g *model.CommGraph, opt Options, freq float64, cache *partitionCache, pg *graph.Graph, switches int, theta float64) DesignPoint {
 	dp := DesignPoint{FreqMHz: freq, SwitchCount: switches, Phase: 1, Theta: theta}
-	assign := partition.PartitionCores(pg, switches)
+	assign := cache.coreAssignment(pg, theta, switches)
 	blocks := graph.Blocks(assign, switches)
 
 	top := topology.New(g, opt.Lib, freq)
@@ -326,8 +385,8 @@ func buildPhase1Point(g *model.CommGraph, opt Options, freq float64, pg *graph.G
 // connectivity with adjacent-layer-only vertical links. Every sweep step
 // (number of extra switches per layer) is an independent design point
 // evaluated on the worker pool.
-func phase2Sweep(g *model.CommGraph, opt Options, freq float64, p *pool) ([]DesignPoint, error) {
-	lpgs := partition.BuildLPGs(g, opt.Partition)
+func phase2Sweep(g *model.CommGraph, opt Options, freq float64, cache *partitionCache, p *pool) ([]DesignPoint, error) {
+	lpgs := cache.layerGraphs()
 	maxSwSize := opt.Lib.MaxSwitchSize(freq)
 
 	// Minimum switches per layer (steps 2-4).
@@ -350,7 +409,9 @@ func phase2Sweep(g *model.CommGraph, opt Options, freq float64, p *pool) ([]Desi
 
 	points := make([]DesignPoint, maxExtra+1)
 	err := p.forEach(maxExtra+1,
-		func(i int) DesignPoint { return buildPhase2Point(g, opt, freq, lpgs, minPerLayer, i) },
+		func(i int) DesignPoint {
+			return timed(func() DesignPoint { return buildPhase2Point(g, opt, freq, cache, lpgs, minPerLayer, i) })
+		},
 		func(i int, dp DesignPoint) { points[i] = dp })
 	if err != nil {
 		return nil, err
@@ -360,7 +421,7 @@ func phase2Sweep(g *model.CommGraph, opt Options, freq float64, p *pool) ([]Desi
 
 // buildPhase2Point builds and evaluates the Phase-2 design point with `extra`
 // switches per layer beyond each layer's minimum.
-func buildPhase2Point(g *model.CommGraph, opt Options, freq float64, lpgs []partition.LPG, minPerLayer []int, extra int) DesignPoint {
+func buildPhase2Point(g *model.CommGraph, opt Options, freq float64, cache *partitionCache, lpgs []partition.LPG, minPerLayer []int, extra int) DesignPoint {
 	dp := DesignPoint{FreqMHz: freq, Phase: 2}
 	top := topology.New(g, opt.Lib, freq)
 	totalSwitches := 0
@@ -375,7 +436,7 @@ func buildPhase2Point(g *model.CommGraph, opt Options, freq float64, lpgs []part
 		if np < 1 {
 			np = 1
 		}
-		assignment := partition.PartitionLPG(l, np)
+		assignment := cache.lpgAssignment(j, l, np)
 		// Create one switch per block on this layer.
 		swOf := make(map[int]int, np)
 		for b := 0; b < np; b++ {
@@ -412,6 +473,7 @@ func routeConfig(opt Options, freq float64, adjacentOnly bool) route.Config {
 	cfg.AdjacentLayersOnly = adjacentOnly
 	cfg.PowerWeight = opt.PowerWeight
 	cfg.LatencyWeight = opt.LatencyWeight
+	cfg.FullRebuild = opt.FullRebuildRouter
 	return cfg
 }
 
@@ -422,6 +484,7 @@ func runAndEvaluate(top *topology.Topology, opt Options, cfg route.Config, dp De
 		dp.FailReason = err.Error()
 		return dp
 	}
+	dp.Route = res
 	if !res.Success() {
 		dp.FailReason = fmt.Sprintf("%d flows could not be routed", len(res.Failed))
 		return dp
@@ -433,25 +496,30 @@ func runAndEvaluate(top *topology.Topology, opt Options, cfg route.Config, dp De
 		}
 	}
 	dp.Metrics = top.Evaluate()
-
-	// Constraint checks.
-	if opt.MaxILL > 0 && dp.Metrics.MaxILL > opt.MaxILL {
-		dp.FailReason = fmt.Sprintf("uses %d inter-layer links (max %d)", dp.Metrics.MaxILL, opt.MaxILL)
-		return dp
-	}
-	maxSw := opt.Lib.MaxSwitchSize(dp.FreqMHz)
-	in, out := top.SwitchPorts()
-	for i := range in {
-		if in[i] > maxSw || out[i] > maxSw {
-			dp.FailReason = fmt.Sprintf("switch %d has %dx%d ports (max %d at %.0f MHz)",
-				i, in[i], out[i], maxSw, dp.FreqMHz)
-			return dp
-		}
-	}
-	if opt.RequireLatencyMet && dp.Metrics.LatencyViolations > 0 {
-		dp.FailReason = fmt.Sprintf("%d flows violate their latency constraint", dp.Metrics.LatencyViolations)
+	if reason := validateTopology(top, opt, dp.Metrics, dp.FreqMHz); reason != "" {
+		dp.FailReason = reason
 		return dp
 	}
 	dp.Valid = true
 	return dp
+}
+
+// validateTopology checks an evaluated topology against the run's
+// constraints, returning a failure reason or "" when every constraint holds.
+func validateTopology(top *topology.Topology, opt Options, m topology.Metrics, freq float64) string {
+	if opt.MaxILL > 0 && m.MaxILL > opt.MaxILL {
+		return fmt.Sprintf("uses %d inter-layer links (max %d)", m.MaxILL, opt.MaxILL)
+	}
+	maxSw := opt.Lib.MaxSwitchSize(freq)
+	in, out := top.SwitchPorts()
+	for i := range in {
+		if in[i] > maxSw || out[i] > maxSw {
+			return fmt.Sprintf("switch %d has %dx%d ports (max %d at %.0f MHz)",
+				i, in[i], out[i], maxSw, freq)
+		}
+	}
+	if opt.RequireLatencyMet && m.LatencyViolations > 0 {
+		return fmt.Sprintf("%d flows violate their latency constraint", m.LatencyViolations)
+	}
+	return ""
 }

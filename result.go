@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"sunfloor3d/internal/synth"
 	"sunfloor3d/internal/topology"
@@ -71,6 +72,22 @@ func metricsFromInternal(m topology.Metrics) Metrics {
 	}
 }
 
+// RouteStats reports what the path-computation step did for one design
+// point. Routing is deterministic given the topology, so the stats are
+// identical between serial, parallel, cached and uncached runs.
+type RouteStats struct {
+	// Routed is the number of flows that received a valid path.
+	Routed int `json:"routed"`
+	// FailedFlows is the number of flows that could not be routed.
+	FailedFlows int `json:"failed_flows,omitempty"`
+	// IndirectSwitches is the number of switches the router inserted purely
+	// to connect other switches.
+	IndirectSwitches int `json:"indirect_switches,omitempty"`
+	// DeadlockRetries counts path recomputations forced by channel
+	// dependency cycles.
+	DeadlockRetries int `json:"deadlock_retries,omitempty"`
+}
+
 // DesignPoint is one explored topology with its evaluation. The scalar
 // fields and Metrics survive JSON round trips; the synthesized topology
 // itself is only available on points produced by a live run (Topology
@@ -90,6 +107,12 @@ type DesignPoint struct {
 	FailReason string `json:"fail_reason,omitempty"`
 	// Metrics is the evaluation of the point's topology.
 	Metrics Metrics `json:"metrics"`
+	// Route reports what the router did for this point.
+	Route RouteStats `json:"route_stats"`
+	// Elapsed is the wall-clock time spent building, routing and evaluating
+	// this point. It is excluded from JSON so that serialised results stay
+	// byte-identical across runs, parallelism levels and cache settings.
+	Elapsed time.Duration `json:"-"`
 
 	topo *topology.Topology
 }
@@ -103,7 +126,14 @@ func pointFromInternal(dp synth.DesignPoint) DesignPoint {
 		Valid:       dp.Valid,
 		FailReason:  dp.FailReason,
 		Metrics:     metricsFromInternal(dp.Metrics),
-		topo:        dp.Topology,
+		Route: RouteStats{
+			Routed:           dp.Route.Routed,
+			FailedFlows:      len(dp.Route.Failed),
+			IndirectSwitches: dp.Route.IndirectSwitches,
+			DeadlockRetries:  dp.Route.DeadlockRetries,
+		},
+		Elapsed: dp.Elapsed,
+		topo:    dp.Topology,
 	}
 }
 
@@ -154,6 +184,17 @@ type Event struct {
 	Point DesignPoint `json:"point"`
 }
 
+// CacheStats reports the partition-cache activity of one synthesis run: how
+// many PG/SPG/LPG constructions and min-cut partitions were answered from the
+// sweep-wide cache versus computed. With the cache disabled every lookup is a
+// miss.
+type CacheStats struct {
+	// Hits is the number of lookups answered from the cache.
+	Hits int
+	// Misses is the number of lookups that computed their entry.
+	Misses int
+}
+
 // Result is the outcome of a synthesis run.
 type Result struct {
 	// Points holds every explored design point (valid and invalid), ordered
@@ -163,6 +204,10 @@ type Result struct {
 	// BestIndex is the index into Points of the valid point with the lowest
 	// objective, or -1 when no valid point exists.
 	BestIndex int `json:"best_index"`
+	// Cache reports the partition-cache activity of the run. It is excluded
+	// from JSON so that cache-enabled and cache-disabled runs serialise to
+	// byte-identical results.
+	Cache CacheStats `json:"-"`
 }
 
 func resultFromInternal(r *synth.Result) *Result {
@@ -175,6 +220,7 @@ func resultFromInternal(r *synth.Result) *Result {
 			out.BestIndex = i
 		}
 	}
+	out.Cache = CacheStats{Hits: r.Cache.Hits, Misses: r.Cache.Misses}
 	return out
 }
 
