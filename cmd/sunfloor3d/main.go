@@ -13,6 +13,12 @@
 // and evaluated on -jobs parallel workers; -json replaces the text summary on
 // stdout with the structured result. Press Ctrl-C to cancel a long sweep.
 //
+// With -simulate the flit-level traffic simulator runs on every valid design
+// point (profile selected by -sim-profile: uniform, bursty or hotspot, seeded
+// by -sim-seed, scaled by -sim-scale, for -sim-cycles injection cycles) and
+// the best point's per-flow latency/throughput, link/switch utilization and
+// deadlock-watchdog report is written to sim.txt.
+//
 // The spec file formats are documented in internal/model (one "core" or
 // "flow" line per entity). Use cmd/specgen to emit the paper's benchmark
 // suite in this format.
@@ -53,6 +59,12 @@ func run() error {
 		floorplan = flag.Bool("floorplan", true, "insert the NoC components into the floorplan")
 		asJSON    = flag.Bool("json", false, "print the structured result as JSON on stdout instead of the text summary")
 		progress  = flag.Bool("progress", false, "report each evaluated design point on stderr")
+
+		simulate   = flag.Bool("simulate", false, "run the flit-level traffic simulator on every valid design point")
+		simCycles  = flag.Int("sim-cycles", 0, "simulation injection horizon in cycles (0 = default)")
+		simProfile = flag.String("sim-profile", "uniform", "traffic profile: uniform, bursty or hotspot")
+		simSeed    = flag.Int64("sim-seed", 1, "seed of the randomised injection profiles")
+		simScale   = flag.Float64("sim-scale", 1.0, "injection-rate multiplier on every flow bandwidth")
 	)
 	flag.Parse()
 	if *coreFile == "" || *commFile == "" {
@@ -83,6 +95,20 @@ func run() error {
 		sunfloor3d.WithAlpha(*alpha),
 		sunfloor3d.WithObjective(*powerW, *latencyW),
 		sunfloor3d.WithParallelism(*jobs),
+	}
+	if *simulate {
+		profile, err := sunfloor3d.ParseSimProfile(*simProfile)
+		if err != nil {
+			return err
+		}
+		simCfg := sunfloor3d.DefaultSimConfig()
+		simCfg.Profile = profile
+		simCfg.Seed = *simSeed
+		simCfg.InjectionScale = *simScale
+		if *simCycles > 0 {
+			simCfg.Cycles = *simCycles
+		}
+		opts = append(opts, sunfloor3d.WithSimulation(simCfg))
 	}
 	if *progress {
 		opts = append(opts, sunfloor3d.WithProgress(func(ev sunfloor3d.Event) {
@@ -153,6 +179,20 @@ func run() error {
 		}
 		if err := writeFile("floorplan.txt", fp.Text()); err != nil {
 			return err
+		}
+	}
+
+	if *simulate {
+		if best.Sim == nil {
+			return fmt.Errorf("best point carries no simulation statistics")
+		}
+		if err := writeFile("sim.txt", best.Sim.Report()); err != nil {
+			return err
+		}
+		if !*asJSON {
+			fmt.Printf("simulated %s traffic for %d cycles: %d/%d packets delivered, avg latency %.2f cycles, deadlock=%v\n",
+				best.Sim.Profile, best.Sim.Cycles, best.Sim.PacketsDelivered, best.Sim.PacketsInjected,
+				best.Sim.AvgLatencyCycles, best.Sim.Deadlock)
 		}
 	}
 

@@ -44,6 +44,41 @@
 // original recompute-everything configuration and records the speedups to
 // BENCH_PR2.json.
 //
+// # Flit-level simulation
+//
+// WithSimulation(SimConfig) runs a deterministic, seedable flit-level
+// wormhole simulator on every valid design point and attaches the resulting
+// SimStats to DesignPoint.Sim: per-flow achieved latency and throughput,
+// per-link and per-switch utilization, and a runtime deadlock/livelock
+// watchdog verdict. The simulator replays the committed per-flow routes with
+// finite virtual-channel buffers, credit-based flow control and round-robin
+// output arbitration under one of three injection profiles (SimUniform,
+// SimBursty, SimHotspot). Topology.Simulate re-simulates one synthesized
+// topology under further traffic scenarios without re-running synthesis, and
+// Topology.ZeroLoadLatencies measures every flow in isolation.
+//
+// The simulator and the analytic models are kept in exact agreement, and the
+// test suite enforces it on every benchmark:
+//
+//   - Zero-contention simulated head-flit latency equals
+//     Metrics latencies (Topology.FlowLatencyCycles) exactly. The shared
+//     model: one cycle per traversed switch, plus LinkPipelineStages for
+//     each core-to-switch, switch-to-switch and switch-to-core link at the
+//     current switch positions. The NI itself is charged zero cycles — its
+//     injection link costs only its pipeline stages — matching the analytic
+//     zero-load model. No intentional modeling gap remains; contention,
+//     serialisation (packets longer than one flit) and arbitration delays
+//     appear only under load, which is the simulator's purpose.
+//   - A design point whose channel dependency graph is acyclic
+//     (internal/route.DeadlockFree, the static check of Algorithm 3) never
+//     trips the simulator's runtime deadlock watchdog; hand-built cyclic
+//     route sets do.
+//
+// SimStats is deterministic — same topology, config and seed give
+// byte-identical statistics — and is excluded from Result JSON the way
+// Elapsed and Cache are, so serialised results stay byte-identical with and
+// without simulation.
+//
 // The implementation lives in the internal/ packages:
 //
 //   - internal/model      — cores, flows and the communication graph
@@ -53,6 +88,7 @@
 //   - internal/lp         — simplex LP solver for switch placement
 //   - internal/topology   — the NoC topology data structure and its evaluation
 //   - internal/route      — deadlock-free path computation under 3-D constraints
+//   - internal/sim        — deterministic flit-level wormhole traffic simulator
 //   - internal/place      — switch-position LP and floorplan insertion
 //   - internal/floorplan  — SA sequence-pair floorplanner (Parquet substitute)
 //   - internal/mesh       — optimized-mesh baseline

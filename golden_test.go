@@ -1,0 +1,159 @@
+package sunfloor3d_test
+
+// Golden-corpus regression tests: the canonical JSON serialisation of the
+// synthesis result for a set of fixed benchmark specs is committed under
+// testdata/golden/. Any change to partitioning, routing, placement,
+// evaluation or the result schema that alters synthesis output shows up as a
+// byte-level diff against the corpus. After an intentional change, regenerate
+// the corpus with:
+//
+//	go test -run TestGoldenCorpus -update .
+//
+// and review the diff like any other code change.
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sunfloor3d"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// goldenCase is one fixed benchmark spec of the corpus. All inputs are fully
+// deterministic: generated benchmarks use a fixed seed, and synthesis is
+// deterministic regardless of parallelism or caching.
+type goldenCase struct {
+	name   string
+	design func(t *testing.T) *sunfloor3d.Design
+	opts   []sunfloor3d.Option
+}
+
+func goldenCases() []goldenCase {
+	fromBench := func(name string, flat bool) func(t *testing.T) *sunfloor3d.Design {
+		return func(t *testing.T) *sunfloor3d.Design {
+			t.Helper()
+			b, err := sunfloor3d.BenchmarkByName(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if flat {
+				return b.Graph2D
+			}
+			return b.Graph3D
+		}
+	}
+	return []goldenCase{
+		{
+			// The paper's multimedia SoC with the default single-frequency
+			// sweep and constraints.
+			name:   "d26_media_defaults",
+			design: fromBench("D_26_media", false),
+		},
+		{
+			// The flattened 2-D reference of the same design: exercises the
+			// single-layer degenerate path (no theta sweep, no Phase 2).
+			name:   "d26_media_2d",
+			design: fromBench("D_26_media", true),
+		},
+		{
+			// A distributed benchmark across a two-frequency sweep: exercises
+			// the partition cache and multi-frequency ordering.
+			name:   "d36_4_two_freqs",
+			design: fromBench("D_36_4", false),
+			opts: []sunfloor3d.Option{
+				sunfloor3d.WithFrequenciesMHz(400, 600),
+			},
+		},
+		{
+			// The hand-written API test design with a tight inter-layer link
+			// budget: exercises constraint rejections and Phase fallback.
+			name:   "api_design_tight_ill",
+			design: apiDesign,
+			opts: []sunfloor3d.Option{
+				sunfloor3d.WithFrequenciesMHz(400, 600, 800),
+				sunfloor3d.WithMaxILL(6),
+			},
+		},
+	}
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := sunfloor3d.Synthesize(context.Background(), tc.design(t), tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := res.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, buf.Len())
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run 'go test -run TestGoldenCorpus -update .'): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("synthesis output drifted from %s.\n"+
+					"If the change is intentional, regenerate with 'go test -run TestGoldenCorpus -update .' and review the diff.\n"+
+					"got %d bytes, want %d bytes%s",
+					path, buf.Len(), len(want), firstDiff(buf.Bytes(), want))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first divergence between two byte slices for the
+// failure message.
+func firstDiff(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			lo := i - 60
+			if lo < 0 {
+				lo = 0
+			}
+			hiG, hiW := i+60, i+60
+			if hiG > len(got) {
+				hiG = len(got)
+			}
+			if hiW > len(want) {
+				hiW = len(want)
+			}
+			return "\nfirst diff at byte " + itoa(i) +
+				":\n got: ..." + string(got[lo:hiG]) + "...\nwant: ..." + string(want[lo:hiW]) + "..."
+		}
+	}
+	return "\none output is a prefix of the other"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,71 @@
+package floorplan
+
+// Additional annealer tests: validation through the seeded entry point and
+// behaviour of the displacement-penalised constrained mode on rectangular
+// (non-square) block mixes.
+
+import (
+	"testing"
+
+	"sunfloor3d/internal/geom"
+)
+
+// TestFloorplanWithInitialValidation covers the validation paths of the
+// seeded entry point, which shares the annealer with Floorplan but performs
+// its own argument checking first.
+func TestFloorplanWithInitialValidation(t *testing.T) {
+	blocks := squareBlocks(3, 1)
+	good := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}}
+	if _, err := FloorplanWithInitial(blocks, nil, good[:2], DefaultParams(1)); err == nil {
+		t.Error("length mismatch between blocks and initial positions should fail")
+	}
+	if _, err := FloorplanWithInitial(nil, nil, nil, DefaultParams(1)); err == nil {
+		t.Error("empty block list should fail")
+	}
+	bad := squareBlocks(3, 1)
+	bad[1].W = 0
+	if _, err := FloorplanWithInitial(bad, nil, good, DefaultParams(1)); err == nil {
+		t.Error("non-positive block size should fail")
+	}
+	if _, err := FloorplanWithInitial(blocks, []Net{{A: 0, B: 7, Weight: 1}}, good, DefaultParams(1)); err == nil {
+		t.Error("net referencing a missing block should fail")
+	}
+	res, err := FloorplanWithInitial(blocks, nil, good, DefaultParams(1))
+	if err != nil {
+		t.Fatalf("valid seeded floorplan failed: %v", err)
+	}
+	noOverlaps(t, blocks, res)
+}
+
+// TestSeededRunIsDeterministic checks that the seeded entry point is as
+// reproducible as the unseeded one: identical inputs give identical packings.
+func TestSeededRunIsDeterministic(t *testing.T) {
+	blocks := []Block{
+		{Name: "wide", W: 4, H: 1},
+		{Name: "tall", W: 1, H: 4, Fixed: true},
+		{Name: "sq1", W: 2, H: 2},
+		{Name: "sq2", W: 2, H: 2, Fixed: true},
+		{Name: "tiny", W: 0.5, H: 0.5},
+	}
+	initial := []geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 5, Y: 0}, {X: 0, Y: 2}, {X: 7, Y: 0}}
+	p := DefaultParams(11)
+	p.Constrained = true
+	p.DisplacementWeight = 0.5
+	a, err := FloorplanWithInitial(blocks, []Net{{A: 0, B: 4, Weight: 2}}, initial, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FloorplanWithInitial(blocks, []Net{{A: 0, B: 4, Weight: 2}}, initial, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			t.Fatalf("block %d placed at %v then %v with identical inputs", i, a.Positions[i], b.Positions[i])
+		}
+	}
+	noOverlaps(t, blocks, a)
+	if a.AreaMM2 != a.BoundingBox.Area() {
+		t.Errorf("area %g disagrees with bounding box %v", a.AreaMM2, a.BoundingBox)
+	}
+}

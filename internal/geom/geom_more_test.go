@@ -1,0 +1,122 @@
+package geom
+
+// Table-driven tests for the 3-D distance model and the rectangle clamping
+// math the placement and evaluation steps depend on.
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestManhattan3DTable(t *testing.T) {
+	tests := []struct {
+		name  string
+		a, b  Point3D
+		pitch float64
+		want  float64
+	}{
+		{"same_point", Point3D{1, 2, 0}, Point3D{1, 2, 0}, 0.05, 0},
+		{"planar_only", Point3D{0, 0, 1}, Point3D{3, 4, 1}, 0.05, 7},
+		{"vertical_only", Point3D{2, 2, 0}, Point3D{2, 2, 3}, 0.05, 0.15},
+		{"mixed", Point3D{0, 0, 0}, Point3D{1, 1, 2}, 0.5, 3},
+		{"downward", Point3D{0, 0, 4}, Point3D{0, 0, 1}, 1.0, 3},
+		{"zero_pitch", Point3D{0, 0, 0}, Point3D{1, 0, 5}, 0, 1},
+	}
+	for _, tc := range tests {
+		if got := Manhattan3D(tc.a, tc.b, tc.pitch); !AlmostEqual(got, tc.want, 1e-12) {
+			t.Errorf("%s: Manhattan3D(%v, %v, %g) = %g, want %g",
+				tc.name, tc.a, tc.b, tc.pitch, got, tc.want)
+		}
+	}
+}
+
+func TestManhattan3DSymmetryAndPlanarReduction(t *testing.T) {
+	f := func(ax, ay, bx, by int16, al, bl uint8, pitch uint8) bool {
+		a := Point3D{X: float64(ax), Y: float64(ay), Layer: int(al % 8)}
+		b := Point3D{X: float64(bx), Y: float64(by), Layer: int(bl % 8)}
+		p := float64(pitch) / 16
+		if Manhattan3D(a, b, p) != Manhattan3D(b, a, p) {
+			return false
+		}
+		// Vertical distance only ever adds on top of the planar distance.
+		return Manhattan3D(a, b, p) >= Manhattan(a.Planar(), b.Planar())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampAndDistanceTable(t *testing.T) {
+	r := Rect{X: 1, Y: 2, W: 4, H: 2} // spans [1,5] x [2,4]
+	tests := []struct {
+		name     string
+		p        Point
+		clamp    Point
+		distance float64
+	}{
+		{"inside", Point{3, 3}, Point{3, 3}, 0},
+		{"on_corner", Point{1, 2}, Point{1, 2}, 0},
+		{"left_of", Point{0, 3}, Point{1, 3}, 1},
+		{"above_right", Point{7, 6}, Point{5, 4}, 4},
+		{"below", Point{3, -1}, Point{3, 2}, 3},
+		{"far_diagonal", Point{-2, 10}, Point{1, 4}, 9},
+	}
+	for _, tc := range tests {
+		if got := r.ClampPoint(tc.p); got != tc.clamp {
+			t.Errorf("%s: ClampPoint(%v) = %v, want %v", tc.name, tc.p, got, tc.clamp)
+		}
+		if got := r.DistanceToPoint(tc.p); !AlmostEqual(got, tc.distance, 1e-12) {
+			t.Errorf("%s: DistanceToPoint(%v) = %g, want %g", tc.name, tc.p, got, tc.distance)
+		}
+	}
+}
+
+func TestOverlapAreaTable(t *testing.T) {
+	base := Rect{X: 0, Y: 0, W: 4, H: 4}
+	tests := []struct {
+		name string
+		s    Rect
+		want float64
+	}{
+		{"identical", Rect{0, 0, 4, 4}, 16},
+		{"quarter", Rect{2, 2, 4, 4}, 4},
+		{"edge_touch", Rect{4, 0, 2, 2}, 0},
+		{"disjoint", Rect{9, 9, 1, 1}, 0},
+		{"contained", Rect{1, 1, 2, 2}, 4},
+		{"sliver", Rect{3.5, 0, 4, 4}, 2},
+	}
+	for _, tc := range tests {
+		if got := base.OverlapArea(tc.s); !AlmostEqual(got, tc.want, 1e-12) {
+			t.Errorf("%s: OverlapArea = %g, want %g", tc.name, got, tc.want)
+		}
+		if got := tc.s.OverlapArea(base); !AlmostEqual(got, tc.want, 1e-12) {
+			t.Errorf("%s: OverlapArea not symmetric: %g, want %g", tc.name, got, tc.want)
+		}
+		if (tc.want > 0) != base.Overlaps(tc.s) {
+			t.Errorf("%s: Overlaps = %v inconsistent with area %g", tc.name, base.Overlaps(tc.s), tc.want)
+		}
+	}
+}
+
+func TestBoundingBoxProperties(t *testing.T) {
+	f := func(coords [6]int8) bool {
+		rects := []Rect{
+			{float64(coords[0]), float64(coords[1]), 1 + math.Abs(float64(coords[2])), 2},
+			{float64(coords[3]), float64(coords[4]), 3, 1 + math.Abs(float64(coords[5]))},
+		}
+		bb := BoundingBox(rects)
+		for _, r := range rects {
+			if r.X < bb.X || r.Y < bb.Y || r.MaxX() > bb.MaxX()+1e-9 || r.MaxY() > bb.MaxY()+1e-9 {
+				return false
+			}
+		}
+		return bb.Area() >= rects[0].Area() && bb.Area() >= rects[1].Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if bb := BoundingBox(nil); bb != (Rect{}) {
+		t.Errorf("BoundingBox(nil) = %v, want zero rect", bb)
+	}
+}

@@ -34,16 +34,24 @@ func PartitionK(g *Graph, k int) []int {
 		return assign
 	}
 	und := g.Undirected()
+	// Sorted neighbour lists, computed once: every weight summation below
+	// iterates neighbours in this fixed order so the float accumulation —
+	// and with it the whole partition — is bit-deterministic across runs,
+	// without re-sorting inside the refinement loops.
+	nbrs := make([][]int, n)
+	for v := 0; v < n; v++ {
+		nbrs[v] = und.Successors(v)
+	}
 	verts := make([]int, n)
 	for i := range verts {
 		verts[i] = i
 	}
-	partitionRec(und, verts, k, 0, assign)
+	partitionRec(und, nbrs, verts, k, 0, assign)
 	return assign
 }
 
 // partitionRec assigns block identifiers [base, base+k) to the given vertices.
-func partitionRec(und *Graph, verts []int, k, base int, assign []int) {
+func partitionRec(und *Graph, nbrs [][]int, verts []int, k, base int, assign []int) {
 	if k == 1 {
 		for _, v := range verts {
 			assign[v] = base
@@ -55,9 +63,9 @@ func partitionRec(und *Graph, verts []int, k, base int, assign []int) {
 	// Split the vertex count proportionally to the number of blocks on each
 	// side so that the leaves end up with floor(n/k) or ceil(n/k) vertices.
 	sizeA := balancedSplit(len(verts), k, kA)
-	sideA, sideB := bisect(und, verts, sizeA)
-	partitionRec(und, sideA, kA, base, assign)
-	partitionRec(und, sideB, kB, base+kA, assign)
+	sideA, sideB := bisect(und, nbrs, verts, sizeA)
+	partitionRec(und, nbrs, sideA, kA, base, assign)
+	partitionRec(und, nbrs, sideB, kB, base+kA, assign)
 }
 
 // balancedSplit returns how many of n vertices go to the side that will hold
@@ -76,7 +84,7 @@ func balancedSplit(n, k, kA int) int {
 
 // bisect splits verts into two groups of sizes sizeA and len(verts)-sizeA
 // minimising the cut between them (heuristically).
-func bisect(und *Graph, verts []int, sizeA int) (a, b []int) {
+func bisect(und *Graph, nbrs [][]int, verts []int, sizeA int) (a, b []int) {
 	n := len(verts)
 	if sizeA <= 0 {
 		return nil, append([]int(nil), verts...)
@@ -93,7 +101,7 @@ func bisect(und *Graph, verts []int, sizeA int) (a, b []int) {
 	// weight inside this sub-problem. Growing a connected cluster keeps
 	// highly-communicating cores together, which is exactly what the paper
 	// wants from the min-cut partitioner.
-	order := bfsOrder(und, verts, inSet)
+	order := bfsOrder(und, nbrs, verts, inSet)
 	side := make(map[int]int, n) // vertex -> 0 (A) or 1 (B)
 	for i, v := range order {
 		if i < sizeA {
@@ -116,7 +124,7 @@ func bisect(und *Graph, verts []int, sizeA int) (a, b []int) {
 				if side[vb] != 1 {
 					continue
 				}
-				g := swapGain(und, inSet, side, va, vb)
+				g := swapGain(und, nbrs, inSet, side, va, vb)
 				if g > bestGain+1e-12 {
 					bestGain, bestA, bestB = g, va, vb
 				}
@@ -144,14 +152,19 @@ func bisect(und *Graph, verts []int, sizeA int) (a, b []int) {
 // the vertex with the largest incident weight, visiting neighbours in order
 // of decreasing connecting weight. Vertices unreachable from the seed are
 // appended by the same criterion.
-func bfsOrder(und *Graph, verts []int, inSet map[int]bool) []int {
-	// Incident weight inside the sub-problem.
+func bfsOrder(und *Graph, nbrs [][]int, verts []int, inSet map[int]bool) []int {
+	// Incident weight inside the sub-problem. Neighbours are summed in the
+	// precomputed sorted order: map iteration order would change the float
+	// accumulation order between runs, and the resulting ULP-level
+	// differences can flip the sort below — the partitioner must be
+	// bit-deterministic because the engine's cached and uncached sweeps both
+	// rely on recomputing identical partitions.
 	weight := make(map[int]float64, len(verts))
 	for _, v := range verts {
 		var w float64
-		for u, ew := range und.adj[v] {
+		for _, u := range nbrs[v] {
 			if inSet[u] {
-				w += ew
+				w += und.adj[v][u]
 			}
 		}
 		weight[v] = w
@@ -178,20 +191,20 @@ func bfsOrder(und *Graph, verts []int, inSet map[int]bool) []int {
 			order = append(order, u)
 			// Visit neighbours by decreasing edge weight for determinism and
 			// cluster quality.
-			var nbrs []int
-			for v := range und.adj[u] {
+			var next []int
+			for _, v := range nbrs[u] {
 				if inSet[v] && !visited[v] {
-					nbrs = append(nbrs, v)
+					next = append(next, v)
 				}
 			}
-			sort.Slice(nbrs, func(i, j int) bool {
-				wi, wj := und.adj[u][nbrs[i]], und.adj[u][nbrs[j]]
+			sort.Slice(next, func(i, j int) bool {
+				wi, wj := und.adj[u][next[i]], und.adj[u][next[j]]
 				if wi != wj {
 					return wi > wj
 				}
-				return nbrs[i] < nbrs[j]
+				return next[i] < next[j]
 			})
-			for _, v := range nbrs {
+			for _, v := range next {
 				visited[v] = true
 				queue = append(queue, v)
 			}
@@ -202,12 +215,15 @@ func bfsOrder(und *Graph, verts []int, inSet map[int]bool) []int {
 
 // swapGain returns the reduction in cut weight obtained by swapping va (in
 // side 0) with vb (in side 1). Positive is better.
-func swapGain(und *Graph, inSet map[int]bool, side map[int]int, va, vb int) float64 {
+func swapGain(und *Graph, nbrs [][]int, inSet map[int]bool, side map[int]int, va, vb int) float64 {
+	// Sum in the precomputed sorted neighbour order for bit-deterministic
+	// gains (see the matching comment in bfsOrder).
 	ext := func(v, own int) (external, internal float64) {
-		for u, w := range und.adj[v] {
+		for _, u := range nbrs[v] {
 			if !inSet[u] || u == va || u == vb {
 				continue
 			}
+			w := und.adj[v][u]
 			if side[u] == own {
 				internal += w
 			} else {

@@ -174,6 +174,23 @@ func (l Library) SwitchPowerMW(inPorts, outPorts int, freqMHz, trafficMBps float
 	return static*l.freqScale(freqMHz) + dynamic
 }
 
+// SwitchPortMarginalMW returns the static power of adding one port to a
+// switch dimension (input or output) currently holding `current` ports, at
+// freqMHz. It equals SwitchPowerMW(current+1, other, f, 0) −
+// SwitchPowerMW(current, other, f, 0) — zero when current is 0, because
+// SwitchPowerMW clamps empty dimensions to one port — but is computed in
+// closed form so the result is bit-identical regardless of the other
+// dimension's port count. The router's incremental cost invalidation relies
+// on that exact independence: a subtraction of two SwitchPowerMW
+// evaluations drifts by ULPs as the other dimension grows, which is enough
+// to flip shortest-path ties.
+func (l Library) SwitchPortMarginalMW(current int, freqMHz float64) float64 {
+	if current < 1 {
+		return 0
+	}
+	return l.SwitchPortPowerMW * l.freqScale(freqMHz)
+}
+
 // SwitchAreaMM2 returns the silicon area of a switch with the given port
 // counts. Crossbar area grows with the product of input and output ports.
 func (l Library) SwitchAreaMM2(inPorts, outPorts int) float64 {

@@ -1,0 +1,190 @@
+package partition_test
+
+// Fuzz harness for the partitioning graphs and the min-cut partitioner on
+// randomized communication graphs: construction and partitioning must never
+// panic, every partition must be a complete assignment into the requested
+// number of non-empty blocks, repeated runs must be deterministic, and the
+// cache construction path (BuildSPGFrom over a shared PG) must produce
+// graphs identical to the direct BuildSPG — the equivalence that makes the
+// sweep-wide partition cache sound.
+
+import (
+	"testing"
+
+	"sunfloor3d/internal/graph"
+	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/partition"
+)
+
+// buildGraph decodes the fuzz input into a communication graph, or nil when
+// the decoded design is degenerate.
+func buildGraph(data []byte) *model.CommGraph {
+	at := func(i int) byte {
+		if i < len(data) {
+			return data[i]
+		}
+		return byte(i*31 + 7)
+	}
+	nCores := 2 + int(at(0))%11 // 2..12
+	nLayers := 1 + int(at(1))%4 // 1..4
+	nFlows := 1 + int(at(2))%24 // 1..24
+
+	cores := make([]model.Core, nCores)
+	for i := range cores {
+		cores[i] = model.Core{
+			Name:   "c" + string(rune('a'+i)),
+			Width:  1 + float64(at(3+i)%5)/4,
+			Height: 1 + float64(at(4+i)%5)/4,
+			X:      float64(at(5+i) % 13),
+			Y:      float64(at(6+i) % 13),
+			Layer:  int(at(7+i)) % nLayers,
+		}
+	}
+	var flows []model.Flow
+	for i := 0; i < nFlows; i++ {
+		src := int(at(8+2*i)) % nCores
+		dst := int(at(9+2*i)) % nCores
+		if src == dst {
+			continue
+		}
+		flows = append(flows, model.Flow{
+			Src: src, Dst: dst,
+			BandwidthMBps: float64(10 * (1 + int(at(10+3*i))%100)),
+			LatencyCycles: float64(int(at(11+3*i)) % 10),
+		})
+	}
+	if len(flows) == 0 {
+		return nil
+	}
+	g, err := model.NewCommGraph(cores, flows)
+	if err != nil {
+		return nil
+	}
+	return g
+}
+
+// graphsEqual compares two weighted graphs edge for edge.
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAssignment verifies a k-way partition: complete, in range, non-empty
+// blocks, and stable under recomputation.
+func checkAssignment(t *testing.T, what string, assign []int, n, k int) {
+	t.Helper()
+	if len(assign) != n {
+		t.Fatalf("%s: %d assignments for %d vertices", what, len(assign), n)
+	}
+	seen := make([]int, k)
+	for v, b := range assign {
+		if b < 0 || b >= k {
+			t.Fatalf("%s: vertex %d in block %d (k=%d)", what, v, b, k)
+		}
+		seen[b]++
+	}
+	if n >= k {
+		for b, c := range seen {
+			if c == 0 {
+				t.Fatalf("%s: block %d empty (n=%d, k=%d, sizes=%v)", what, b, n, k, seen)
+			}
+		}
+	}
+}
+
+func FuzzPartitionMinCut(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3})
+	f.Add([]byte{11, 3, 20, 0, 255, 0, 255, 0, 255, 0, 255, 0, 255, 0, 255, 0, 255, 0, 255})
+	f.Add([]byte{6, 2, 12, 40, 41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51, 52, 53, 54, 55})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := buildGraph(data)
+		if g == nil {
+			return
+		}
+		params := partition.DefaultParams()
+		if len(data) > 2 {
+			params.Alpha = float64(int(data[2])%5) / 4 // 0, 0.25, .., 1
+		}
+		if err := params.Validate(); err != nil {
+			t.Fatalf("derived params invalid: %v", err)
+		}
+
+		pg := partition.BuildPG(g, params.Alpha)
+		if pg.NumVertices() != g.NumCores() {
+			t.Fatalf("PG has %d vertices for %d cores", pg.NumVertices(), g.NumCores())
+		}
+
+		// Cache-path equivalence: deriving every SPG of the theta sweep from
+		// the shared PG must equal building it directly from the design.
+		for _, theta := range params.ThetaSweep() {
+			direct := partition.BuildSPG(g, params.Alpha, theta, params.ThetaMax)
+			derived := partition.BuildSPGFrom(pg, g, theta, params.ThetaMax)
+			if !graphsEqual(direct, derived) {
+				t.Fatalf("SPG(theta=%g) differs between direct and PG-derived construction", theta)
+			}
+		}
+
+		// Min-cut partitions of the PG for every feasible switch count.
+		for k := 1; k <= g.NumCores(); k++ {
+			assign := partition.PartitionCores(pg, k)
+			checkAssignment(t, "PG", assign, g.NumCores(), k)
+			again := partition.PartitionCores(pg, k)
+			for v := range assign {
+				if assign[v] != again[v] {
+					t.Fatalf("PG partition k=%d not deterministic at vertex %d", k, v)
+				}
+			}
+			// The reported cut must match the assignment.
+			cut := pg.CutWeight(assign)
+			if cut < 0 {
+				t.Fatalf("negative cut weight %g", cut)
+			}
+		}
+
+		// Per-layer LPGs: every core of the layer appears, and partitions are
+		// complete for every feasible block count.
+		lpgs := partition.BuildLPGs(g, params)
+		coresSeen := 0
+		for _, l := range lpgs {
+			coresSeen += len(l.Vertices)
+			if len(l.Vertices) == 0 {
+				continue
+			}
+			for np := 1; np <= len(l.Vertices); np++ {
+				m := partition.PartitionLPG(l, np)
+				if len(m) != len(l.Vertices) {
+					t.Fatalf("layer %d: %d assigned of %d cores", l.Layer, len(m), len(l.Vertices))
+				}
+				for core, b := range m {
+					if g.Cores[core].Layer != l.Layer {
+						t.Fatalf("layer %d assignment contains core %d of layer %d",
+							l.Layer, core, g.Cores[core].Layer)
+					}
+					if b < 0 || b >= np {
+						t.Fatalf("layer %d: core %d in block %d of %d", l.Layer, core, b, np)
+					}
+				}
+			}
+			// Switch layer rules must return a layer touched by the block.
+			if ly := partition.SwitchLayerFromBlock(g, l.Vertices); ly != l.Layer {
+				t.Fatalf("single-layer block resolved to layer %d, want %d", ly, l.Layer)
+			}
+			if ly := partition.SwitchLayerMajority(g, l.Vertices); ly != l.Layer {
+				t.Fatalf("majority of single-layer block resolved to layer %d, want %d", ly, l.Layer)
+			}
+		}
+		if coresSeen != g.NumCores() {
+			t.Fatalf("LPGs cover %d of %d cores", coresSeen, g.NumCores())
+		}
+	})
+}

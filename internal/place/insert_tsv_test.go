@@ -1,0 +1,235 @@
+package place
+
+// Table-driven tests for TSV macro placement: every vertical link must
+// reserve one macro per strictly intermediate layer, sized to the library's
+// TSV macro area, placed near the link it serves, and the final floorplan
+// must stay overlap free. Also covers the insertion edge cases: switches
+// above the core layers, unattached cores, zero-size components and the
+// negative-coordinate placement guard.
+
+import (
+	"math"
+	"testing"
+
+	"sunfloor3d/internal/geom"
+	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/noclib"
+	"sunfloor3d/internal/topology"
+)
+
+// tsvCase builds a two-switch topology with one routed flow whose endpoints
+// sit on the given switch layers.
+type tsvCase struct {
+	name               string
+	srcLayer, dstLayer int
+	// coreSpan additionally lifts the destination core this many layers above
+	// its switch, adding core-to-switch macro crossings.
+	coreSpan int
+	// wantMacros is the expected number of explicit TSV macro blocks.
+	wantMacros int
+}
+
+func buildTSVTopology(t *testing.T, tc tsvCase) *topology.Topology {
+	t.Helper()
+	nLayers := tc.srcLayer + 1
+	for _, l := range []int{tc.dstLayer + 1, tc.dstLayer + tc.coreSpan + 1} {
+		if l > nLayers {
+			nLayers = l
+		}
+	}
+	cores := []model.Core{
+		{Name: "src", Width: 2, Height: 2, X: 0, Y: 0, Layer: tc.srcLayer},
+		{Name: "dst", Width: 2, Height: 2, X: 6, Y: 6, Layer: tc.dstLayer + tc.coreSpan},
+	}
+	flows := []model.Flow{{Src: 0, Dst: 1, BandwidthMBps: 400}}
+	g, err := model.NewCommGraph(cores, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := topology.New(g, noclib.DefaultLibrary(), 400)
+	s0 := top.AddSwitch(tc.srcLayer)
+	s1 := top.AddSwitch(tc.dstLayer)
+	top.AttachCore(0, s0)
+	top.AttachCore(1, s1)
+	top.Switches[s0].Pos = geom.Point{X: 1, Y: 1}
+	top.Switches[s1].Pos = geom.Point{X: 7, Y: 7}
+	top.SetRoute(0, []int{s0, s1})
+	return top
+}
+
+func TestTSVMacroPlacementBounds(t *testing.T) {
+	cases := []tsvCase{
+		// Adjacent layers: no intermediate layer, no explicit macro.
+		{name: "adjacent_up", srcLayer: 0, dstLayer: 1, wantMacros: 0},
+		// One intermediate layer on the switch link.
+		{name: "span2_up", srcLayer: 0, dstLayer: 2, wantMacros: 1},
+		// Downward link: same crossing counted from the other end.
+		{name: "span2_down", srcLayer: 2, dstLayer: 0, wantMacros: 1},
+		// Two intermediate layers.
+		{name: "span3_up", srcLayer: 0, dstLayer: 3, wantMacros: 2},
+		// Core two layers above its switch adds a core-to-switch crossing.
+		{name: "core_span2", srcLayer: 0, dstLayer: 0, coreSpan: 2, wantMacros: 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			top := buildTSVTopology(t, tc)
+			fp, err := InsertNoC(top)
+			if err != nil {
+				t.Fatalf("InsertNoC: %v", err)
+			}
+			if fp.HasOverlaps() {
+				t.Fatal("floorplan has overlaps")
+			}
+			macroArea := top.Lib.TSVMacroAreaMM2()
+			var macros []Component
+			for _, c := range fp.Components() {
+				if c.Kind == KindTSVMacro {
+					macros = append(macros, c)
+				}
+			}
+			if len(macros) != tc.wantMacros {
+				t.Fatalf("placed %d TSV macros, want %d", len(macros), tc.wantMacros)
+			}
+			lo, hi := tc.srcLayer, tc.dstLayer
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			// The link endpoints (switches and the lifted core) bound the
+			// region a macro may legally serve; the spiral search may move a
+			// macro by at most 8 steps of half its side.
+			slack := 8 * math.Sqrt(macroArea) / 2
+			region := geom.Rect{X: -slack, Y: -slack, W: 9 + 2*slack, H: 9 + 2*slack}
+			for _, m := range macros {
+				if m.Layer <= lo && tc.coreSpan == 0 || m.Layer >= hi && tc.coreSpan == 0 {
+					t.Errorf("macro %s on endpoint layer %d (link %d-%d)", m.Name, m.Layer, lo, hi)
+				}
+				if !geom.AlmostEqual(m.Rect.Area(), macroArea, 1e-9) {
+					t.Errorf("macro %s area %g, want %g", m.Name, m.Rect.Area(), macroArea)
+				}
+				if !region.Contains(m.Rect.Center()) {
+					t.Errorf("macro %s at %v strays outside the link region %v", m.Name, m.Rect, region)
+				}
+			}
+		})
+	}
+}
+
+// TestInsertNoCUnattachedCoreAndTallSwitch covers the insertion tolerances:
+// a switch above every core layer extends the layer count, and a core left
+// unattached (mid-synthesis state) is skipped rather than crashing.
+func TestInsertNoCUnattachedCoreAndTallSwitch(t *testing.T) {
+	cores := []model.Core{
+		{Name: "a", Width: 2, Height: 2, X: 0, Y: 0, Layer: 0},
+		{Name: "b", Width: 2, Height: 2, X: 4, Y: 0, Layer: 0},
+	}
+	flows := []model.Flow{{Src: 0, Dst: 1, BandwidthMBps: 100}}
+	g, err := model.NewCommGraph(cores, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := topology.New(g, noclib.DefaultLibrary(), 400)
+	s0 := top.AddSwitch(0)
+	s1 := top.AddSwitch(2) // above every core layer
+	top.AttachCore(0, s0)  // core 1 stays unattached (-1)
+	top.Switches[s0].Pos = geom.Point{X: 1, Y: 1}
+	top.Switches[s1].Pos = geom.Point{X: 5, Y: 1}
+	top.SetRoute(0, []int{s0, s1})
+	fp, err := InsertNoC(top)
+	if err != nil {
+		t.Fatalf("InsertNoC: %v", err)
+	}
+	if got := len(fp.Layers); got != 3 {
+		t.Fatalf("floorplan has %d layers, want 3 (switch on layer 2)", got)
+	}
+	if fp.HasOverlaps() {
+		t.Fatal("floorplan has overlaps")
+	}
+	// The 0->2 switch link must reserve one macro on layer 1.
+	macros := 0
+	for _, c := range fp.Layers[1] {
+		if c.Kind == KindTSVMacro {
+			macros++
+		}
+	}
+	if macros != 1 {
+		t.Fatalf("layer 1 holds %d TSV macros, want 1", macros)
+	}
+}
+
+// TestHasOverlapsDetectsCollisions checks the overlap detector on hand-built
+// floorplans (InsertNoC only ever returns overlap-free ones).
+func TestHasOverlapsDetectsCollisions(t *testing.T) {
+	overlapping := &Floorplan{Layers: [][]Component{{
+		{Name: "a", Rect: geom.Rect{X: 0, Y: 0, W: 2, H: 2}},
+		{Name: "b", Rect: geom.Rect{X: 1, Y: 1, W: 2, H: 2}},
+	}}}
+	if !overlapping.HasOverlaps() {
+		t.Error("overlapping components not detected")
+	}
+	disjoint := &Floorplan{Layers: [][]Component{{
+		{Name: "a", Rect: geom.Rect{X: 0, Y: 0, W: 2, H: 2}},
+		{Name: "b", Rect: geom.Rect{X: 2, Y: 0, W: 2, H: 2}},
+	}}}
+	if disjoint.HasOverlaps() {
+		t.Error("edge-touching components flagged as overlapping")
+	}
+}
+
+// TestPlaceComponentEdgeCases drives the placement helper directly: a
+// zero-size ideal must not loop on a zero step, and candidates with negative
+// coordinates are skipped rather than placed off-chip.
+func TestPlaceComponentEdgeCases(t *testing.T) {
+	blocker := []Component{{Name: "blk", Rect: geom.Rect{X: -1, Y: -1, W: 3, H: 3}}}
+	// Zero-size ideal inside the blocker: the fallback step must kick in.
+	placed, moved := placeComponent(blocker, geom.Rect{X: 0, Y: 0, W: 0, H: 0})
+	if !moved {
+		t.Error("zero-size component inside a blocker reported as unmoved")
+	}
+	if placed.X < 0 || placed.Y < 0 {
+		t.Errorf("component placed at negative coordinates %v", placed)
+	}
+	// An ideal at the origin: the left/down spiral candidates are negative
+	// and must be skipped; the survivor is up or right.
+	placed, moved = placeComponent(blocker, geom.Rect{X: 0, Y: 0, W: 1, H: 1})
+	if !moved {
+		t.Error("blocked component reported as unmoved")
+	}
+	if placed.X < 0 || placed.Y < 0 {
+		t.Errorf("spiral chose a negative-coordinate candidate %v", placed)
+	}
+	if overlapsAny(blocker, placed) {
+		t.Errorf("placed rectangle %v still overlaps the blocker", placed)
+	}
+}
+
+// TestOptimizeSwitchPositionsSkipsDetachedAndIdleCores covers the LP builder
+// tolerances: unattached cores contribute no term, and an attached core with
+// no traffic still pulls its switch with a unit weight.
+func TestOptimizeSwitchPositionsSkipsDetachedAndIdleCores(t *testing.T) {
+	cores := []model.Core{
+		{Name: "a", Width: 2, Height: 2, X: 0, Y: 0, Layer: 0},
+		{Name: "b", Width: 2, Height: 2, X: 8, Y: 8, Layer: 0},
+		{Name: "idle", Width: 2, Height: 2, X: 4, Y: 0, Layer: 0},
+	}
+	flows := []model.Flow{{Src: 0, Dst: 1, BandwidthMBps: 500}}
+	g, err := model.NewCommGraph(cores, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := topology.New(g, noclib.DefaultLibrary(), 400)
+	s0 := top.AddSwitch(0)
+	s1 := top.AddSwitch(0)
+	top.AttachCore(0, s0)
+	top.AttachCore(2, s1) // the idle core; core 1 stays unattached
+	top.SetRoute(0, []int{s0, s1})
+	if err := OptimizeSwitchPositions(top); err != nil {
+		t.Fatalf("OptimizeSwitchPositions: %v", err)
+	}
+	// Both switches must land inside the occupied region.
+	for i, s := range top.Switches {
+		if s.Pos.X < 0 || s.Pos.X > 10 || s.Pos.Y < 0 || s.Pos.Y > 10 {
+			t.Errorf("switch %d placed at %v, outside the core region", i, s.Pos)
+		}
+	}
+}

@@ -6,25 +6,32 @@ import (
 )
 
 // costModel is the incrementally maintained routing cost graph of Algorithm 3.
-// The cost of sending a flow of bandwidth bw over the arc (i, j) decomposes as
+// For every arc (i, j) it caches the two ingredients of router.arcCost:
 //
-//	arcCost(i, j, bw) = state[i][j] + slope[i][j]*bw
+//   - the immutable geometry — planar Manhattan length, crossed layers and
+//     the pipeline-latency term, fixed once the switch exists; and
+//   - the arcState — everything the router mutates while committing paths:
+//     link existence, the port-opening power marginals, the hard-constraint
+//     verdict and the SOFT_INF flags of CHECK_CONSTRAINTS.
 //
-// because the library's wire and TSV power are linear in bandwidth. slope is
-// pure geometry and never changes during a run; state bundles everything the
-// router mutates while committing paths — link existence (port-opening power,
-// switch-size thresholds), port counts and inter-layer-link occupancy — plus
-// the constant wire leakage, pipeline latency and SOFT_INF penalties
-// (Infinity marks forbidden arcs). A commit therefore only has to refresh the
-// arcs its bookkeeping updates invalidated instead of rebuilding all O(S^2)
-// arc costs for every flow and deadlock retry.
+// A commit therefore only has to refresh the states its bookkeeping updates
+// invalidated instead of rebuilding all O(S^2) arc costs for every flow and
+// deadlock retry. Costs are evaluated on demand per flow by evalArc, which is
+// the same code path router.arcCost itself uses — the incremental model is
+// bit-identical to the full-rebuild reference by construction, not merely
+// close: an earlier formulation cached a state+slope*bw linearisation whose
+// ULP-level rounding differences could flip Dijkstra ties on exactly
+// equal-cost paths and make the two routers commit different (equally
+// optimal) routes.
 type costModel struct {
 	r *router
 	n int
-	// state[i][j] is the bandwidth-independent arc cost (Infinity when the
-	// arc violates a hard constraint); slope[i][j] is the cost per MBps.
-	state [][]float64
-	slope [][]float64
+	// state[i][j] is the mutable CHECK_CONSTRAINTS outcome of the arc.
+	state [][]arcState
+	// planar[i][j], span[i][j] and latency[i][j] cache the arc geometry.
+	planar  [][]float64
+	span    [][]int
+	latency [][]float64
 	// Dijkstra scratch space, reused across flows.
 	dist    []float64
 	prev    []int
@@ -35,8 +42,9 @@ type costModel struct {
 	boundary []bool
 }
 
-// newCostModel computes the initial arc costs for every switch pair. This is
-// the only full O(S^2) pass of a run; everything after is incremental.
+// newCostModel computes the initial geometry and arc states for every switch
+// pair. This is the only full O(S^2) pass of a run; everything after is
+// incremental.
 func newCostModel(r *router) *costModel {
 	m := &costModel{r: r, boundary: make([]bool, len(r.ill))}
 	for len(m.state) < r.top.NumSwitches() {
@@ -45,32 +53,22 @@ func newCostModel(r *router) *costModel {
 	return m
 }
 
-// refBW is the bandwidth at which the per-MBps slope of an arc is sampled.
-// Wire and TSV power are linear in bandwidth, so any positive value yields
-// the same slope up to rounding.
-const refBW = 1000.0
+// refresh recomputes the mutable state of the arc (i, j) from the router's
+// current bookkeeping.
+func (m *costModel) refresh(i, j int) {
+	m.state[i][j] = m.r.arcState(i, j)
+}
 
-// bwSlope returns the bandwidth-proportional cost of the arc (i, j): the
-// dynamic power of the planar wire and of the TSVs it crosses, per MBps.
-func (m *costModel) bwSlope(i, j int) float64 {
-	if i == j {
-		return 0
-	}
+// geometry computes the immutable part of the arc (i, j).
+func (m *costModel) geometry(i, j int) (planar float64, span int, latency float64) {
 	t := m.r.top
-	planar := geom.Manhattan(t.Switches[i].Pos, t.Switches[j].Pos)
-	span := t.Switches[i].Layer - t.Switches[j].Layer
+	planar = geom.Manhattan(t.Switches[i].Pos, t.Switches[j].Pos)
+	span = t.Switches[i].Layer - t.Switches[j].Layer
 	if span < 0 {
 		span = -span
 	}
-	dyn := t.Lib.WirePowerMW(planar, refBW) - t.Lib.WirePowerMW(planar, 0) +
-		t.Lib.VerticalLinkPowerMW(span, refBW)
-	return m.r.cfg.PowerWeight * dyn / refBW
-}
-
-// refresh recomputes the state cost of the arc (i, j) from the router's
-// current bookkeeping.
-func (m *costModel) refresh(i, j int) {
-	m.state[i][j] = m.r.arcCost(i, j, 0, m.r.softInf)
+	latency = 1 + float64(t.Lib.LinkPipelineStages(planar, t.FreqMHz))
+	return planar, span, latency
 }
 
 // grow extends the model with one switch (the router just appended it to the
@@ -78,16 +76,21 @@ func (m *costModel) refresh(i, j int) {
 func (m *costModel) grow() {
 	n := m.n
 	for i := 0; i < n; i++ {
-		m.state[i] = append(m.state[i], 0)
-		m.slope[i] = append(m.slope[i], m.bwSlope(i, n))
+		planar, span, latency := m.geometry(i, n)
+		m.state[i] = append(m.state[i], arcState{})
+		m.planar[i] = append(m.planar[i], planar)
+		m.span[i] = append(m.span[i], span)
+		m.latency[i] = append(m.latency[i], latency)
 	}
-	m.state = append(m.state, make([]float64, n+1))
-	m.slope = append(m.slope, make([]float64, n+1))
+	m.state = append(m.state, make([]arcState, n+1))
+	m.planar = append(m.planar, make([]float64, n+1))
+	m.span = append(m.span, make([]int, n+1))
+	m.latency = append(m.latency, make([]float64, n+1))
 	for j := 0; j < n; j++ {
-		m.slope[n][j] = m.bwSlope(n, j)
+		m.planar[n][j], m.span[n][j], m.latency[n][j] = m.geometry(n, j)
 	}
 	m.n = n + 1
-	m.state[n][n] = graph.Infinity
+	m.state[n][n] = arcState{forbidden: true}
 	for i := 0; i < n; i++ {
 		m.refresh(i, n)
 		m.refresh(n, i)
@@ -105,10 +108,14 @@ func (m *costModel) grow() {
 func (m *costModel) shrink() {
 	m.n--
 	m.state = m.state[:m.n]
-	m.slope = m.slope[:m.n]
+	m.planar = m.planar[:m.n]
+	m.span = m.span[:m.n]
+	m.latency = m.latency[:m.n]
 	for i := 0; i < m.n; i++ {
 		m.state[i] = m.state[i][:m.n]
-		m.slope[i] = m.slope[i][:m.n]
+		m.planar[i] = m.planar[i][:m.n]
+		m.span[i] = m.span[i][:m.n]
+		m.latency[i] = m.latency[i][:m.n]
 	}
 	m.dist = m.dist[:m.n]
 	m.prev = m.prev[:m.n]
@@ -123,10 +130,10 @@ func (m *costModel) shrink() {
 // links themselves, whose existence flag flipped), and every arc crossing a
 // layer boundary whose inter-layer-link count changed.
 //
-// Refreshing only row i / column j per grown port relies on SwitchPowerMW
-// being additive in inPorts+outPorts: the port-opening marginal on one
-// dimension is then independent of the other, so an outPorts[i] change
-// cannot alter arcs (*, i) and an inPorts[j] change cannot alter arcs
+// Refreshing only row i / column j per grown port relies on the port-opening
+// marginal (noclib.SwitchPortMarginalMW) depending only on its own port
+// dimension — bit-exactly, not merely mathematically — so an outPorts[i]
+// change cannot alter arcs (*, i) and an inPorts[j] change cannot alter arcs
 // (j, *). If the power model ever couples the dimensions (e.g. crossbar-
 // style in*out, as SwitchAreaMM2 does for area), both the row and the
 // column of every grown switch must be refreshed here.
@@ -209,12 +216,11 @@ func (m *costModel) crossesDirty(boundary []bool, i, j int) bool {
 }
 
 // cost returns the full arc cost at the given bandwidth (Infinity for
-// forbidden arcs). It mirrors router.arcCost on the cached state.
+// forbidden arcs). It shares evalArc with router.arcCost, so the two agree
+// bit for bit.
 func (m *costModel) cost(i, j int, bw float64) float64 {
-	if m.state[i][j] >= graph.Infinity {
-		return graph.Infinity
-	}
-	return m.state[i][j] + m.slope[i][j]*bw
+	return m.r.evalArc(m.state[i][j], m.planar[i][j], m.span[i][j], m.latency[i][j],
+		wireFactor(m.r.top.Lib, bw), bw, m.r.softInf)
 }
 
 // shortestPath runs Dijkstra over the dense cached arc costs for a flow of
@@ -230,6 +236,8 @@ func (m *costModel) shortestPath(src, dst int, bw float64, forbidden map[[2]int]
 		m.settled[i] = false
 	}
 	m.dist[src] = 0
+	wf := wireFactor(m.r.top.Lib, bw)
+	softInf := m.r.softInf
 	for {
 		// Dense graph: the O(n) min scan beats a heap here.
 		u, best := -1, graph.Infinity
@@ -242,15 +250,16 @@ func (m *costModel) shortestPath(src, dst int, bw float64, forbidden map[[2]int]
 			break
 		}
 		m.settled[u] = true
-		state, slope := m.state[u], m.slope[u]
+		state, planar, span, latency := m.state[u], m.planar[u], m.span[u], m.latency[u]
 		for v := 0; v < n; v++ {
-			if m.settled[v] || state[v] >= graph.Infinity {
+			if m.settled[v] || state[v].forbidden {
 				continue
 			}
 			if len(forbidden) > 0 && forbidden[[2]int{u, v}] {
 				continue
 			}
-			if nd := best + state[v] + slope[v]*bw; nd < m.dist[v] {
+			c := m.r.evalArc(state[v], planar[v], span[v], latency[v], wf, bw, softInf)
+			if nd := best + c; nd < m.dist[v] {
 				m.dist[v] = nd
 				m.prev[v] = u
 			}

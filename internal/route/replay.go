@@ -1,0 +1,62 @@
+package route
+
+import (
+	"sunfloor3d/internal/graph"
+	"sunfloor3d/internal/topology"
+)
+
+// CommittedPaths returns a deep copy of the per-flow switch paths committed
+// on the topology, indexed like Design.Flows. Unrouted flows yield nil. The
+// copies are safe to hand to consumers that replay the routes — the flit
+// simulator, exporters — without aliasing the topology's internal state.
+func CommittedPaths(t *topology.Topology) [][]int {
+	out := make([][]int, len(t.Routes))
+	for f, r := range t.Routes {
+		if len(r.Switches) == 0 {
+			continue
+		}
+		out[f] = append([]int(nil), r.Switches...)
+	}
+	return out
+}
+
+// BuildCDG reconstructs the channel dependency graph of the committed routes:
+// one vertex per directed switch-to-switch link in use, one edge whenever some
+// flow traverses two links in sequence. It returns the graph together with
+// the link-to-vertex index (keyed by [from, to] switch pairs), so callers can
+// map cycles back to physical links. This is the same structure the router
+// maintains incrementally while committing paths; rebuilding it post hoc lets
+// external consumers (tests, the simulator's cross-validation) audit a routed
+// topology without rerunning path computation.
+func BuildCDG(t *topology.Topology) (*graph.Graph, map[[2]int]int) {
+	linkIdx := make(map[[2]int]int)
+	cdg := graph.New(0)
+	vertex := func(a, b int) int {
+		key := [2]int{a, b}
+		if v, ok := linkIdx[key]; ok {
+			return v
+		}
+		v := cdg.Grow(1)
+		linkIdx[key] = v
+		return v
+	}
+	for _, r := range t.Routes {
+		for i := 1; i < len(r.Switches); i++ {
+			a := vertex(r.Switches[i-1], r.Switches[i])
+			if i >= 2 {
+				prev := linkIdx[[2]int{r.Switches[i-2], r.Switches[i-1]}]
+				cdg.AddEdge(prev, a, 1)
+			}
+		}
+	}
+	return cdg, linkIdx
+}
+
+// DeadlockFree reports whether the committed routes are free of routing
+// deadlocks: the channel dependency graph over the switch-to-switch links is
+// acyclic. This is the static check Algorithm 3 enforces while routing; the
+// flit-level simulator's runtime watchdog cross-validates it dynamically.
+func DeadlockFree(t *topology.Topology) bool {
+	cdg, _ := BuildCDG(t)
+	return !cdg.HasCycle()
+}

@@ -15,6 +15,7 @@ import (
 
 	"sunfloor3d/internal/geom"
 	"sunfloor3d/internal/graph"
+	"sunfloor3d/internal/noclib"
 	"sunfloor3d/internal/topology"
 )
 
@@ -240,12 +241,28 @@ func (r *router) maxFlowCost() float64 {
 	return cost
 }
 
-// arcCost returns the cost of sending the flow (bandwidth bw) over a physical
-// link from switch i to switch j, implementing the CHECK_CONSTRAINTS
-// thresholds of Algorithm 3. It returns graph.Infinity for forbidden arcs.
-func (r *router) arcCost(i, j int, bw float64, softInf float64) float64 {
+// arcState is the mutable CHECK_CONSTRAINTS outcome of one arc: everything
+// router.arcCost needs beyond the (immutable) arc geometry. The incremental
+// cost model caches one arcState per arc and refreshes it only when a commit
+// invalidates it.
+type arcState struct {
+	// forbidden marks arcs that violate a hard constraint (Infinity cost).
+	forbidden bool
+	// exists reports whether the physical link already carries traffic.
+	exists bool
+	// soft marks arcs inside a SOFT_INF threshold of Algorithm 3.
+	soft bool
+	// openJ and openI are the port-opening power marginals charged when the
+	// link does not exist yet: a new input port on j and a new output port
+	// on i.
+	openJ, openI float64
+}
+
+// arcState evaluates the CHECK_CONSTRAINTS thresholds of Algorithm 3 for the
+// arc (i, j) against the router's current bookkeeping.
+func (r *router) arcState(i, j int) arcState {
 	if i == j {
-		return graph.Infinity
+		return arcState{forbidden: true}
 	}
 	t := r.top
 	li, lj := t.Switches[i].Layer, t.Switches[j].Layer
@@ -253,62 +270,99 @@ func (r *router) arcCost(i, j int, bw float64, softInf float64) float64 {
 	if span < 0 {
 		span = -span
 	}
-	exists := false
+	var st arcState
 	if _, ok := r.linkBW[[2]int{i, j}]; ok {
-		exists = true
+		st.exists = true
 	}
 
-	soft := false
 	if span > 0 {
 		// Hard constraint: adjacency and max_ill.
 		if r.cfg.AdjacentLayersOnly && span >= 2 {
-			return graph.Infinity
+			return arcState{forbidden: true}
 		}
-		if r.cfg.MaxILL > 0 && !exists {
+		if r.cfg.MaxILL > 0 && !st.exists {
 			cur := r.boundaryMax(li, lj)
 			if cur >= r.cfg.MaxILL {
-				return graph.Infinity
+				return arcState{forbidden: true}
 			}
 			if cur >= r.cfg.MaxILL-r.cfg.SoftILLMargin {
-				soft = true
+				st.soft = true
 			}
 		}
 	}
 	// Switch size constraints apply when a new link must be opened (a new
 	// output port on i and a new input port on j).
-	if !exists && r.cfg.MaxSwitchSize > 0 {
+	if !st.exists && r.cfg.MaxSwitchSize > 0 {
 		if r.outPorts[i]+1 > r.cfg.MaxSwitchSize || r.inPorts[j]+1 > r.cfg.MaxSwitchSize {
-			return graph.Infinity
+			return arcState{forbidden: true}
 		}
 		if r.outPorts[i]+1 > r.cfg.MaxSwitchSize-r.cfg.SoftSwitchMargin ||
 			r.inPorts[j]+1 > r.cfg.MaxSwitchSize-r.cfg.SoftSwitchMargin {
-			soft = true
+			st.soft = true
 		}
 	}
-
-	planar := geom.Manhattan(t.Switches[i].Pos, t.Switches[j].Pos)
-	power := t.Lib.WirePowerMW(planar, bw) + t.Lib.VerticalLinkPowerMW(span, bw)
-	if !exists {
-		// Opening a link costs the extra ports on both switches and the
-		// leakage of the new wire.
-		power += t.Lib.SwitchPowerMW(r.inPorts[j]+1, r.outPorts[j], t.FreqMHz, 0) -
-			t.Lib.SwitchPowerMW(r.inPorts[j], r.outPorts[j], t.FreqMHz, 0)
-		power += t.Lib.SwitchPowerMW(r.inPorts[i], r.outPorts[i]+1, t.FreqMHz, 0) -
-			t.Lib.SwitchPowerMW(r.inPorts[i], r.outPorts[i], t.FreqMHz, 0)
+	if !st.exists {
+		// Opening a link costs the extra ports on both switches: a new input
+		// port on j and a new output port on i. The closed-form marginal
+		// depends only on its own dimension's count, so a commit that grows
+		// the other dimension of i or j cannot silently invalidate this arc.
+		st.openJ = t.Lib.SwitchPortMarginalMW(r.inPorts[j], t.FreqMHz)
+		st.openI = t.Lib.SwitchPortMarginalMW(r.outPorts[i], t.FreqMHz)
 	}
-	latency := 1 + float64(t.Lib.LinkPipelineStages(planar, t.FreqMHz))
+	return st
+}
 
+// wireFactor returns the per-millimetre planar wire power at the given
+// bandwidth (the parenthesised factor of noclib.WirePowerMW), hoisted out so
+// the relaxation loop computes it once per flow.
+func wireFactor(lib noclib.Library, bw float64) float64 {
+	return lib.WirePowerMWPerMMPerGBps*bw/1000.0 + lib.WireLeakagePowerMWPerMM
+}
+
+// evalArc combines an arc's cached state and geometry into its routing cost
+// for a flow of bandwidth bw. Both the full-rebuild reference (via arcCost)
+// and the incremental cost model evaluate arcs through this one function, so
+// the two agree bit for bit — equal-cost path ties resolve identically.
+func (r *router) evalArc(st arcState, planar float64, span int, latency, wf, bw, softInf float64) float64 {
+	if st.forbidden {
+		return graph.Infinity
+	}
+	power := planar*wf + float64(span)*r.top.Lib.TSVPowerMWPerGBps*bw/1000.0
+	if !st.exists {
+		power += st.openJ
+		power += st.openI
+	}
 	cost := r.cfg.PowerWeight*power + r.cfg.LatencyWeight*latency
-	if soft {
+	if st.soft {
 		cost += softInf
 	}
 	return cost
 }
 
+// arcCost returns the cost of sending the flow (bandwidth bw) over a physical
+// link from switch i to switch j, implementing the CHECK_CONSTRAINTS
+// thresholds of Algorithm 3. It returns graph.Infinity for forbidden arcs.
+func (r *router) arcCost(i, j int, bw float64, softInf float64) float64 {
+	st := r.arcState(i, j)
+	if st.forbidden {
+		return graph.Infinity
+	}
+	t := r.top
+	span := t.Switches[i].Layer - t.Switches[j].Layer
+	if span < 0 {
+		span = -span
+	}
+	planar := geom.Manhattan(t.Switches[i].Pos, t.Switches[j].Pos)
+	latency := 1 + float64(t.Lib.LinkPipelineStages(planar, t.FreqMHz))
+	return r.evalArc(st, planar, span, latency, wireFactor(t.Lib, bw), bw, softInf)
+}
+
 // buildCostGraph builds the per-flow routing graph over switches from scratch.
 // forbidden holds arcs temporarily excluded by deadlock-avoidance retries.
-// It is the reference implementation behind Config.FullRebuild; the normal
-// path uses the incrementally maintained costModel instead.
+// The equivalence tests use it as the ground truth the cached cost model is
+// compared against; the Config.FullRebuild reference path itself rebuilds a
+// fresh costModel per attempt so that both configurations search with the
+// identical deterministic Dijkstra.
 func (r *router) buildCostGraph(bw float64, forbidden map[[2]int]bool) *graph.Graph {
 	n := r.top.NumSwitches()
 	cg := graph.New(n)
@@ -345,8 +399,14 @@ func (r *router) routeFlow(f int) bool {
 		if r.cost != nil {
 			path, cost = r.cost.shortestPath(src, dst, fl.BandwidthMBps, forbidden)
 		} else {
-			cg := r.buildCostGraph(fl.BandwidthMBps, forbidden)
-			path, cost = cg.ShortestPath(src, dst)
+			// Reference: recompute every arc state from scratch for this
+			// attempt (the full O(S^2) pass of the original CHECK_CONSTRAINTS
+			// loop), then search with the same deterministic dense Dijkstra
+			// as the incremental model — a different shortest-path
+			// implementation could break ties between exactly equal-cost
+			// paths differently and commit different (equally optimal)
+			// routes, and the two configurations must stay byte-identical.
+			path, cost = newCostModel(r).shortestPath(src, dst, fl.BandwidthMBps, forbidden)
 		}
 		if path == nil || cost >= graph.Infinity {
 			return false

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"sunfloor3d/internal/topology"
+)
+
+// injector decides, cycle by cycle, how many packets each flow injects. All
+// injectors are deterministic for a fixed seed and iterate flows in index
+// order, so the source-queue contents (and hence the whole simulation) are
+// reproducible.
+type injector interface {
+	// packetsAt returns how many packets the flow injects at the given cycle.
+	packetsAt(flow int, cycle int64) int
+	// done reports that the injector will never emit another packet (used by
+	// the single-packet oracle to terminate early).
+	done() bool
+}
+
+// flowRates returns the per-flow injection rate in flits per cycle, derived
+// from the flow bandwidths, the link width and the operating frequency. A
+// link carries one flit of LinkWidthBits per cycle, so its capacity in MB/s is
+// bytesPerFlit * freqMHz; rates are capped at 1 flit/cycle (link saturation).
+func flowRates(t *topology.Topology, scale float64) []float64 {
+	bytesPerFlit := float64(t.Lib.LinkWidthBits) / 8
+	capMBps := bytesPerFlit * t.FreqMHz
+	rates := make([]float64, t.Design.NumFlows())
+	for i, f := range t.Design.Flows {
+		r := 0.0
+		if capMBps > 0 {
+			r = f.BandwidthMBps * scale / capMBps
+		}
+		if r > 1 {
+			r = 1
+		}
+		rates[i] = r
+	}
+	return rates
+}
+
+// rateInjector injects packets with a deterministic per-flow rate accumulator:
+// every cycle the flow earns rate/PacketFlits packet credits and injects one
+// packet per whole credit. It implements both the uniform profile and (with
+// per-flow scaled rates) the hotspot profile without consuming randomness.
+type rateInjector struct {
+	perFlow []float64 // packet injections per cycle
+	credit  []float64
+}
+
+func newRateInjector(rates []float64, packetFlits int) *rateInjector {
+	per := make([]float64, len(rates))
+	for i, r := range rates {
+		per[i] = r / float64(packetFlits)
+	}
+	return &rateInjector{perFlow: per, credit: make([]float64, len(rates))}
+}
+
+func (r *rateInjector) packetsAt(flow int, cycle int64) int {
+	r.credit[flow] += r.perFlow[flow]
+	n := 0
+	for r.credit[flow] >= 1 {
+		r.credit[flow] -= 1
+		n++
+	}
+	return n
+}
+
+func (r *rateInjector) done() bool { return false }
+
+// hotspotRates scales the rate of every flow whose destination is the core
+// with the highest total incoming bandwidth (lowest index on ties).
+func hotspotRates(t *topology.Topology, rates []float64, factor float64) []float64 {
+	in := make([]float64, t.Design.NumCores())
+	for _, f := range t.Design.Flows {
+		in[f.Dst] += f.BandwidthMBps
+	}
+	hot, hotBW := -1, 0.0
+	for c, bw := range in {
+		if bw > hotBW {
+			hot, hotBW = c, bw
+		}
+	}
+	out := append([]float64(nil), rates...)
+	for i, f := range t.Design.Flows {
+		if f.Dst == hot {
+			out[i] *= factor
+			if out[i] > 1 {
+				out[i] = 1
+			}
+		}
+	}
+	return out
+}
+
+// burstInjector alternates exponentially distributed on/off periods per flow.
+// During an on period the flow injects at burst rate; the off period length is
+// chosen so the long-run average matches the nominal rate.
+type burstInjector struct {
+	rng     *rand.Rand
+	on      []bool
+	left    []int64   // cycles left in the current period
+	onRate  []float64 // packet injections per cycle while on
+	onMean  []float64
+	offMean []float64
+	credit  []float64
+}
+
+func newBurstInjector(rates []float64, cfg Config) *burstInjector {
+	n := len(rates)
+	b := &burstInjector{
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		on:      make([]bool, n),
+		left:    make([]int64, n),
+		onRate:  make([]float64, n),
+		onMean:  make([]float64, n),
+		offMean: make([]float64, n),
+		credit:  make([]float64, n),
+	}
+	for i, r := range rates {
+		if r <= 0 {
+			continue
+		}
+		rOn := r * cfg.BurstFactor
+		if rOn > 1 {
+			rOn = 1
+		}
+		if rOn <= r {
+			// No burst headroom (the nominal rate already saturates the link,
+			// or BurstFactor is 1): the flow streams permanently at its
+			// nominal rate, otherwise the forced >=1-cycle off periods would
+			// shave the long-run average below the communication graph.
+			b.onRate[i] = r / float64(cfg.PacketFlits)
+			b.on[i] = true
+			b.left[i] = math.MaxInt64
+			continue
+		}
+		b.onRate[i] = rOn / float64(cfg.PacketFlits)
+		b.onMean[i] = cfg.MeanBurstCycles
+		// Solve mean_off from r = rOn * on/(on+off).
+		b.offMean[i] = cfg.MeanBurstCycles * (rOn - r) / r
+		// Start in an off period of random phase so flows do not burst in
+		// lockstep.
+		b.on[i] = false
+		b.left[i] = b.draw(b.offMean[i])
+	}
+	return b
+}
+
+// draw samples an exponentially distributed period of the given mean, at
+// least one cycle.
+func (b *burstInjector) draw(mean float64) int64 {
+	if mean <= 0 {
+		return 1
+	}
+	v := int64(b.rng.ExpFloat64() * mean)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (b *burstInjector) packetsAt(flow int, cycle int64) int {
+	if b.onRate[flow] == 0 {
+		return 0
+	}
+	if b.left[flow] == 0 {
+		b.on[flow] = !b.on[flow]
+		if b.on[flow] {
+			b.left[flow] = b.draw(b.onMean[flow])
+		} else {
+			b.left[flow] = b.draw(b.offMean[flow])
+		}
+	}
+	b.left[flow]--
+	if !b.on[flow] {
+		return 0
+	}
+	b.credit[flow] += b.onRate[flow]
+	n := 0
+	for b.credit[flow] >= 1 {
+		b.credit[flow] -= 1
+		n++
+	}
+	return n
+}
+
+func (b *burstInjector) done() bool { return false }
+
+// singlePacketInjector injects exactly one packet for one flow at cycle 0.
+// It is the zero-contention oracle used to cross-validate FlowLatencyCycles.
+type singlePacketInjector struct {
+	flow int
+	sent bool
+}
+
+func (s *singlePacketInjector) packetsAt(flow int, cycle int64) int {
+	if flow == s.flow && !s.sent {
+		s.sent = true
+		return 1
+	}
+	return 0
+}
+
+func (s *singlePacketInjector) done() bool { return s.sent }
+
+// newProfileInjector builds the injector for the configured profile.
+func newProfileInjector(t *topology.Topology, cfg Config) injector {
+	rates := flowRates(t, cfg.InjectionScale)
+	switch cfg.Profile {
+	case Bursty:
+		return newBurstInjector(rates, cfg)
+	case Hotspot:
+		return newRateInjector(hotspotRates(t, rates, cfg.HotspotFactor), cfg.PacketFlits)
+	default:
+		return newRateInjector(rates, cfg.PacketFlits)
+	}
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+
+	"sunfloor3d/internal/geom"
+	"sunfloor3d/internal/topology"
+)
+
+// Link kinds. Injection links carry flits from a source core's network
+// interface to its switch, internal links connect two switches, and ejection
+// links deliver flits from a switch to a destination core.
+type linkKind int
+
+const (
+	linkInjection linkKind = iota
+	linkInternal
+	linkEjection
+)
+
+// link is one directed physical channel of the simulated network.
+type link struct {
+	id   int
+	kind linkKind
+	// from/to are switch IDs; from is -1 on injection links and to is -1 on
+	// ejection links, where core identifies the attached core instead.
+	from, to int
+	core     int
+	// stages is the number of pipeline stages the planar span of the link
+	// requires at the operating frequency (noclib.LinkPipelineStages).
+	stages int
+
+	busy int64 // cycles on which a flit was forwarded onto this link
+}
+
+// packet is one in-flight packet: PacketFlits flits following the committed
+// route of its flow.
+type packet struct {
+	flow   int
+	flits  int
+	path   []int // committed switch path of the flow
+	inject int64 // cycle the packet entered its source queue
+}
+
+// flit is one flow-control unit buffered in a virtual channel. readyAt models
+// the link pipeline: the flit becomes visible to the downstream arbiter once
+// the simulation clock reaches readyAt.
+type flit struct {
+	pkt     *packet
+	seq     int // 0 = head, pkt.flits-1 = tail
+	readyAt int64
+}
+
+// vc is one virtual-channel buffer of a switch input port. A VC is owned by a
+// single packet from the cycle its head flit is granted the upstream output
+// (or NI) until its tail flit leaves the buffer.
+type vc struct {
+	owner *packet
+	hop   int // index of this input port's switch within owner.path
+	q     []flit
+	// lastMove is the last cycle a flit left this buffer (or the cycle the VC
+	// was allocated); the deadlock detector treats a VC whose ready head has
+	// not moved for a whole watchdog horizon as stalled.
+	lastMove int64
+}
+
+// inputPort is one switch input port (the downstream end of a link) with its
+// virtual channels.
+type inputPort struct {
+	link *link
+	vcs  []vc
+}
+
+// outputPort is one switch output port (the upstream end of a link). Under
+// wormhole switching the port is allocated to one packet from head to tail.
+type outputPort struct {
+	link *link
+	// ds is the input port on the downstream switch (nil for ejection links).
+	ds *inputPort
+	// alloc is the index into the owning switch's flat candidate list of the
+	// (input port, VC) currently holding this output, or -1 when free.
+	alloc int
+	// dsVC is the downstream VC reserved for the allocated packet.
+	dsVC int
+	// rr is the round-robin arbitration pointer over the candidate list.
+	rr int
+}
+
+// switchNode is one simulated switch.
+type switchNode struct {
+	id      int
+	inputs  []*inputPort
+	outputs []*outputPort
+	// outTo maps a next-hop switch ID to the output port index; outEject maps
+	// a destination core to its ejection output port index.
+	outTo    map[int]int
+	outEject map[int]int
+
+	forwarded int64 // flits forwarded by this switch
+}
+
+// ni is the network interface of one source core: an unbounded source queue
+// feeding the core's injection link one flit per cycle.
+type ni struct {
+	core int
+	link *link
+	ds   *inputPort // input port of the attached switch
+	q    []*packet
+	cur  *packet
+	seq  int
+	dsVC int
+}
+
+// network is the static structure plus the dynamic state of one simulation.
+type network struct {
+	top   *topology.Topology
+	links []*link
+	nodes []*switchNode
+	// nis holds the source-core network interfaces, ordered by core index;
+	// niOf maps a core index to its NI (nil when the core sources no flow).
+	nis  []*ni
+	niOf []*ni
+
+	vcs         int
+	bufring     int // buffer depth per VC, in flits
+	packetFlits int
+}
+
+// buildNetwork instantiates the simulation structure for a routed topology.
+// Every flow must carry a committed route (topology.Validate must pass).
+func buildNetwork(t *topology.Topology, cfg Config) (*network, error) {
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: topology not simulatable: %w", err)
+	}
+	net := &network{top: t, vcs: cfg.VCs, bufring: cfg.BufferFlits, packetFlits: cfg.PacketFlits}
+
+	nodes := make([]*switchNode, t.NumSwitches())
+	for i := range nodes {
+		nodes[i] = &switchNode{id: i, outTo: make(map[int]int), outEject: make(map[int]int)}
+	}
+	net.nodes = nodes
+
+	isSrc := make([]bool, t.Design.NumCores())
+	isDst := make([]bool, t.Design.NumCores())
+	for _, f := range t.Design.Flows {
+		isSrc[f.Src] = true
+		isDst[f.Dst] = true
+	}
+
+	addLink := func(l *link) *link {
+		l.id = len(net.links)
+		net.links = append(net.links, l)
+		return l
+	}
+	attachInput := func(s int, l *link) *inputPort {
+		p := &inputPort{link: l, vcs: make([]vc, cfg.VCs)}
+		nodes[s].inputs = append(nodes[s].inputs, p)
+		return p
+	}
+	attachOutput := func(s int, l *link, ds *inputPort) int {
+		o := &outputPort{link: l, ds: ds, alloc: -1}
+		nodes[s].outputs = append(nodes[s].outputs, o)
+		return len(nodes[s].outputs) - 1
+	}
+
+	// Injection links, in core order (deterministic network layout).
+	net.niOf = make([]*ni, t.Design.NumCores())
+	for c := 0; c < t.Design.NumCores(); c++ {
+		if !isSrc[c] {
+			continue
+		}
+		sw := t.CoreAttach[c]
+		planar := t.Design.Cores[c].Rect().Center()
+		stages := t.Lib.LinkPipelineStages(geom.Manhattan(planar, t.Switches[sw].Pos), t.FreqMHz)
+		l := addLink(&link{kind: linkInjection, from: -1, to: sw, core: c, stages: stages})
+		in := attachInput(sw, l)
+		n := &ni{core: c, link: l, ds: in}
+		net.nis = append(net.nis, n)
+		net.niOf[c] = n
+	}
+
+	// Switch-to-switch links, in the deterministic (From, To) order of
+	// SwitchLinks.
+	for _, sl := range t.SwitchLinks() {
+		planar := geom.Manhattan(t.Switches[sl.From].Pos, t.Switches[sl.To].Pos)
+		stages := t.Lib.LinkPipelineStages(planar, t.FreqMHz)
+		l := addLink(&link{kind: linkInternal, from: sl.From, to: sl.To, core: -1, stages: stages})
+		in := attachInput(sl.To, l)
+		nodes[sl.From].outTo[sl.To] = attachOutput(sl.From, l, in)
+	}
+
+	// Ejection links, in core order.
+	for c := 0; c < t.Design.NumCores(); c++ {
+		if !isDst[c] {
+			continue
+		}
+		sw := t.CoreAttach[c]
+		planar := t.Design.Cores[c].Rect().Center()
+		stages := t.Lib.LinkPipelineStages(geom.Manhattan(planar, t.Switches[sw].Pos), t.FreqMHz)
+		l := addLink(&link{kind: linkEjection, from: sw, to: -1, core: c, stages: stages})
+		nodes[sw].outEject[c] = attachOutput(sw, l, nil)
+	}
+	return net, nil
+}
+
+// nextOutput returns the output port the packet requests at the switch where
+// the given input VC lives: the link towards the next switch of its path, or
+// the ejection link of its destination core at the last hop.
+func (net *network) nextOutput(s *switchNode, v *vc) *outputPort {
+	pkt := v.owner
+	if v.hop == len(pkt.path)-1 {
+		dst := net.top.Design.Flows[pkt.flow].Dst
+		return s.outputs[s.outEject[dst]]
+	}
+	return s.outputs[s.outTo[pkt.path[v.hop+1]]]
+}

@@ -1,0 +1,448 @@
+package sim
+
+import (
+	"fmt"
+
+	"sunfloor3d/internal/topology"
+)
+
+// Run simulates the routed topology under the configured traffic profile and
+// returns the collected statistics. The topology must validate (every core
+// attached, every flow routed); the simulation replays the committed per-flow
+// switch paths with wormhole switching, finite VC buffers and credit-based
+// flow control, and aborts early when the runtime watchdog detects a deadlock
+// or livelock.
+func Run(t *topology.Topology, cfg Config) (*Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := buildNetwork(t, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return net.run(newProfileInjector(t, cfg), cfg), nil
+}
+
+// ZeroLoadLatencies simulates every flow in isolation — a single one-flit
+// packet injected at cycle 0 into an otherwise empty network — and returns
+// the measured head-flit latency of each flow in cycles. This is the
+// zero-contention oracle: the returned values must equal
+// Topology.FlowLatencyCycles exactly for every flow.
+func ZeroLoadLatencies(t *topology.Topology, cfg Config) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.PacketFlits = 1
+	cfg.Cycles = 1
+	// The drain budget only needs to cover one uncontended traversal; the
+	// watchdog still guards against a simulator bug that strands the packet.
+	cfg.DrainCycles = 1 << 20
+	out := make([]float64, t.Design.NumFlows())
+	for f := range t.Design.Flows {
+		net, err := buildNetwork(t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		st := net.run(&singlePacketInjector{flow: f}, cfg)
+		if st.PacketsDelivered != 1 {
+			return nil, fmt.Errorf("sim: zero-load packet of flow %d not delivered (deadlock=%v livelock=%v)",
+				f, st.Deadlock, st.Livelock)
+		}
+		out[f] = st.Flows[f].AvgLatencyCycles
+	}
+	return out, nil
+}
+
+// runState carries the mutable counters of one simulation.
+type runState struct {
+	inNetworkFlits   int64 // flits buffered in switch input VCs (incl. in-flight on links)
+	sourceBacklog    int64 // packets queued at or being streamed by an NI
+	packetsInNetwork int64 // packets whose head entered the network, tail not yet ejected
+
+	packetsInjected, packetsDelivered int64
+	flitsInjected, flitsDelivered     int64
+
+	perFlowPktIn, perFlowPktOut   []int64
+	perFlowFlitIn, perFlowFlitOut []int64
+	perFlowHeads                  []int64
+	latSum, latMin, latMax        []float64
+
+	lastMove      int64
+	lastDelivery  int64
+	emptySince    int64 // last cycle the network held no undelivered packet
+	deadlock      bool
+	deadlockCycle int64
+	livelock      bool
+	latTotalSum   float64
+	latTotalMax   float64
+}
+
+func newRunState(flows int) *runState {
+	st := &runState{
+		perFlowPktIn:   make([]int64, flows),
+		perFlowPktOut:  make([]int64, flows),
+		perFlowFlitIn:  make([]int64, flows),
+		perFlowFlitOut: make([]int64, flows),
+		perFlowHeads:   make([]int64, flows),
+		latSum:         make([]float64, flows),
+		latMin:         make([]float64, flows),
+		latMax:         make([]float64, flows),
+	}
+	return st
+}
+
+// run executes the cycle loop until the network drains, the horizon expires,
+// or the watchdog trips.
+func (net *network) run(inj injector, cfg Config) *Stats {
+	t := net.top
+	st := newRunState(t.Design.NumFlows())
+
+	// The watchdog must outlast the deepest link pipeline: flits in flight on
+	// a long link legitimately produce no buffer movement for `stages` cycles.
+	watchdog := int64(cfg.WatchdogCycles)
+	maxStages := 0
+	for _, l := range net.links {
+		if l.stages > maxStages {
+			maxStages = l.stages
+		}
+	}
+	if min := int64(2*maxStages + 8); watchdog < min {
+		watchdog = min
+	}
+	livelockHorizon := int64(cfg.LivelockCycles)
+	if livelockHorizon < watchdog {
+		livelockHorizon = watchdog
+	}
+
+	horizon := int64(cfg.Cycles)
+	maxCycle := horizon + int64(cfg.DrainCycles)
+
+	var now int64
+	for now = 0; now < maxCycle; now++ {
+		// Injection: every flow is polled every cycle, in index order, so the
+		// profile state machines advance deterministically.
+		if now < horizon && !inj.done() {
+			for f := range t.Design.Flows {
+				for k := inj.packetsAt(f, now); k > 0; k-- {
+					net.injectPacket(f, now, st)
+				}
+			}
+		}
+
+		moved := net.step(now, st)
+		if moved {
+			st.lastMove = now
+		}
+		if st.packetsInNetwork == 0 {
+			st.emptySince = now
+		}
+
+		active := st.inNetworkFlits > 0 || st.sourceBacklog > 0
+		if !active && (now+1 >= horizon || inj.done()) {
+			now++
+			break
+		}
+		// Global stall: buffered flits and nothing moved for a whole horizon.
+		if st.inNetworkFlits > 0 && now-st.lastMove >= watchdog {
+			st.deadlock = true
+			st.deadlockCycle = now
+			now++
+			break
+		}
+		// Partial deadlock: a circular wait among stalled VCs can hide behind
+		// unrelated traffic that keeps the global movement counter alive, so
+		// the wait-for graph is checked periodically as well.
+		if st.inNetworkFlits > 0 && now > 0 && now%watchdog == 0 && net.findCircularWait(now, watchdog) {
+			st.deadlock = true
+			st.deadlockCycle = now
+			now++
+			break
+		}
+		if st.packetsInNetwork > 0 && now-max64(st.lastDelivery, st.emptySince) >= livelockHorizon {
+			st.livelock = true
+			now++
+			break
+		}
+	}
+	return net.collect(st, cfg, now)
+}
+
+// injectPacket creates one packet of the flow and appends it to the source
+// core's NI queue.
+func (net *network) injectPacket(f int, now int64, st *runState) {
+	fl := net.top.Design.Flows[f]
+	n := net.niOf[fl.Src]
+	pkt := &packet{
+		flow:   f,
+		flits:  net.packetFlits,
+		path:   net.top.Routes[f].Switches,
+		inject: now,
+	}
+	n.q = append(n.q, pkt)
+	st.sourceBacklog++
+	st.packetsInjected++
+	st.flitsInjected += int64(pkt.flits)
+	st.perFlowPktIn[f]++
+	st.perFlowFlitIn[f] += int64(pkt.flits)
+}
+
+// step advances the network by one cycle: NIs first (their flits may be
+// forwarded by the attached switch in the same cycle, which is what makes the
+// zero-load latency match the analytic model exactly), then every switch
+// output port in deterministic order. It reports whether any flit moved.
+func (net *network) step(now int64, st *runState) bool {
+	moved := false
+
+	// Network interfaces: stream the current packet one flit per cycle.
+	for _, n := range net.nis {
+		if n.cur == nil {
+			if len(n.q) == 0 || n.q[0].inject > now {
+				continue
+			}
+			k := freeVC(n.ds)
+			if k < 0 {
+				continue
+			}
+			pkt := n.q[0]
+			n.q = n.q[1:]
+			n.ds.vcs[k].owner = pkt
+			n.ds.vcs[k].hop = 0
+			n.ds.vcs[k].lastMove = now
+			n.cur, n.seq, n.dsVC = pkt, 0, k
+			st.packetsInNetwork++
+		}
+		v := &n.ds.vcs[n.dsVC]
+		if len(v.q) >= net.bufring {
+			continue // no credit at the first switch
+		}
+		// NI link traversal costs only its pipeline stages: the attached
+		// switch's own cycle is charged when the switch forwards the flit.
+		v.q = append(v.q, flit{pkt: n.cur, seq: n.seq, readyAt: now + int64(n.link.stages)})
+		n.link.busy++
+		st.inNetworkFlits++
+		moved = true
+		n.seq++
+		if n.seq == n.cur.flits {
+			n.cur = nil
+			st.sourceBacklog--
+		}
+	}
+
+	// Switches: one flit per output port per cycle.
+	for _, s := range net.nodes {
+		ncand := len(s.inputs) * net.vcs
+		for _, o := range s.outputs {
+			if o.alloc < 0 && ncand > 0 {
+				net.arbitrate(s, o, ncand, now)
+			}
+			if o.alloc < 0 {
+				continue
+			}
+			ip := s.inputs[o.alloc/net.vcs]
+			v := &ip.vcs[o.alloc%net.vcs]
+			if len(v.q) == 0 {
+				continue // next flit still upstream
+			}
+			f := v.q[0]
+			if f.readyAt > now {
+				continue // still in the link pipeline
+			}
+			if o.ds != nil {
+				dv := &o.ds.vcs[o.dsVC]
+				if len(dv.q) >= net.bufring {
+					continue // no downstream credit
+				}
+				v.q = v.q[1:]
+				dv.q = append(dv.q, flit{pkt: f.pkt, seq: f.seq, readyAt: now + 1 + int64(o.link.stages)})
+			} else {
+				// Ejection: the destination core always accepts.
+				v.q = v.q[1:]
+				st.inNetworkFlits--
+				arrival := now + 1 + int64(o.link.stages)
+				net.deliverFlit(f, arrival, st)
+			}
+			v.lastMove = now
+			o.link.busy++
+			s.forwarded++
+			moved = true
+			if f.seq == f.pkt.flits-1 {
+				// Tail forwarded: release the VC and the output port.
+				v.owner = nil
+				o.alloc = -1
+				o.dsVC = -1
+			}
+		}
+	}
+	return moved
+}
+
+// arbitrate grants the free output port to a waiting head flit, round-robin
+// over the switch's (input port, VC) pairs, reserving a downstream VC when the
+// link leads to another switch.
+func (net *network) arbitrate(s *switchNode, o *outputPort, ncand int, now int64) {
+	for i := 0; i < ncand; i++ {
+		ci := (o.rr + 1 + i) % ncand
+		ip := s.inputs[ci/net.vcs]
+		v := &ip.vcs[ci%net.vcs]
+		if v.owner == nil || len(v.q) == 0 {
+			continue
+		}
+		f := v.q[0]
+		if f.seq != 0 || f.readyAt > now {
+			continue
+		}
+		if net.nextOutput(s, v) != o {
+			continue
+		}
+		if o.ds != nil {
+			k := freeVC(o.ds)
+			if k < 0 {
+				continue // no VC on the next link; head keeps waiting
+			}
+			o.ds.vcs[k].owner = v.owner
+			o.ds.vcs[k].hop = v.hop + 1
+			o.ds.vcs[k].lastMove = now
+			o.dsVC = k
+		}
+		o.alloc = ci
+		o.rr = ci
+		return
+	}
+}
+
+// deliverFlit accounts one flit reaching its destination core.
+func (net *network) deliverFlit(f flit, arrival int64, st *runState) {
+	flow := f.pkt.flow
+	st.flitsDelivered++
+	st.perFlowFlitOut[flow]++
+	if f.seq == 0 {
+		lat := float64(arrival - f.pkt.inject)
+		st.latSum[flow] += lat
+		st.latTotalSum += lat
+		if st.perFlowHeads[flow] == 0 || lat < st.latMin[flow] {
+			st.latMin[flow] = lat
+		}
+		st.perFlowHeads[flow]++
+		if lat > st.latMax[flow] {
+			st.latMax[flow] = lat
+		}
+		if lat > st.latTotalMax {
+			st.latTotalMax = lat
+		}
+	}
+	if f.seq == f.pkt.flits-1 {
+		st.packetsDelivered++
+		st.perFlowPktOut[flow]++
+		st.packetsInNetwork--
+		st.lastDelivery = arrival
+	}
+}
+
+// findCircularWait detects partial deadlocks the global-stall watchdog cannot
+// see: a circular wait among stalled VCs while unrelated traffic keeps the
+// network moving. A VC is stalled when its head flit has been ready but
+// unmoved for a whole watchdog horizon; each stalled VC waits on exactly one
+// definite resource — the downstream VC whose credit it needs (output already
+// allocated to it) or the VC currently holding its output port. A cycle of
+// such definite waits can never resolve, because every resource on it is
+// released only by the movement of another cycle member. Waits with multiple
+// ways out (a head that merely needs any free VC on the next link) contribute
+// no edge: they cannot prove a deadlock on their own, and the cycle of
+// definite waits that starves them is detected through its own members.
+func (net *network) findCircularWait(now, watchdog int64) bool {
+	type stalledVC struct {
+		v    *vc
+		node *switchNode
+		flat int // candidate index of v within its switch (output alloc space)
+	}
+	idx := make(map[*vc]int)
+	var stalled []stalledVC
+	for _, s := range net.nodes {
+		for pi, ip := range s.inputs {
+			for k := range ip.vcs {
+				v := &ip.vcs[k]
+				if v.owner == nil || len(v.q) == 0 {
+					continue
+				}
+				if v.q[0].readyAt > now || now-v.lastMove < watchdog {
+					continue
+				}
+				idx[v] = len(stalled)
+				stalled = append(stalled, stalledVC{v: v, node: s, flat: pi*net.vcs + k})
+			}
+		}
+	}
+	if len(stalled) < 2 {
+		return false
+	}
+	// waitsOn[i] is the index of the stalled VC that i definitely waits on
+	// (-1 when the blocker is not itself stalled, or the wait is not
+	// definite).
+	waitsOn := make([]int, len(stalled))
+	for i, sv := range stalled {
+		waitsOn[i] = -1
+		o := net.nextOutput(sv.node, sv.v)
+		var blocker *vc
+		switch {
+		case o.alloc == sv.flat:
+			// Output granted: the head waits on downstream credit. Ejection
+			// links always drain, so a stalled VC here implies o.ds != nil.
+			if o.ds != nil {
+				blocker = &o.ds.vcs[o.dsVC]
+			}
+		case o.alloc >= 0:
+			// Output held by another packet until its tail passes.
+			hp := sv.node.inputs[o.alloc/net.vcs]
+			blocker = &hp.vcs[o.alloc%net.vcs]
+		}
+		if blocker != nil {
+			if j, ok := idx[blocker]; ok {
+				waitsOn[i] = j
+			}
+		}
+	}
+	// Functional graph (≤1 out-edge per vertex): follow the chains and look
+	// for a vertex that reaches itself.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(stalled))
+	for i := range stalled {
+		if color[i] != white {
+			continue
+		}
+		j := i
+		for j >= 0 && color[j] == white {
+			color[j] = grey
+			j = waitsOn[j]
+		}
+		if j >= 0 && color[j] == grey {
+			return true
+		}
+		k := i
+		for k >= 0 && color[k] == grey {
+			color[k] = black
+			k = waitsOn[k]
+		}
+	}
+	return false
+}
+
+// freeVC returns the lowest-index unowned VC of the input port, or -1.
+func freeVC(ip *inputPort) int {
+	for k := range ip.vcs {
+		if ip.vcs[k].owner == nil {
+			return k
+		}
+	}
+	return -1
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

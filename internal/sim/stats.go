@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FlowStats is the simulated behaviour of one communication flow. Latencies
+// are head-flit latencies: the cycle the head flit reached the destination
+// core minus the cycle the packet entered its source queue.
+type FlowStats struct {
+	Flow             int     `json:"flow"`
+	OfferedMBps      float64 `json:"offered_mbps"`
+	AchievedMBps     float64 `json:"achieved_mbps"`
+	PacketsInjected  int64   `json:"packets_injected"`
+	PacketsDelivered int64   `json:"packets_delivered"`
+	FlitsInjected    int64   `json:"flits_injected"`
+	FlitsDelivered   int64   `json:"flits_delivered"`
+	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
+	MinLatencyCycles float64 `json:"min_latency_cycles"`
+	MaxLatencyCycles float64 `json:"max_latency_cycles"`
+}
+
+// LinkStats is the activity of one simulated channel. Injection links have
+// From == -1 and Core set to the source core; ejection links have To == -1
+// and Core set to the destination core; internal switch-to-switch links have
+// Core == -1.
+type LinkStats struct {
+	Kind        string  `json:"kind"` // "injection", "internal" or "ejection"
+	From        int     `json:"from"`
+	To          int     `json:"to"`
+	Core        int     `json:"core"`
+	Stages      int     `json:"stages"`
+	BusyCycles  int64   `json:"busy_cycles"`
+	Utilization float64 `json:"utilization"`
+}
+
+// SwitchStats is the activity of one simulated switch. Utilization is the
+// fraction of output-port forwarding slots used.
+type SwitchStats struct {
+	Switch         int     `json:"switch"`
+	FlitsForwarded int64   `json:"flits_forwarded"`
+	Utilization    float64 `json:"utilization"`
+}
+
+// Stats is the outcome of one simulation run. For a fixed topology and Config
+// the whole structure is byte-identical across runs (the determinism
+// contract of the package).
+type Stats struct {
+	// Cycles is the number of cycles actually simulated (injection horizon
+	// plus the drain the run needed, or less when the watchdog tripped).
+	Cycles int64 `json:"cycles"`
+	// InjectionCycles echoes Config.Cycles.
+	InjectionCycles int `json:"injection_cycles"`
+	// Profile and Seed echo the traffic configuration of the run.
+	Profile string `json:"profile"`
+	Seed    int64  `json:"seed"`
+
+	PacketsInjected  int64 `json:"packets_injected"`
+	PacketsDelivered int64 `json:"packets_delivered"`
+	FlitsInjected    int64 `json:"flits_injected"`
+	FlitsDelivered   int64 `json:"flits_delivered"`
+	// FlitsInFlight counts flits still buffered in the network when the run
+	// ended; SourceBacklogPackets counts packets still queued at their NI.
+	FlitsInFlight        int64 `json:"flits_in_flight"`
+	SourceBacklogPackets int64 `json:"source_backlog_packets"`
+
+	// AvgLatencyCycles and MaxLatencyCycles aggregate the head-flit latency
+	// over all delivered packets.
+	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
+	MaxLatencyCycles float64 `json:"max_latency_cycles"`
+
+	// Deadlock reports that the runtime watchdog saw buffered flits make no
+	// progress for the whole watchdog horizon; DeadlockCycle is the cycle the
+	// run was aborted. Livelock reports movement without any delivery for the
+	// livelock horizon.
+	Deadlock      bool  `json:"deadlock"`
+	DeadlockCycle int64 `json:"deadlock_cycle,omitempty"`
+	Livelock      bool  `json:"livelock"`
+
+	Flows    []FlowStats   `json:"flows"`
+	Links    []LinkStats   `json:"links"`
+	Switches []SwitchStats `json:"switches"`
+}
+
+// DeliveredFraction returns the fraction of injected packets delivered by the
+// end of the run (1 when nothing was injected).
+func (s *Stats) DeliveredFraction() float64 {
+	if s.PacketsInjected == 0 {
+		return 1
+	}
+	return float64(s.PacketsDelivered) / float64(s.PacketsInjected)
+}
+
+// Healthy reports that the run saw neither a deadlock nor a livelock.
+func (s *Stats) Healthy() bool { return !s.Deadlock && !s.Livelock }
+
+// collect freezes the run state into the exported statistics.
+func (net *network) collect(st *runState, cfg Config, cycles int64) *Stats {
+	t := net.top
+	bytesPerFlit := float64(t.Lib.LinkWidthBits) / 8
+	// flits/cycle * bytes/flit * cycles/us = bytes/us = MB/s at FreqMHz.
+	toMBps := func(flits int64) float64 {
+		if cycles == 0 {
+			return 0
+		}
+		return float64(flits) / float64(cycles) * bytesPerFlit * t.FreqMHz
+	}
+
+	out := &Stats{
+		Cycles:               cycles,
+		InjectionCycles:      cfg.Cycles,
+		Profile:              cfg.Profile.String(),
+		Seed:                 cfg.Seed,
+		PacketsInjected:      st.packetsInjected,
+		PacketsDelivered:     st.packetsDelivered,
+		FlitsInjected:        st.flitsInjected,
+		FlitsDelivered:       st.flitsDelivered,
+		FlitsInFlight:        st.inNetworkFlits,
+		SourceBacklogPackets: st.sourceBacklog,
+		Deadlock:             st.deadlock,
+		DeadlockCycle:        st.deadlockCycle,
+		Livelock:             st.livelock,
+	}
+	if st.packetsDelivered > 0 {
+		out.AvgLatencyCycles = st.latTotalSum / float64(st.packetsDelivered)
+		out.MaxLatencyCycles = st.latTotalMax
+	}
+
+	out.Flows = make([]FlowStats, t.Design.NumFlows())
+	for f := range out.Flows {
+		fs := FlowStats{
+			Flow:             f,
+			OfferedMBps:      toMBps(st.perFlowFlitIn[f]),
+			AchievedMBps:     toMBps(st.perFlowFlitOut[f]),
+			PacketsInjected:  st.perFlowPktIn[f],
+			PacketsDelivered: st.perFlowPktOut[f],
+			FlitsInjected:    st.perFlowFlitIn[f],
+			FlitsDelivered:   st.perFlowFlitOut[f],
+		}
+		if st.perFlowHeads[f] > 0 {
+			fs.AvgLatencyCycles = st.latSum[f] / float64(st.perFlowHeads[f])
+			fs.MinLatencyCycles = st.latMin[f]
+			fs.MaxLatencyCycles = st.latMax[f]
+		}
+		out.Flows[f] = fs
+	}
+
+	kinds := map[linkKind]string{linkInjection: "injection", linkInternal: "internal", linkEjection: "ejection"}
+	out.Links = make([]LinkStats, len(net.links))
+	for i, l := range net.links {
+		u := 0.0
+		if cycles > 0 {
+			u = float64(l.busy) / float64(cycles)
+		}
+		out.Links[i] = LinkStats{
+			Kind: kinds[l.kind], From: l.from, To: l.to, Core: l.core,
+			Stages: l.stages, BusyCycles: l.busy, Utilization: u,
+		}
+	}
+
+	out.Switches = make([]SwitchStats, len(net.nodes))
+	for i, s := range net.nodes {
+		u := 0.0
+		if slots := cycles * int64(len(s.outputs)); slots > 0 {
+			u = float64(s.forwarded) / float64(slots)
+		}
+		out.Switches[i] = SwitchStats{Switch: i, FlitsForwarded: s.forwarded, Utilization: u}
+	}
+	return out
+}
+
+// Report renders the statistics as "key value" lines plus per-flow and
+// per-switch tables (the format of the CLI's sim.txt).
+func (s *Stats) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile %s\n", s.Profile)
+	fmt.Fprintf(&b, "seed %d\n", s.Seed)
+	fmt.Fprintf(&b, "cycles %d\n", s.Cycles)
+	fmt.Fprintf(&b, "packets_injected %d\n", s.PacketsInjected)
+	fmt.Fprintf(&b, "packets_delivered %d\n", s.PacketsDelivered)
+	fmt.Fprintf(&b, "delivered_fraction %.4f\n", s.DeliveredFraction())
+	fmt.Fprintf(&b, "avg_latency_cycles %.3f\n", s.AvgLatencyCycles)
+	fmt.Fprintf(&b, "max_latency_cycles %.3f\n", s.MaxLatencyCycles)
+	fmt.Fprintf(&b, "deadlock %v\n", s.Deadlock)
+	fmt.Fprintf(&b, "livelock %v\n", s.Livelock)
+	b.WriteString("flows:\n")
+	for _, f := range s.Flows {
+		fmt.Fprintf(&b, "  flow %3d: offered %8.1f MB/s achieved %8.1f MB/s latency avg %7.2f min %5.0f max %5.0f\n",
+			f.Flow, f.OfferedMBps, f.AchievedMBps, f.AvgLatencyCycles, f.MinLatencyCycles, f.MaxLatencyCycles)
+	}
+	b.WriteString("links:\n")
+	for _, l := range s.Links {
+		var ep string
+		switch l.Kind {
+		case "injection":
+			ep = fmt.Sprintf("core %d -> switch %d", l.Core, l.To)
+		case "ejection":
+			ep = fmt.Sprintf("switch %d -> core %d", l.From, l.Core)
+		default:
+			ep = fmt.Sprintf("switch %d -> switch %d", l.From, l.To)
+		}
+		fmt.Fprintf(&b, "  %-9s %-24s %8d busy cycles, utilization %.4f\n",
+			l.Kind, ep, l.BusyCycles, l.Utilization)
+	}
+	b.WriteString("switches:\n")
+	for _, sw := range s.Switches {
+		fmt.Fprintf(&b, "  switch %3d: %8d flits forwarded, utilization %.4f\n",
+			sw.Switch, sw.FlitsForwarded, sw.Utilization)
+	}
+	return b.String()
+}

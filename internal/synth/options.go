@@ -19,6 +19,7 @@ import (
 
 	"sunfloor3d/internal/noclib"
 	"sunfloor3d/internal/partition"
+	"sunfloor3d/internal/sim"
 )
 
 // Phase selects which core-to-switch connectivity method the engine may use.
@@ -117,6 +118,12 @@ type Options struct {
 	// maintaining it incrementally. Reference implementation for equivalence
 	// tests and before/after benchmarks only.
 	FullRebuildRouter bool
+	// Sim, when non-nil, runs the flit-level traffic simulator on every valid
+	// design point after evaluation and attaches the resulting statistics to
+	// DesignPoint.Sim. Simulation runs on the same worker pool as the rest of
+	// the point's evaluation and is deterministic for a fixed config, so it
+	// does not perturb the ordering or identity of the returned points.
+	Sim *sim.Config
 }
 
 // DefaultOptions returns the options used throughout the paper's experiments:
@@ -163,6 +170,11 @@ func (o Options) Validate() error {
 	}
 	if o.PowerWeight == 0 && o.LatencyWeight == 0 {
 		return fmt.Errorf("synth: objective weights are both zero")
+	}
+	if o.Sim != nil {
+		if err := o.Sim.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"sunfloor3d/internal/partition"
 	"sunfloor3d/internal/place"
 	"sunfloor3d/internal/route"
+	"sunfloor3d/internal/sim"
 	"sunfloor3d/internal/topology"
 )
 
@@ -39,6 +40,9 @@ type DesignPoint struct {
 	// (deterministic given the topology, so identical between serial,
 	// parallel, cached and uncached runs).
 	Route route.Result
+	// Sim holds the flit-level traffic simulation of the point (nil unless
+	// Options.Sim requested simulation and the point is valid).
+	Sim *sim.Stats
 	// Elapsed is the wall-clock time spent building, routing and evaluating
 	// this point.
 	Elapsed time.Duration
@@ -216,6 +220,15 @@ func refineBest(res *Result, opt Options, refine func(*topology.Topology) error)
 	cost := opt.PowerWeight*m.Power.TotalMW() + opt.LatencyWeight*m.AvgLatencyCycles
 	if cost > best.Cost(opt.PowerWeight, opt.LatencyWeight) {
 		return
+	}
+	if opt.Sim != nil {
+		// The refinement moved the switches, which changes link pipeline
+		// depths; the attached simulation must describe the refined geometry.
+		stats, err := sim.Run(refined, *opt.Sim)
+		if err != nil {
+			return
+		}
+		best.Sim = stats
 	}
 	best.Topology = refined
 	best.Metrics = m
@@ -501,6 +514,15 @@ func runAndEvaluate(top *topology.Topology, opt Options, cfg route.Config, dp De
 		return dp
 	}
 	dp.Valid = true
+	if opt.Sim != nil {
+		stats, err := sim.Run(top, *opt.Sim)
+		if err != nil {
+			dp.Valid = false
+			dp.FailReason = fmt.Sprintf("simulation failed: %v", err)
+			return dp
+		}
+		dp.Sim = stats
+	}
 	return dp
 }
 

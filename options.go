@@ -181,3 +181,15 @@ func WithLPPlacement(everyPoint bool) Option {
 func WithRequireLatencyMet(require bool) Option {
 	return func(c *config) { c.opt.RequireLatencyMet = require }
 }
+
+// WithSimulation runs the flit-level traffic simulator on every valid design
+// point and attaches the resulting SimStats to DesignPoint.Sim. The simulator
+// replays the committed per-flow routes with wormhole switching, finite VC
+// buffers and the configured injection profile; it is deterministic for a
+// fixed config and seed, so it does not perturb the ordering or identity of
+// the returned points. Like Elapsed and Cache, SimStats is excluded from the
+// JSON serialisation of a Result, which stays byte-identical with and without
+// simulation enabled.
+func WithSimulation(cfg SimConfig) Option {
+	return func(c *config) { c.opt.Sim = &cfg }
+}

@@ -113,6 +113,11 @@ type DesignPoint struct {
 	// this point. It is excluded from JSON so that serialised results stay
 	// byte-identical across runs, parallelism levels and cache settings.
 	Elapsed time.Duration `json:"-"`
+	// Sim is the flit-level traffic simulation of this point (nil unless the
+	// run used WithSimulation and the point is valid). Like Elapsed it is
+	// excluded from JSON so that serialised results stay byte-identical with
+	// and without simulation.
+	Sim *SimStats `json:"-"`
 
 	topo *topology.Topology
 }
@@ -133,6 +138,7 @@ func pointFromInternal(dp synth.DesignPoint) DesignPoint {
 			DeadlockRetries:  dp.Route.DeadlockRetries,
 		},
 		Elapsed: dp.Elapsed,
+		Sim:     dp.Sim,
 		topo:    dp.Topology,
 	}
 }

@@ -1,0 +1,171 @@
+package sunfloor3d_test
+
+// Tests of the simulation surface of the public API: WithSimulation attaching
+// SimStats to valid points, JSON stability with simulation enabled, and the
+// Topology-level Simulate / ZeroLoadLatencies entry points.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"sunfloor3d"
+)
+
+// TestWithSimulationAttachesStats checks that every valid design point of a
+// simulated run carries deterministic SimStats and that invalid points carry
+// none.
+func TestWithSimulationAttachesStats(t *testing.T) {
+	d := apiDesign(t)
+	cfg := sunfloor3d.DefaultSimConfig()
+	cfg.Cycles = 1000
+	cfg.DrainCycles = 1000
+	res, err := sunfloor3d.Synthesize(context.Background(), d,
+		sunfloor3d.WithMaxILL(10),
+		sunfloor3d.WithSimulation(cfg),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulated := 0
+	for _, p := range res.Points {
+		if p.Valid {
+			if p.Sim == nil {
+				t.Fatalf("valid point (%d switches) has no SimStats", p.SwitchCount)
+			}
+			if p.Sim.Deadlock || p.Sim.Livelock {
+				t.Fatalf("point (%d switches) deadlocked: %+v", p.SwitchCount, p.Sim)
+			}
+			if p.Sim.PacketsInjected == 0 {
+				t.Fatalf("point (%d switches) injected nothing", p.SwitchCount)
+			}
+			simulated++
+		} else if p.Sim != nil {
+			t.Fatalf("invalid point (%d switches) carries SimStats", p.SwitchCount)
+		}
+	}
+	if simulated == 0 {
+		t.Fatal("no point was simulated")
+	}
+}
+
+// TestSimulationKeepsJSONStable checks the serialisation contract: results
+// with and without simulation marshal to byte-identical JSON, like Elapsed
+// and Cache already do.
+func TestSimulationKeepsJSONStable(t *testing.T) {
+	d := apiDesign(t)
+	ctx := context.Background()
+	plain, err := sunfloor3d.Synthesize(ctx, d, sunfloor3d.WithMaxILL(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sunfloor3d.DefaultSimConfig()
+	cfg.Cycles = 500
+	cfg.DrainCycles = 500
+	simmed, err := sunfloor3d.Synthesize(ctx, d,
+		sunfloor3d.WithMaxILL(10), sunfloor3d.WithSimulation(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(simmed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("simulation changed the serialised result:\nplain: %s\nsim:   %s", a, b)
+	}
+}
+
+// TestSimulationDeterministicAcrossParallelism checks that the attached
+// SimStats are identical between serial and parallel sweeps.
+func TestSimulationDeterministicAcrossParallelism(t *testing.T) {
+	d := apiDesign(t)
+	ctx := context.Background()
+	cfg := sunfloor3d.DefaultSimConfig()
+	cfg.Cycles = 800
+	cfg.DrainCycles = 800
+	run := func(jobs int) *sunfloor3d.Result {
+		t.Helper()
+		res, err := sunfloor3d.Synthesize(ctx, d,
+			sunfloor3d.WithMaxILL(10),
+			sunfloor3d.WithParallelism(jobs),
+			sunfloor3d.WithSimulation(cfg),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(8)
+	if len(serial.Points) != len(parallel.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(serial.Points), len(parallel.Points))
+	}
+	for i := range serial.Points {
+		sj, err := json.Marshal(serial.Points[i].Sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pj, err := json.Marshal(parallel.Points[i].Sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sj, pj) {
+			t.Fatalf("point %d SimStats differ between serial and parallel:\n%s\n%s", i, sj, pj)
+		}
+	}
+}
+
+// TestTopologySimulateAndZeroLoad exercises the Topology-level simulation
+// entry points and the public half of the sim-vs-analytic equivalence: the
+// average zero-load latency over all flows equals Metrics.AvgLatencyCycles.
+func TestTopologySimulateAndZeroLoad(t *testing.T) {
+	d := apiDesign(t)
+	res, err := sunfloor3d.Synthesize(context.Background(), d, sunfloor3d.WithMaxILL(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best()
+	if best == nil {
+		t.Fatal("no valid point")
+	}
+	top := best.Topology()
+
+	lats, err := top.ZeroLoadLatencies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for f, l := range lats {
+		if l < 1 {
+			t.Errorf("flow %d zero-load latency %v below one switch cycle", f, l)
+		}
+		sum += l
+	}
+	if avg := sum / float64(len(lats)); math.Abs(avg-best.Metrics.AvgLatencyCycles) > 1e-9 {
+		t.Fatalf("zero-load avg %v != analytic avg %v", avg, best.Metrics.AvgLatencyCycles)
+	}
+
+	cfg := sunfloor3d.DefaultSimConfig()
+	cfg.Profile = sunfloor3d.SimHotspot
+	cfg.Cycles = 600
+	cfg.DrainCycles = 600
+	st, err := top.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Profile != "hotspot" || !st.Healthy() {
+		t.Fatalf("unexpected simulation outcome: %+v", st)
+	}
+	if _, err := top.Simulate(sunfloor3d.SimConfig{}); err == nil {
+		t.Fatal("zero SimConfig should be rejected")
+	}
+	if _, err := sunfloor3d.NewEngine(sunfloor3d.WithSimulation(sunfloor3d.SimConfig{})); err == nil {
+		t.Fatal("engine must reject an invalid simulation config")
+	}
+}
