@@ -26,7 +26,9 @@ import (
 	"sunfloor3d/internal/noclib"
 	"sunfloor3d/internal/partition"
 	"sunfloor3d/internal/place"
+	"sunfloor3d/internal/sim"
 	"sunfloor3d/internal/synth"
+	"sunfloor3d/internal/topology"
 )
 
 func quickCfg() experiments.Config {
@@ -319,6 +321,147 @@ func BenchmarkSweepHotPath(b *testing.B) {
 	}
 	if err := os.WriteFile("BENCH_PR2.json", append(data, '\n'), 0o644); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// --- Simulator benchmarks (PR 4) -----------------------------------------
+//
+// BenchmarkSimSweep is the before/after record of the execution-core rewrite:
+// it times sweep-mode simulation (one run per valid design point, the
+// WithSimulation workload) for every profile on a small (D_26_media) and a
+// large (D_36_4) paper benchmark, plus the zero-load oracle, against the
+// retained reference engine, and writes the results to BENCH_PR4.json. Every
+// timed pair is preceded by a byte-level Stats comparison between the two
+// engines, so the benchmark fails — it does not just report a number — if
+// the optimized core ever drifts from reference mode. The CI smoke step runs
+// it with -benchtime=1x.
+func BenchmarkSimSweep(b *testing.B) {
+	type combo struct {
+		name    string
+		profile sunfloor3d.SimProfile
+	}
+	combos := []combo{
+		{"D_26_media", sunfloor3d.SimUniform},
+		{"D_36_4", sunfloor3d.SimUniform},
+		{"D_26_media", sunfloor3d.SimBursty},
+		{"D_36_4", sunfloor3d.SimBursty},
+		{"D_26_media", sunfloor3d.SimHotspot},
+		{"D_36_4", sunfloor3d.SimHotspot},
+	}
+	zeroLoad := []string{"D_26_media", "D_36_4"}
+
+	var sims []sunfloor3d.SimBenchmark
+	var oracles []sunfloor3d.ZeroLoadBenchmark
+	for i := 0; i < b.N; i++ {
+		sims = sims[:0]
+		oracles = oracles[:0]
+		for _, c := range combos {
+			r, err := sunfloor3d.RunSimBenchmark(c.name, c.profile, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sims = append(sims, r)
+		}
+		for _, name := range zeroLoad {
+			r, err := sunfloor3d.RunZeroLoadBenchmark(name, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			oracles = append(oracles, r)
+		}
+	}
+
+	// The headline number is the geometric-mean speedup over the uniform
+	// sweep-simulation benchmarks (the acceptance metric of the rewrite);
+	// the other profiles and the oracle are recorded alongside.
+	logSum, n := 0.0, 0
+	for _, r := range sims {
+		if r.Profile == "uniform" {
+			logSum += math.Log(r.Speedup)
+			n++
+		}
+	}
+	speedup := math.Exp(logSum / float64(n))
+	b.ReportMetric(speedup, "speedup")
+
+	out := struct {
+		Description string                         `json:"description"`
+		Speedup     float64                        `json:"geomean_speedup"`
+		Sims        []sunfloor3d.SimBenchmark      `json:"sweep_simulation"`
+		ZeroLoad    []sunfloor3d.ZeroLoadBenchmark `json:"zero_load_oracle"`
+	}{
+		Description: "Sweep-mode flit-level simulation: baseline (reference engine: per-packet " +
+			"allocation, slice queues, map routing lookups, dense cycle scans, full stats) vs " +
+			"optimized (arena packets, ring-buffer VCs, dense routing with per-hop output " +
+			"caching, active-set scheduling, summary stats). geomean_speedup covers the " +
+			"uniform-profile sweeps; engines are verified byte-identical before timing. " +
+			"Regenerate with: go test -bench=SimSweep -benchtime=1x",
+		Speedup:  speedup,
+		Sims:     sims,
+		ZeroLoad: oracles,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR4.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// bestTopologyFor synthesizes the named benchmark with default options and
+// returns the best point's topology (benchmark setup, excluded from timing).
+func bestTopologyFor(b *testing.B, name string) *topology.Topology {
+	b.Helper()
+	bm := bench.ByNameMust(name, 1)
+	res, err := synth.Synthesize(bm.Graph3D, synth.DefaultOptions())
+	if err != nil || res.Best == nil {
+		b.Fatalf("synthesize %s: %v", name, err)
+	}
+	return res.Best.Topology
+}
+
+// benchmarkSimProfile measures one production-engine simulation of the best
+// topology under the given profile, reporting delivered-flit throughput and
+// allocations (the steady-state loop must not allocate).
+func benchmarkSimProfile(b *testing.B, name string, profile sim.Profile) {
+	top := bestTopologyFor(b, name)
+	cfg := sim.DefaultConfig()
+	cfg.Profile = profile
+	cfg.StatsLevel = sim.StatsSummary
+	b.ReportAllocs()
+	b.ResetTimer()
+	var flits int64
+	for i := 0; i < b.N; i++ {
+		st, err := sim.Run(top, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flits += st.FlitsDelivered
+	}
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(flits)/s, "flits/sec")
+	}
+}
+
+func BenchmarkSimUniformSmall(b *testing.B) { benchmarkSimProfile(b, "D_26_media", sim.Uniform) }
+func BenchmarkSimUniformLarge(b *testing.B) { benchmarkSimProfile(b, "D_36_4", sim.Uniform) }
+func BenchmarkSimBurstySmall(b *testing.B)  { benchmarkSimProfile(b, "D_26_media", sim.Bursty) }
+func BenchmarkSimBurstyLarge(b *testing.B)  { benchmarkSimProfile(b, "D_36_4", sim.Bursty) }
+func BenchmarkSimHotspotSmall(b *testing.B) { benchmarkSimProfile(b, "D_26_media", sim.Hotspot) }
+func BenchmarkSimHotspotLarge(b *testing.B) { benchmarkSimProfile(b, "D_36_4", sim.Hotspot) }
+
+// BenchmarkSimZeroLoad measures the zero-load oracle on the best D_26_media
+// topology (one reused network, one single-packet run per flow).
+func BenchmarkSimZeroLoad(b *testing.B) {
+	top := bestTopologyFor(b, "D_26_media")
+	cfg := sim.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.ZeroLoadLatencies(top, cfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

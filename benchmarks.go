@@ -1,12 +1,17 @@
 package sunfloor3d
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"sync"
 	"time"
 
 	"sunfloor3d/internal/bench"
 	"sunfloor3d/internal/mesh"
+	"sunfloor3d/internal/sim"
 	"sunfloor3d/internal/synth"
+	"sunfloor3d/internal/topology"
 )
 
 // Benchmark is one design of the paper's synthetic benchmark suite, in both
@@ -127,6 +132,237 @@ func RunSweepBenchmark(name string, seed int64, freqs ...float64) (SweepBenchmar
 		OptimizedMS:    optMS,
 		CacheHits:      optRes.Cache.Hits,
 		CacheMisses:    optRes.Cache.Misses,
+	}
+	if optMS > 0 {
+		out.Speedup = baseMS / optMS
+	}
+	return out, nil
+}
+
+// SimBenchmark reports the timing of sweep-mode simulation — one simulator
+// run per valid design point of a synthesis sweep, the workload of
+// WithSimulation — in two configurations of the execution core. The baseline
+// is the retained pre-optimization engine (SimConfig.Reference): per-packet
+// heap allocation, slice queues, map routing lookups and dense cycle scans.
+// The optimized run is the production configuration: arena packets,
+// ring-buffer VCs, dense routing tables with per-hop output caching,
+// active-set scheduling and SimStatsSummary collection. Both engines produce
+// byte-identical full Stats; RunSimBenchmark verifies that before timing and
+// fails on any divergence.
+type SimBenchmark struct {
+	// Benchmark is the name of the design (e.g. "D_26_media").
+	Benchmark string `json:"benchmark"`
+	// Profile is the injection profile simulated.
+	Profile string `json:"profile"`
+	// Points is the number of valid design points simulated.
+	Points int `json:"points"`
+	// CyclesSimulated and FlitsDelivered total the optimized run's work.
+	CyclesSimulated int64 `json:"cycles_simulated"`
+	FlitsDelivered  int64 `json:"flits_delivered"`
+	// BaselineMS and OptimizedMS are the wall-clock times of the two runs.
+	BaselineMS  float64 `json:"baseline_ms"`
+	OptimizedMS float64 `json:"optimized_ms"`
+	// Speedup is BaselineMS / OptimizedMS.
+	Speedup float64 `json:"speedup"`
+	// FlitsPerSecond is the optimized engine's delivered-flit throughput.
+	FlitsPerSecond float64 `json:"flits_per_second"`
+}
+
+// validTopologies synthesizes the named benchmark with default options and
+// returns the topology of every valid design point — the set WithSimulation
+// would simulate. Synthesis is deterministic, so the result is memoized per
+// (name, seed): BenchmarkSimSweep calls this once per profile and once for
+// the zero-load oracle, and only the first call pays for the sweep. The
+// topologies are treated as read-only by every caller.
+func validTopologies(name string, seed int64) ([]*topology.Topology, error) {
+	key := fmt.Sprintf("%s/%d", name, seed)
+	simBenchTopos.mu.Lock()
+	defer simBenchTopos.mu.Unlock()
+	if tops, ok := simBenchTopos.m[key]; ok {
+		return tops, nil
+	}
+	bm, err := bench.ByName(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := synth.Synthesize(bm.Graph3D, synth.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	var tops []*topology.Topology
+	for i := range res.Points {
+		if res.Points[i].Valid && res.Points[i].Topology != nil {
+			tops = append(tops, res.Points[i].Topology)
+		}
+	}
+	if len(tops) == 0 {
+		return nil, fmt.Errorf("benchmark %s: no valid design points", name)
+	}
+	if simBenchTopos.m == nil {
+		simBenchTopos.m = make(map[string][]*topology.Topology)
+	}
+	simBenchTopos.m[key] = tops
+	return tops, nil
+}
+
+var simBenchTopos struct {
+	mu sync.Mutex
+	m  map[string][]*topology.Topology
+}
+
+// RunSimBenchmark times sweep-mode simulation of the named benchmark under
+// the given profile in the baseline (reference engine, full stats) and
+// optimized (production engine, summary stats) configurations. Before
+// timing, every design point is simulated once per engine at full stats
+// level and the results are compared byte for byte; a mismatch is an error,
+// never a number in the report. go test -bench=Sim records the standard
+// suite to BENCH_PR4.json.
+func RunSimBenchmark(name string, profile SimProfile, seed int64) (SimBenchmark, error) {
+	tops, err := validTopologies(name, seed)
+	if err != nil {
+		return SimBenchmark{}, err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Profile = profile
+
+	refCfg := cfg
+	refCfg.Reference = true
+
+	// Correctness gate: the engines must agree exactly on every point.
+	for i, top := range tops {
+		ref, err := sim.Run(top, refCfg)
+		if err != nil {
+			return SimBenchmark{}, fmt.Errorf("point %d reference run: %w", i, err)
+		}
+		opt, err := sim.Run(top, cfg)
+		if err != nil {
+			return SimBenchmark{}, fmt.Errorf("point %d optimized run: %w", i, err)
+		}
+		rj, err := json.Marshal(ref)
+		if err != nil {
+			return SimBenchmark{}, err
+		}
+		oj, err := json.Marshal(opt)
+		if err != nil {
+			return SimBenchmark{}, err
+		}
+		if !bytes.Equal(rj, oj) {
+			return SimBenchmark{}, fmt.Errorf("%s/%s point %d: optimized stats diverged from reference mode",
+				name, profile, i)
+		}
+	}
+
+	start := time.Now()
+	for _, top := range tops {
+		if _, err := sim.Run(top, refCfg); err != nil {
+			return SimBenchmark{}, err
+		}
+	}
+	baseMS := float64(time.Since(start).Microseconds()) / 1e3
+
+	optCfg := cfg
+	optCfg.StatsLevel = sim.StatsSummary
+	var cycles, flits int64
+	start = time.Now()
+	for _, top := range tops {
+		st, err := sim.Run(top, optCfg)
+		if err != nil {
+			return SimBenchmark{}, err
+		}
+		cycles += st.Cycles
+		flits += st.FlitsDelivered
+	}
+	optDur := time.Since(start)
+	optMS := float64(optDur.Microseconds()) / 1e3
+
+	out := SimBenchmark{
+		Benchmark:       name,
+		Profile:         profile.String(),
+		Points:          len(tops),
+		CyclesSimulated: cycles,
+		FlitsDelivered:  flits,
+		BaselineMS:      baseMS,
+		OptimizedMS:     optMS,
+	}
+	if optMS > 0 {
+		out.Speedup = baseMS / optMS
+	}
+	if s := optDur.Seconds(); s > 0 {
+		out.FlitsPerSecond = float64(flits) / s
+	}
+	return out, nil
+}
+
+// ZeroLoadBenchmark reports the timing of the zero-load latency oracle —
+// every flow simulated in isolation — with the reused-network optimized path
+// against the reference engine's one-full-rebuild-per-flow loop.
+type ZeroLoadBenchmark struct {
+	// Benchmark is the name of the design.
+	Benchmark string `json:"benchmark"`
+	// Points is the number of valid design points the oracle ran on; Flows
+	// totals the per-flow single-packet simulations.
+	Points int `json:"points"`
+	Flows  int `json:"flows"`
+	// BaselineMS and OptimizedMS are the wall-clock times of the two runs.
+	BaselineMS  float64 `json:"baseline_ms"`
+	OptimizedMS float64 `json:"optimized_ms"`
+	// Speedup is BaselineMS / OptimizedMS.
+	Speedup float64 `json:"speedup"`
+}
+
+// RunZeroLoadBenchmark times ZeroLoadLatencies over every valid design point
+// of the named benchmark in both engine configurations, verifying that the
+// latency vectors agree exactly before timing.
+func RunZeroLoadBenchmark(name string, seed int64) (ZeroLoadBenchmark, error) {
+	tops, err := validTopologies(name, seed)
+	if err != nil {
+		return ZeroLoadBenchmark{}, err
+	}
+	cfg := sim.DefaultConfig()
+	refCfg := cfg
+	refCfg.Reference = true
+
+	flows := 0
+	for i, top := range tops {
+		ref, err := sim.ZeroLoadLatencies(top, refCfg)
+		if err != nil {
+			return ZeroLoadBenchmark{}, fmt.Errorf("point %d reference oracle: %w", i, err)
+		}
+		opt, err := sim.ZeroLoadLatencies(top, cfg)
+		if err != nil {
+			return ZeroLoadBenchmark{}, fmt.Errorf("point %d optimized oracle: %w", i, err)
+		}
+		for f := range opt {
+			if opt[f] != ref[f] {
+				return ZeroLoadBenchmark{}, fmt.Errorf("%s point %d flow %d: zero-load latency diverged from reference mode",
+					name, i, f)
+			}
+		}
+		flows += len(opt)
+	}
+
+	start := time.Now()
+	for _, top := range tops {
+		if _, err := sim.ZeroLoadLatencies(top, refCfg); err != nil {
+			return ZeroLoadBenchmark{}, err
+		}
+	}
+	baseMS := float64(time.Since(start).Microseconds()) / 1e3
+
+	start = time.Now()
+	for _, top := range tops {
+		if _, err := sim.ZeroLoadLatencies(top, cfg); err != nil {
+			return ZeroLoadBenchmark{}, err
+		}
+	}
+	optMS := float64(time.Since(start).Microseconds()) / 1e3
+
+	out := ZeroLoadBenchmark{
+		Benchmark:   name,
+		Points:      len(tops),
+		Flows:       flows,
+		BaselineMS:  baseMS,
+		OptimizedMS: optMS,
 	}
 	if optMS > 0 {
 		out.Speedup = baseMS / optMS

@@ -17,7 +17,12 @@
 // point (profile selected by -sim-profile: uniform, bursty or hotspot, seeded
 // by -sim-seed, scaled by -sim-scale, for -sim-cycles injection cycles) and
 // the best point's per-flow latency/throughput, link/switch utilization and
-// deadlock-watchdog report is written to sim.txt.
+// deadlock-watchdog report is written to sim.txt. Under -progress each
+// simulated point also reports its simulation wall time.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole run,
+// so synthesis or simulation hot-path regressions can be diagnosed straight
+// from the CLI (go tool pprof <file>).
 //
 // The spec file formats are documented in internal/model (one "core" or
 // "flow" line per entity). Use cmd/specgen to emit the paper's benchmark
@@ -31,6 +36,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -65,6 +72,9 @@ func run() error {
 		simProfile = flag.String("sim-profile", "uniform", "traffic profile: uniform, bursty or hotspot")
 		simSeed    = flag.Int64("sim-seed", 1, "seed of the randomised injection profiles")
 		simScale   = flag.Float64("sim-scale", 1.0, "injection-rate multiplier on every flow bandwidth")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 	if *coreFile == "" || *commFile == "" {
@@ -78,6 +88,34 @@ func run() error {
 	ph, err := sunfloor3d.ParsePhase(*phase)
 	if err != nil {
 		return err
+	}
+
+	// The profiles cover the whole run — synthesis, per-point simulation and
+	// output writing — so hot-path regressions anywhere in the pipeline can
+	// be diagnosed straight from the CLI with go tool pprof.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sunfloor3d: -memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	design, err := sunfloor3d.LoadDesignFiles(*coreFile, *commFile)
@@ -116,8 +154,12 @@ func run() error {
 			if !ev.Point.Valid {
 				status = ev.Point.FailReason
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %d switches @ %.0f MHz (phase %d): %s\n",
-				ev.Done, ev.Total, ev.Point.SwitchCount, ev.Point.FreqMHz, ev.Point.Phase, status)
+			simTime := ""
+			if ev.Point.Sim != nil {
+				simTime = fmt.Sprintf(" (sim %.2fms)", ev.Point.SimElapsed.Seconds()*1e3)
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %d switches @ %.0f MHz (phase %d): %s%s\n",
+				ev.Done, ev.Total, ev.Point.SwitchCount, ev.Point.FreqMHz, ev.Point.Phase, status, simTime)
 		}))
 	}
 

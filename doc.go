@@ -79,6 +79,22 @@
 // Elapsed and Cache are, so serialised results stay byte-identical with and
 // without simulation.
 //
+// Because WithSimulation runs once per valid design point, the execution
+// core is built for sweep throughput: packets live in an index-based arena
+// with a free list, VC buffers are fixed-capacity ring buffers carved from
+// one block, routing uses dense per-switch tables with the output port
+// cached once per hop, and the cycle loop schedules only the active set
+// (idle NIs, switches and output ports cost one comparison; a drained
+// network fast-forwards to the next injector event). A steady-state cycle
+// performs no heap allocation, and SimConfig.StatsLevel (SimStatsSummary)
+// skips the per-link/per-switch tables a sweep discards. The
+// pre-optimization engine is retained behind SimConfig.Reference; the two
+// cores are verified byte-identical by equivalence tests over the golden
+// corpus and deadlock fixtures and by the FuzzSimDeterminism harness, and
+// BenchmarkSimSweep ("go test -bench=SimSweep -benchtime=1x") records the
+// before/after timings to BENCH_PR4.json. DesignPoint.SimElapsed reports
+// each point's simulation wall time.
+//
 // The implementation lives in the internal/ packages:
 //
 //   - internal/model      — cores, flows and the communication graph

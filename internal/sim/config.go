@@ -15,6 +15,17 @@
 // byte-identical Stats. The seed feeds only the bursty profile's on/off
 // period draws; the uniform and hotspot profiles are rate-accumulator based
 // and do not consume randomness at all.
+//
+// Execution core: the production engine keeps packets in an index-based
+// arena with a free list, buffers flits in fixed-capacity ring buffers (the
+// credit bound makes VC depth exact), resolves each packet's output port
+// once per hop through dense per-switch routing tables, and schedules work
+// through active sets — idle NIs, switches without an owned VC and output
+// ports without a waiting head flit cost one comparison per cycle, and a
+// fully drained network fast-forwards the clock to the next injector event.
+// A steady-state cycle performs no heap allocation. The pre-optimization
+// stepper is retained behind Config.Reference as the equivalence oracle and
+// benchmark baseline; both engines produce byte-identical Stats.
 package sim
 
 import "fmt"
@@ -66,6 +77,25 @@ func ParseProfile(s string) (Profile, error) {
 	}
 }
 
+// StatsLevel selects how much of the Stats breakdown a run collects. The
+// level never changes the simulation itself — the cycle-by-cycle behaviour
+// and every aggregate and per-flow number are identical at every level — it
+// only controls which per-resource rows are materialised at the end of the
+// run. Sweep-mode simulation (one run per valid design point) typically
+// discards the per-link and per-switch tables, so skipping them removes the
+// dominant share of collection cost and garbage.
+type StatsLevel int
+
+const (
+	// StatsFull collects everything: aggregates, per-flow, per-link and
+	// per-switch rows. It is the zero value, so existing configurations keep
+	// their behaviour.
+	StatsFull StatsLevel = iota
+	// StatsSummary collects the aggregates and the per-flow rows only;
+	// Stats.Links and Stats.Switches stay nil.
+	StatsSummary
+)
+
 // Config controls one simulation run.
 type Config struct {
 	// Cycles is the injection horizon: flows inject packets during cycles
@@ -103,6 +133,16 @@ type Config struct {
 	// HotspotFactor is the rate multiplier of hotspot-destined flows under the
 	// hotspot profile.
 	HotspotFactor float64
+	// StatsLevel selects how much of the Stats breakdown the run collects
+	// (StatsFull, the zero value, collects everything).
+	StatsLevel StatsLevel
+	// Reference runs the retained pre-optimization execution core instead of
+	// the production engine: pointer-based packets allocated per injection,
+	// slice-backed queues, map-based routing lookups and a dense cycle loop
+	// that scans every NI, switch and port every cycle. Both engines produce
+	// byte-identical Stats; the switch exists for the equivalence tests and
+	// the before/after benchmarks (BENCH_PR4.json) only.
+	Reference bool
 }
 
 // DefaultConfig returns the configuration used by the CLI and facade when the
@@ -144,6 +184,7 @@ func (c Config) Validate() error {
 		{c.BurstFactor >= 1, "BurstFactor must be at least 1"},
 		{c.MeanBurstCycles > 0, "MeanBurstCycles must be positive"},
 		{c.HotspotFactor >= 1, "HotspotFactor must be at least 1"},
+		{c.StatsLevel == StatsFull || c.StatsLevel == StatsSummary, "StatsLevel must be StatsFull or StatsSummary"},
 	}
 	for _, chk := range checks {
 		if !chk.ok {

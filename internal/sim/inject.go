@@ -10,13 +10,23 @@ import (
 // injector decides, cycle by cycle, how many packets each flow injects. All
 // injectors are deterministic for a fixed seed and iterate flows in index
 // order, so the source-queue contents (and hence the whole simulation) are
-// reproducible.
+// reproducible. The same injector instances drive both the optimized and the
+// reference engine, which is one half of the byte-identical-Stats contract.
 type injector interface {
-	// packetsAt returns how many packets the flow injects at the given cycle.
-	packetsAt(flow int, cycle int64) int
+	// poll advances the injector by one cycle and reports every flow that
+	// injects packets this cycle via emit(flow, n), in flow index order.
+	poll(now int64, emit func(flow, n int))
 	// done reports that the injector will never emit another packet (used by
 	// the single-packet oracle to terminate early).
 	done() bool
+	// nextEventAt reports the earliest cycle >= now at which the injector
+	// might emit a packet, advancing its internal state over the skipped
+	// quiet cycles [now, returned). Returning now means "cannot skip"; the
+	// caller must then poll normally. Implementations may only skip
+	// stretches they can advance bit-identically to per-cycle polling — the
+	// bursty profile's integer off-period countdowns qualify, floating-point
+	// rate accumulators do not.
+	nextEventAt(now int64) int64
 }
 
 // flowRates returns the per-flow injection rate in flits per cycle, derived
@@ -47,27 +57,49 @@ func flowRates(t *topology.Topology, scale float64) []float64 {
 type rateInjector struct {
 	perFlow []float64 // packet injections per cycle
 	credit  []float64
+	anyRate bool
 }
 
 func newRateInjector(rates []float64, packetFlits int) *rateInjector {
 	per := make([]float64, len(rates))
+	any := false
 	for i, r := range rates {
 		per[i] = r / float64(packetFlits)
+		if per[i] > 0 {
+			any = true
+		}
 	}
-	return &rateInjector{perFlow: per, credit: make([]float64, len(rates))}
+	return &rateInjector{perFlow: per, credit: make([]float64, len(rates)), anyRate: any}
 }
 
-func (r *rateInjector) packetsAt(flow int, cycle int64) int {
-	r.credit[flow] += r.perFlow[flow]
-	n := 0
-	for r.credit[flow] >= 1 {
-		r.credit[flow] -= 1
-		n++
+func (r *rateInjector) poll(now int64, emit func(flow, n int)) {
+	per, credit := r.perFlow, r.credit
+	for f := range per {
+		c := credit[f] + per[f]
+		if c >= 1 {
+			n := 0
+			for c >= 1 {
+				c -= 1
+				n++
+			}
+			emit(f, n)
+		}
+		credit[f] = c
 	}
-	return n
 }
 
 func (r *rateInjector) done() bool { return false }
+
+// nextEventAt cannot skip quiet cycles: the credit accumulators advance by
+// floating-point addition every cycle, and a batched multiply-add would not
+// reproduce the per-cycle rounding. With no injecting flow at all the
+// injector is quiet forever.
+func (r *rateInjector) nextEventAt(now int64) int64 {
+	if r.anyRate {
+		return now
+	}
+	return math.MaxInt64
+}
 
 // hotspotRates scales the rate of every flow whose destination is the core
 // with the highest total incoming bandwidth (lowest index on ties).
@@ -161,32 +193,70 @@ func (b *burstInjector) draw(mean float64) int64 {
 	return v
 }
 
-func (b *burstInjector) packetsAt(flow int, cycle int64) int {
-	if b.onRate[flow] == 0 {
-		return 0
-	}
-	if b.left[flow] == 0 {
-		b.on[flow] = !b.on[flow]
-		if b.on[flow] {
-			b.left[flow] = b.draw(b.onMean[flow])
-		} else {
-			b.left[flow] = b.draw(b.offMean[flow])
+func (b *burstInjector) poll(now int64, emit func(flow, n int)) {
+	for f := range b.onRate {
+		if b.onRate[f] == 0 {
+			continue
+		}
+		if b.left[f] == 0 {
+			b.on[f] = !b.on[f]
+			if b.on[f] {
+				b.left[f] = b.draw(b.onMean[f])
+			} else {
+				b.left[f] = b.draw(b.offMean[f])
+			}
+		}
+		b.left[f]--
+		if !b.on[f] {
+			continue
+		}
+		b.credit[f] += b.onRate[f]
+		if b.credit[f] >= 1 {
+			n := 0
+			for b.credit[f] >= 1 {
+				b.credit[f] -= 1
+				n++
+			}
+			emit(f, n)
 		}
 	}
-	b.left[flow]--
-	if !b.on[flow] {
-		return 0
-	}
-	b.credit[flow] += b.onRate[flow]
-	n := 0
-	for b.credit[flow] >= 1 {
-		b.credit[flow] -= 1
-		n++
-	}
-	return n
 }
 
 func (b *burstInjector) done() bool { return false }
+
+// nextEventAt fast-forwards over all-off stretches: while every bursting
+// flow sits in an off period, a poll only decrements the integer countdowns,
+// so batching k decrements is bit-identical to k polls (the RNG and the
+// credit accumulators are untouched until a flow turns on). The skip ends at
+// the first cycle a countdown reaches its flip.
+func (b *burstInjector) nextEventAt(now int64) int64 {
+	k := int64(math.MaxInt64)
+	any := false
+	for f := range b.onRate {
+		if b.onRate[f] == 0 {
+			continue
+		}
+		if b.on[f] {
+			return now // a flow is bursting (or streams permanently)
+		}
+		any = true
+		if b.left[f] < k {
+			k = b.left[f]
+		}
+	}
+	if !any {
+		return math.MaxInt64 // no flow ever injects
+	}
+	if k < 1 {
+		return now // a flow flips on at the very next poll
+	}
+	for f := range b.onRate {
+		if b.onRate[f] != 0 {
+			b.left[f] -= k
+		}
+	}
+	return now + k
+}
 
 // singlePacketInjector injects exactly one packet for one flow at cycle 0.
 // It is the zero-contention oracle used to cross-validate FlowLatencyCycles.
@@ -195,15 +265,16 @@ type singlePacketInjector struct {
 	sent bool
 }
 
-func (s *singlePacketInjector) packetsAt(flow int, cycle int64) int {
-	if flow == s.flow && !s.sent {
+func (s *singlePacketInjector) poll(now int64, emit func(flow, n int)) {
+	if !s.sent {
 		s.sent = true
-		return 1
+		emit(s.flow, 1)
 	}
-	return 0
 }
 
 func (s *singlePacketInjector) done() bool { return s.sent }
+
+func (s *singlePacketInjector) nextEventAt(now int64) int64 { return now }
 
 // newProfileInjector builds the injector for the configured profile.
 func newProfileInjector(t *topology.Topology, cfg Config) injector {

@@ -34,40 +34,74 @@ type link struct {
 }
 
 // packet is one in-flight packet: PacketFlits flits following the committed
-// route of its flow.
+// route of its flow. Packets live in the network's arena and are referenced
+// by index, so injecting a packet costs no heap allocation and delivering one
+// returns its slot to the free list.
 type packet struct {
-	flow   int
-	flits  int
-	path   []int // committed switch path of the flow
+	flow   int32
+	flits  int32
 	inject int64 // cycle the packet entered its source queue
+	path   []int // committed switch path of the flow (aliases the topology)
 }
 
-// flit is one flow-control unit buffered in a virtual channel. readyAt models
-// the link pipeline: the flit becomes visible to the downstream arbiter once
-// the simulation clock reaches readyAt.
+// flit is one flow-control unit buffered in a virtual channel. pkt indexes
+// the packet arena; readyAt models the link pipeline: the flit becomes
+// visible to the downstream arbiter once the simulation clock reaches
+// readyAt.
 type flit struct {
-	pkt     *packet
-	seq     int // 0 = head, pkt.flits-1 = tail
+	pkt     int32
+	seq     int32 // 0 = head, pkt.flits-1 = tail
 	readyAt int64
 }
 
-// vc is one virtual-channel buffer of a switch input port. A VC is owned by a
-// single packet from the cycle its head flit is granted the upstream output
-// (or NI) until its tail flit leaves the buffer.
+// vc is one virtual-channel buffer of a switch input port: a fixed-capacity
+// ring of BufferFlits flits (the credit bound makes the ring exact, so the
+// buffer never allocates after construction). A VC is owned by a single
+// packet from the cycle its head flit is granted the upstream output (or NI)
+// until its tail flit leaves the buffer; out caches the output port the
+// packet requests at this switch, resolved once per hop when ownership is
+// granted instead of once per flit inside the arbiter.
 type vc struct {
-	owner *packet
-	hop   int // index of this input port's switch within owner.path
-	q     []flit
+	owner int32 // packet arena index, -1 when free
+	hop   int32 // index of this input port's switch within owner's path
+	out   int32 // output-port index within the switch, cached for the residency
+	head  int32 // ring read position
+	n     int32 // flits currently buffered
+	// cwIdx is the circular-wait detector's transient index of this VC in its
+	// stalled list (-1 outside a detection pass).
+	cwIdx int32
 	// lastMove is the last cycle a flit left this buffer (or the cycle the VC
 	// was allocated); the deadlock detector treats a VC whose ready head has
 	// not moved for a whole watchdog horizon as stalled.
 	lastMove int64
+	buf      []flit // capacity BufferFlits, sliced out of the network's backing
+}
+
+func (v *vc) front() flit { return v.buf[v.head] }
+
+func (v *vc) push(f flit) {
+	i := int(v.head) + int(v.n)
+	if i >= len(v.buf) {
+		i -= len(v.buf)
+	}
+	v.buf[i] = f
+	v.n++
+}
+
+func (v *vc) pop() {
+	v.head++
+	if int(v.head) == len(v.buf) {
+		v.head = 0
+	}
+	v.n--
 }
 
 // inputPort is one switch input port (the downstream end of a link) with its
-// virtual channels.
+// virtual channels. sw is the owning switch, needed to resolve a packet's
+// next output port at the moment a VC is granted.
 type inputPort struct {
 	link *link
+	sw   *switchNode
 	vcs  []vc
 }
 
@@ -78,40 +112,61 @@ type outputPort struct {
 	// ds is the input port on the downstream switch (nil for ejection links).
 	ds *inputPort
 	// alloc is the index into the owning switch's flat candidate list of the
-	// (input port, VC) currently holding this output, or -1 when free.
-	alloc int
+	// (input port, VC) currently holding this output, or -1 when free;
+	// srcVC is the same VC resolved to a pointer at grant time, so the
+	// per-cycle forward path needs no div/mod over the candidate space.
+	alloc int32
+	srcVC *vc
 	// dsVC is the downstream VC reserved for the allocated packet.
-	dsVC int
+	dsVC int32
 	// rr is the round-robin arbitration pointer over the candidate list.
-	rr int
+	rr int32
+	// waiters counts the input VCs whose buffered head flit requests this
+	// port and has not been granted it yet. It is the arbiter's
+	// incrementally-maintained ready list: a port with no waiters skips the
+	// O(inputs x VCs) candidate scan entirely.
+	waiters int32
 }
 
-// switchNode is one simulated switch.
+// switchNode is one simulated switch. outTo and outEject are dense
+// per-switch routing tables (indexed by next-hop switch ID and destination
+// core ID respectively, -1 where no port exists) replacing the map lookups of
+// the reference engine.
 type switchNode struct {
 	id      int
 	inputs  []*inputPort
 	outputs []*outputPort
-	// outTo maps a next-hop switch ID to the output port index; outEject maps
-	// a destination core to its ejection output port index.
-	outTo    map[int]int
-	outEject map[int]int
+
+	outTo    []int32
+	outEject []int32
+
+	// busyVCs counts input VCs currently owned by a packet. It is the
+	// active-set criterion: a switch with no owned VC has no queued flit, no
+	// allocated output and no arbitration candidate, so step skips it in one
+	// comparison.
+	busyVCs int32
 
 	forwarded int64 // flits forwarded by this switch
 }
 
-// ni is the network interface of one source core: an unbounded source queue
-// feeding the core's injection link one flit per cycle.
+// ni is the network interface of one source core: a growable ring deque of
+// arena packet indices feeding the core's injection link one flit per cycle.
+// The ring replaces the q = q[1:] reslice of the reference engine, which kept
+// every delivered packet reachable through the queue's backing array.
 type ni struct {
 	core int
 	link *link
-	ds   *inputPort // input port of the attached switch
-	q    []*packet
-	cur  *packet
-	seq  int
-	dsVC int
+	ds   *inputPort
+	q    pktRing
+	cur  int32 // arena index of the packet being streamed, -1 when idle
+	seq  int32
+	dsVC int32
 }
 
 // network is the static structure plus the dynamic state of one simulation.
+// All dynamic state is index-based and arena-backed, so a network can be
+// reset() and reused across runs (ZeroLoadLatencies simulates every flow on
+// one build) and a steady-state cycle allocates nothing.
 type network struct {
 	top   *topology.Topology
 	links []*link
@@ -124,6 +179,42 @@ type network struct {
 	vcs         int
 	bufring     int // buffer depth per VC, in flits
 	packetFlits int
+
+	// packets is the arena; free lists released slots for reuse.
+	packets []packet
+	free    []int32
+
+	// flitBacking is the single allocation behind every VC ring.
+	flitBacking []flit
+
+	// Scratch buffers of the circular-wait detector, reused across checks.
+	cwStalled []stalledVC
+	cwWaits   []int32
+	cwColor   []uint8
+}
+
+// stalledVC is one entry of the circular-wait detector's stalled list.
+type stalledVC struct {
+	v    *vc
+	node *switchNode
+	flat int32 // candidate index of v within its switch (output alloc space)
+}
+
+// allocPacket returns a free arena slot, growing the arena only when the
+// free list is empty.
+func (net *network) allocPacket() int32 {
+	if k := len(net.free); k > 0 {
+		id := net.free[k-1]
+		net.free = net.free[:k-1]
+		return id
+	}
+	net.packets = append(net.packets, packet{})
+	return int32(len(net.packets) - 1)
+}
+
+// freePacket returns a delivered packet's slot to the arena free list.
+func (net *network) freePacket(id int32) {
+	net.free = append(net.free, id)
 }
 
 // buildNetwork instantiates the simulation structure for a routed topology.
@@ -136,7 +227,11 @@ func buildNetwork(t *topology.Topology, cfg Config) (*network, error) {
 
 	nodes := make([]*switchNode, t.NumSwitches())
 	for i := range nodes {
-		nodes[i] = &switchNode{id: i, outTo: make(map[int]int), outEject: make(map[int]int)}
+		nodes[i] = &switchNode{
+			id:       i,
+			outTo:    newDenseTable(t.NumSwitches()),
+			outEject: newDenseTable(t.Design.NumCores()),
+		}
 	}
 	net.nodes = nodes
 
@@ -153,14 +248,14 @@ func buildNetwork(t *topology.Topology, cfg Config) (*network, error) {
 		return l
 	}
 	attachInput := func(s int, l *link) *inputPort {
-		p := &inputPort{link: l, vcs: make([]vc, cfg.VCs)}
+		p := &inputPort{link: l, sw: nodes[s], vcs: make([]vc, cfg.VCs)}
 		nodes[s].inputs = append(nodes[s].inputs, p)
 		return p
 	}
-	attachOutput := func(s int, l *link, ds *inputPort) int {
-		o := &outputPort{link: l, ds: ds, alloc: -1}
+	attachOutput := func(s int, l *link, ds *inputPort) int32 {
+		o := &outputPort{link: l, ds: ds, alloc: -1, dsVC: -1}
 		nodes[s].outputs = append(nodes[s].outputs, o)
-		return len(nodes[s].outputs) - 1
+		return int32(len(nodes[s].outputs) - 1)
 	}
 
 	// Injection links, in core order (deterministic network layout).
@@ -174,7 +269,7 @@ func buildNetwork(t *topology.Topology, cfg Config) (*network, error) {
 		stages := t.Lib.LinkPipelineStages(geom.Manhattan(planar, t.Switches[sw].Pos), t.FreqMHz)
 		l := addLink(&link{kind: linkInjection, from: -1, to: sw, core: c, stages: stages})
 		in := attachInput(sw, l)
-		n := &ni{core: c, link: l, ds: in}
+		n := &ni{core: c, link: l, ds: in, cur: -1, dsVC: -1}
 		net.nis = append(net.nis, n)
 		net.niOf[c] = n
 	}
@@ -200,17 +295,78 @@ func buildNetwork(t *topology.Topology, cfg Config) (*network, error) {
 		l := addLink(&link{kind: linkEjection, from: sw, to: -1, core: c, stages: stages})
 		nodes[sw].outEject[c] = attachOutput(sw, l, nil)
 	}
+
+	// One backing block for every VC ring: bounded, contiguous, allocated
+	// once.
+	totalPorts := 0
+	for _, s := range nodes {
+		totalPorts += len(s.inputs)
+	}
+	net.flitBacking = make([]flit, totalPorts*cfg.VCs*cfg.BufferFlits)
+	off := 0
+	for _, s := range nodes {
+		for _, ip := range s.inputs {
+			for k := range ip.vcs {
+				ip.vcs[k].buf = net.flitBacking[off : off+cfg.BufferFlits : off+cfg.BufferFlits]
+				off += cfg.BufferFlits
+			}
+		}
+	}
+	net.reset()
 	return net, nil
 }
 
-// nextOutput returns the output port the packet requests at the switch where
-// the given input VC lives: the link towards the next switch of its path, or
-// the ejection link of its destination core at the last hop.
-func (net *network) nextOutput(s *switchNode, v *vc) *outputPort {
-	pkt := v.owner
-	if v.hop == len(pkt.path)-1 {
-		dst := net.top.Design.Flows[pkt.flow].Dst
-		return s.outputs[s.outEject[dst]]
+// newDenseTable returns a routing table of the given size with every entry
+// empty (-1).
+func newDenseTable(n int) []int32 {
+	t := make([]int32, n)
+	for i := range t {
+		t[i] = -1
 	}
-	return s.outputs[s.outTo[pkt.path[v.hop+1]]]
+	return t
+}
+
+// reset restores the network to its just-built state so it can be reused for
+// another run: empty buffers, free ports, zeroed counters, empty arena. The
+// static structure (links, ports, routing tables, ring capacities) is
+// untouched.
+func (net *network) reset() {
+	for _, l := range net.links {
+		l.busy = 0
+	}
+	for _, s := range net.nodes {
+		s.forwarded = 0
+		s.busyVCs = 0
+		for _, ip := range s.inputs {
+			for k := range ip.vcs {
+				v := &ip.vcs[k]
+				v.owner, v.hop, v.out = -1, 0, -1
+				v.head, v.n = 0, 0
+				v.cwIdx = -1
+				v.lastMove = 0
+			}
+		}
+		for _, o := range s.outputs {
+			o.alloc, o.dsVC, o.rr, o.waiters = -1, -1, 0, 0
+			o.srcVC = nil
+		}
+	}
+	for _, n := range net.nis {
+		n.q.reset()
+		n.cur, n.seq, n.dsVC = -1, 0, -1
+	}
+	net.packets = net.packets[:0]
+	net.free = net.free[:0]
+}
+
+// routeOutput resolves the output port the packet owning v requests at the
+// given switch: the link towards the next switch of its path, or the ejection
+// link of its destination core at the last hop. It is called once per hop —
+// when the VC is granted to the packet — and cached in vc.out.
+func (net *network) routeOutput(s *switchNode, v *vc) int32 {
+	p := &net.packets[v.owner]
+	if int(v.hop) == len(p.path)-1 {
+		return s.outEject[net.top.Design.Flows[p.flow].Dst]
+	}
+	return s.outTo[p.path[v.hop+1]]
 }

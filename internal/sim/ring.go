@@ -1,0 +1,61 @@
+package sim
+
+// pktRing is a growable ring deque of packet arena indices, used as the NI
+// source queue. Unlike the reference engine's q = q[1:] slice advance — which
+// keeps every popped packet reachable through the backing array until the
+// next append reallocates — the ring reuses its backing storage in place and
+// grows only when the queue depth exceeds every depth seen before.
+type pktRing struct {
+	buf  []int32
+	head int
+	n    int
+}
+
+func (r *pktRing) len() int { return r.n }
+
+func (r *pktRing) front() int32 { return r.buf[r.head] }
+
+func (r *pktRing) push(id int32) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = id
+	r.n++
+}
+
+func (r *pktRing) pop() int32 {
+	id := r.buf[r.head]
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	return id
+}
+
+// reset empties the ring, keeping its capacity for reuse.
+func (r *pktRing) reset() {
+	r.head, r.n = 0, 0
+}
+
+// grow doubles the ring capacity, unwrapping the live window to the front of
+// the new backing array.
+func (r *pktRing) grow() {
+	cap := 2 * len(r.buf)
+	if cap < 8 {
+		cap = 8
+	}
+	nb := make([]int32, cap)
+	for i := 0; i < r.n; i++ {
+		j := r.head + i
+		if j >= len(r.buf) {
+			j -= len(r.buf)
+		}
+		nb[i] = r.buf[j]
+	}
+	r.buf, r.head = nb, 0
+}

@@ -12,9 +12,23 @@ import (
 // switch paths with wormhole switching, finite VC buffers and credit-based
 // flow control, and aborts early when the runtime watchdog detects a deadlock
 // or livelock.
+//
+// Two engines implement the same cycle-level semantics: the optimized
+// production core (arena-allocated packets, ring-buffer VCs, dense routing
+// tables, active-set scheduling) and, when cfg.Reference is set, the retained
+// pre-optimization stepper. Both produce byte-identical Stats for the same
+// topology and Config — the equivalence tests and the fuzz harness enforce
+// it.
 func Run(t *topology.Topology, cfg Config) (*Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Reference {
+		net, err := buildRefNetwork(t, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return net.run(newProfileInjector(t, cfg), cfg), nil
 	}
 	net, err := buildNetwork(t, cfg)
 	if err != nil {
@@ -28,6 +42,10 @@ func Run(t *topology.Topology, cfg Config) (*Stats, error) {
 // the measured head-flit latency of each flow in cycles. This is the
 // zero-contention oracle: the returned values must equal
 // Topology.FlowLatencyCycles exactly for every flow.
+//
+// The network is built once and reset() between flows, so the oracle costs
+// one structure build instead of one per flow (the reference engine keeps the
+// per-flow rebuild).
 func ZeroLoadLatencies(t *topology.Topology, cfg Config) ([]float64, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -37,11 +55,17 @@ func ZeroLoadLatencies(t *topology.Topology, cfg Config) ([]float64, error) {
 	// The drain budget only needs to cover one uncontended traversal; the
 	// watchdog still guards against a simulator bug that strands the packet.
 	cfg.DrainCycles = 1 << 20
+	if cfg.Reference {
+		return refZeroLoadLatencies(t, cfg)
+	}
+	net, err := buildNetwork(t, cfg)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, t.Design.NumFlows())
 	for f := range t.Design.Flows {
-		net, err := buildNetwork(t, cfg)
-		if err != nil {
-			return nil, err
+		if f > 0 {
+			net.reset()
 		}
 		st := net.run(&singlePacketInjector{flow: f}, cfg)
 		if st.PacketsDelivered != 1 {
@@ -91,17 +115,13 @@ func newRunState(flows int) *runState {
 	return st
 }
 
-// run executes the cycle loop until the network drains, the horizon expires,
-// or the watchdog trips.
-func (net *network) run(inj injector, cfg Config) *Stats {
-	t := net.top
-	st := newRunState(t.Design.NumFlows())
-
-	// The watchdog must outlast the deepest link pipeline: flits in flight on
-	// a long link legitimately produce no buffer movement for `stages` cycles.
-	watchdog := int64(cfg.WatchdogCycles)
+// horizons derives the watchdog and livelock horizons of a run. The watchdog
+// must outlast the deepest link pipeline: flits in flight on a long link
+// legitimately produce no buffer movement for `stages` cycles.
+func horizons(cfg Config, links []*link) (watchdog, livelock int64) {
+	watchdog = int64(cfg.WatchdogCycles)
 	maxStages := 0
-	for _, l := range net.links {
+	for _, l := range links {
 		if l.stages > maxStages {
 			maxStages = l.stages
 		}
@@ -109,24 +129,58 @@ func (net *network) run(inj injector, cfg Config) *Stats {
 	if min := int64(2*maxStages + 8); watchdog < min {
 		watchdog = min
 	}
-	livelockHorizon := int64(cfg.LivelockCycles)
-	if livelockHorizon < watchdog {
-		livelockHorizon = watchdog
+	livelock = int64(cfg.LivelockCycles)
+	if livelock < watchdog {
+		livelock = watchdog
 	}
+	return watchdog, livelock
+}
+
+// run executes the cycle loop until the network drains, the horizon expires,
+// or the watchdog trips.
+func (net *network) run(inj injector, cfg Config) *Stats {
+	t := net.top
+	st := newRunState(t.Design.NumFlows())
+	watchdog, livelockHorizon := horizons(cfg, net.links)
 
 	horizon := int64(cfg.Cycles)
 	maxCycle := horizon + int64(cfg.DrainCycles)
+
+	// The emit closure is hoisted out of the loop (injNow carries the cycle)
+	// so injection allocates nothing per cycle.
+	var injNow int64
+	emit := func(f, k int) {
+		for ; k > 0; k-- {
+			net.injectPacket(f, injNow, st)
+		}
+	}
 
 	var now int64
 	for now = 0; now < maxCycle; now++ {
 		// Injection: every flow is polled every cycle, in index order, so the
 		// profile state machines advance deterministically.
 		if now < horizon && !inj.done() {
-			for f := range t.Design.Flows {
-				for k := inj.packetsAt(f, now); k > 0; k-- {
-					net.injectPacket(f, now, st)
+			// Fast-forward: with the network fully drained and the injector
+			// able to prove (and bit-identically skip) a quiet stretch, the
+			// clock jumps straight to the next injector event instead of
+			// ticking empty cycles. Skipped cycles are no-ops in the
+			// reference engine too — no flit moves, no watchdog arms — so
+			// the Stats are unchanged.
+			if st.inNetworkFlits == 0 && st.sourceBacklog == 0 {
+				if next := inj.nextEventAt(now); next > now {
+					if next >= horizon {
+						// The injector stays quiet through the horizon: the
+						// reference loop would idle to horizon-1 and stop.
+						st.emptySince = horizon - 1
+						now = horizon
+						break
+					}
+					st.emptySince = next - 1
+					now = next
 				}
 			}
+			injNow = now
+			inj.poll(now, emit)
 		}
 
 		moved := net.step(now, st)
@@ -164,111 +218,150 @@ func (net *network) run(inj injector, cfg Config) *Stats {
 			break
 		}
 	}
-	return net.collect(st, cfg, now)
+	forwarded := make([]int64, len(net.nodes))
+	outputs := make([]int64, len(net.nodes))
+	for i, s := range net.nodes {
+		forwarded[i] = s.forwarded
+		outputs[i] = int64(len(s.outputs))
+	}
+	return collectStats(net.top, cfg, now, st, net.links, forwarded, outputs)
 }
 
-// injectPacket creates one packet of the flow and appends it to the source
-// core's NI queue.
+// injectPacket creates one packet of the flow in the arena and appends its
+// index to the source core's NI queue.
 func (net *network) injectPacket(f int, now int64, st *runState) {
 	fl := net.top.Design.Flows[f]
 	n := net.niOf[fl.Src]
-	pkt := &packet{
-		flow:   f,
-		flits:  net.packetFlits,
+	id := net.allocPacket()
+	net.packets[id] = packet{
+		flow:   int32(f),
+		flits:  int32(net.packetFlits),
 		path:   net.top.Routes[f].Switches,
 		inject: now,
 	}
-	n.q = append(n.q, pkt)
+	n.q.push(id)
 	st.sourceBacklog++
 	st.packetsInjected++
-	st.flitsInjected += int64(pkt.flits)
+	st.flitsInjected += int64(net.packetFlits)
 	st.perFlowPktIn[f]++
-	st.perFlowFlitIn[f] += int64(pkt.flits)
+	st.perFlowFlitIn[f] += int64(net.packetFlits)
 }
 
 // step advances the network by one cycle: NIs first (their flits may be
 // forwarded by the attached switch in the same cycle, which is what makes the
 // zero-load latency match the analytic model exactly), then every switch
 // output port in deterministic order. It reports whether any flit moved.
+//
+// Unlike the reference engine's dense scan, step touches only the active
+// set: the NI loop is skipped entirely while no packet is queued or
+// streaming, switches with no owned VC are skipped in one comparison, and a
+// free output port runs its arbitration scan only when its waiters list says
+// a buffered head flit actually requests it. The iteration order over the
+// surviving work (core order, then switch/port index order) is identical to
+// the reference scan, which is what keeps arbitration — and therefore the
+// whole run — bit-identical.
 func (net *network) step(now int64, st *runState) bool {
 	moved := false
 
 	// Network interfaces: stream the current packet one flit per cycle.
-	for _, n := range net.nis {
-		if n.cur == nil {
-			if len(n.q) == 0 || n.q[0].inject > now {
-				continue
+	if st.sourceBacklog > 0 {
+		for _, n := range net.nis {
+			if n.cur < 0 {
+				if n.q.len() == 0 || net.packets[n.q.front()].inject > now {
+					continue
+				}
+				k := freeVC(n.ds)
+				if k < 0 {
+					continue
+				}
+				id := n.q.pop()
+				v := &n.ds.vcs[k]
+				v.owner = id
+				v.hop = 0
+				v.lastMove = now
+				v.out = net.routeOutput(n.ds.sw, v)
+				n.ds.sw.busyVCs++
+				n.cur, n.seq, n.dsVC = id, 0, int32(k)
+				st.packetsInNetwork++
 			}
-			k := freeVC(n.ds)
-			if k < 0 {
-				continue
+			v := &n.ds.vcs[n.dsVC]
+			if int(v.n) >= net.bufring {
+				continue // no credit at the first switch
 			}
-			pkt := n.q[0]
-			n.q = n.q[1:]
-			n.ds.vcs[k].owner = pkt
-			n.ds.vcs[k].hop = 0
-			n.ds.vcs[k].lastMove = now
-			n.cur, n.seq, n.dsVC = pkt, 0, k
-			st.packetsInNetwork++
-		}
-		v := &n.ds.vcs[n.dsVC]
-		if len(v.q) >= net.bufring {
-			continue // no credit at the first switch
-		}
-		// NI link traversal costs only its pipeline stages: the attached
-		// switch's own cycle is charged when the switch forwards the flit.
-		v.q = append(v.q, flit{pkt: n.cur, seq: n.seq, readyAt: now + int64(n.link.stages)})
-		n.link.busy++
-		st.inNetworkFlits++
-		moved = true
-		n.seq++
-		if n.seq == n.cur.flits {
-			n.cur = nil
-			st.sourceBacklog--
+			// NI link traversal costs only its pipeline stages: the attached
+			// switch's own cycle is charged when the switch forwards the flit.
+			v.push(flit{pkt: n.cur, seq: n.seq, readyAt: now + int64(n.link.stages)})
+			if n.seq == 0 {
+				n.ds.sw.outputs[v.out].waiters++
+			}
+			n.link.busy++
+			st.inNetworkFlits++
+			moved = true
+			n.seq++
+			if n.seq == net.packets[n.cur].flits {
+				n.cur = -1
+				st.sourceBacklog--
+			}
 		}
 	}
 
 	// Switches: one flit per output port per cycle.
 	for _, s := range net.nodes {
-		ncand := len(s.inputs) * net.vcs
-		for _, o := range s.outputs {
-			if o.alloc < 0 && ncand > 0 {
-				net.arbitrate(s, o, ncand, now)
-			}
+		if s.busyVCs == 0 {
+			continue // no owned VC: nothing buffered, granted or requested
+		}
+		for oi, o := range s.outputs {
 			if o.alloc < 0 {
-				continue
+				if o.waiters == 0 {
+					continue
+				}
+				net.arbitrate(s, o, int32(oi), now)
+				if o.alloc < 0 {
+					continue
+				}
 			}
-			ip := s.inputs[o.alloc/net.vcs]
-			v := &ip.vcs[o.alloc%net.vcs]
-			if len(v.q) == 0 {
+			v := o.srcVC
+			if v.n == 0 {
 				continue // next flit still upstream
 			}
-			f := v.q[0]
+			f := v.front()
 			if f.readyAt > now {
 				continue // still in the link pipeline
 			}
 			if o.ds != nil {
 				dv := &o.ds.vcs[o.dsVC]
-				if len(dv.q) >= net.bufring {
+				if int(dv.n) >= net.bufring {
 					continue // no downstream credit
 				}
-				v.q = v.q[1:]
-				dv.q = append(dv.q, flit{pkt: f.pkt, seq: f.seq, readyAt: now + 1 + int64(o.link.stages)})
+				v.pop()
+				dv.push(flit{pkt: f.pkt, seq: f.seq, readyAt: now + 1 + int64(o.link.stages)})
+				if f.seq == 0 {
+					o.ds.sw.outputs[dv.out].waiters++
+				}
 			} else {
 				// Ejection: the destination core always accepts.
-				v.q = v.q[1:]
+				v.pop()
 				st.inNetworkFlits--
 				arrival := now + 1 + int64(o.link.stages)
-				net.deliverFlit(f, arrival, st)
+				p := &net.packets[f.pkt]
+				deliverFlit(int(p.flow), int(f.seq), int(p.flits), p.inject, arrival, st)
 			}
 			v.lastMove = now
 			o.link.busy++
 			s.forwarded++
 			moved = true
-			if f.seq == f.pkt.flits-1 {
-				// Tail forwarded: release the VC and the output port.
-				v.owner = nil
+			if f.seq == net.packets[f.pkt].flits-1 {
+				// Tail forwarded: release the VC and the output port; a tail
+				// leaving on an ejection link retires the packet to the
+				// arena free list (no live reference remains).
+				v.owner = -1
+				v.out = -1
+				s.busyVCs--
+				if o.ds == nil {
+					net.freePacket(f.pkt)
+				}
 				o.alloc = -1
+				o.srcVC = nil
 				o.dsVC = -1
 			}
 		}
@@ -277,46 +370,78 @@ func (net *network) step(now int64, st *runState) bool {
 }
 
 // arbitrate grants the free output port to a waiting head flit, round-robin
-// over the switch's (input port, VC) pairs, reserving a downstream VC when the
-// link leads to another switch.
-func (net *network) arbitrate(s *switchNode, o *outputPort, ncand int, now int64) {
-	for i := 0; i < ncand; i++ {
-		ci := (o.rr + 1 + i) % ncand
-		ip := s.inputs[ci/net.vcs]
-		v := &ip.vcs[ci%net.vcs]
-		if v.owner == nil || len(v.q) == 0 {
-			continue
+// over the switch's (input port, VC) pairs, reserving a downstream VC when
+// the link leads to another switch. The scan order and grant rule are
+// identical to the reference engine; the only difference is that each
+// candidate's requested port is the cached vc.out instead of a per-candidate
+// routing lookup, and a successful grant removes the VC from the port's
+// waiters count.
+func (net *network) arbitrate(s *switchNode, o *outputPort, oi int32, now int64) {
+	// With every downstream VC owned, no candidate can be granted this cycle
+	// whatever the scan finds (the VC reservation is the last grant
+	// condition and is candidate-independent), and the scan itself has no
+	// side effects — so skip it. Under saturation this prunes most scans.
+	dsFree := -1
+	if o.ds != nil {
+		if dsFree = freeVC(o.ds); dsFree < 0 {
+			return
 		}
-		f := v.q[0]
-		if f.seq != 0 || f.readyAt > now {
-			continue
-		}
-		if net.nextOutput(s, v) != o {
-			continue
-		}
-		if o.ds != nil {
-			k := freeVC(o.ds)
-			if k < 0 {
-				continue // no VC on the next link; head keeps waiting
+	}
+	vcs := int32(net.vcs)
+	ncand := int32(len(s.inputs)) * vcs
+	// Walk the candidate ring starting after the last grant, tracking the
+	// (input port, VC) coordinates incrementally instead of dividing per
+	// candidate.
+	ci := o.rr + 1
+	if ci >= ncand {
+		ci -= ncand
+	}
+	pi := ci / vcs
+	k := ci % vcs
+	ip := s.inputs[pi]
+	for i := int32(0); i < ncand; i++ {
+		v := &ip.vcs[k]
+		if v.owner >= 0 && v.n > 0 && v.out == oi {
+			f := v.front()
+			if f.seq == 0 && f.readyAt <= now {
+				if o.ds != nil {
+					dv := &o.ds.vcs[dsFree]
+					dv.owner = v.owner
+					dv.hop = v.hop + 1
+					dv.lastMove = now
+					dv.out = net.routeOutput(o.ds.sw, dv)
+					o.ds.sw.busyVCs++
+					o.dsVC = int32(dsFree)
+				}
+				o.alloc = ci
+				o.srcVC = v
+				o.rr = ci
+				o.waiters--
+				return
 			}
-			o.ds.vcs[k].owner = v.owner
-			o.ds.vcs[k].hop = v.hop + 1
-			o.ds.vcs[k].lastMove = now
-			o.dsVC = k
 		}
-		o.alloc = ci
-		o.rr = ci
-		return
+		ci++
+		k++
+		if k == vcs {
+			k = 0
+			pi++
+			if pi == int32(len(s.inputs)) {
+				pi = 0
+				ci = 0
+			}
+			ip = s.inputs[pi]
+		}
 	}
 }
 
-// deliverFlit accounts one flit reaching its destination core.
-func (net *network) deliverFlit(f flit, arrival int64, st *runState) {
-	flow := f.pkt.flow
+// deliverFlit accounts one flit reaching its destination core. It is shared
+// by both engines, so the latency accumulation order — and therefore every
+// floating-point sum in Stats — is identical.
+func deliverFlit(flow, seq, flits int, inject, arrival int64, st *runState) {
 	st.flitsDelivered++
 	st.perFlowFlitOut[flow]++
-	if f.seq == 0 {
-		lat := float64(arrival - f.pkt.inject)
+	if seq == 0 {
+		lat := float64(arrival - inject)
 		st.latSum[flow] += lat
 		st.latTotalSum += lat
 		if st.perFlowHeads[flow] == 0 || lat < st.latMin[flow] {
@@ -330,7 +455,7 @@ func (net *network) deliverFlit(f flit, arrival int64, st *runState) {
 			st.latTotalMax = lat
 		}
 	}
-	if f.seq == f.pkt.flits-1 {
+	if seq == flits-1 {
 		st.packetsDelivered++
 		st.perFlowPktOut[flow]++
 		st.packetsInNetwork--
@@ -349,39 +474,47 @@ func (net *network) deliverFlit(f flit, arrival int64, st *runState) {
 // ways out (a head that merely needs any free VC on the next link) contribute
 // no edge: they cannot prove a deadlock on their own, and the cycle of
 // definite waits that starves them is detected through its own members.
+//
+// The detector walks only active switches and keeps its stalled list, wait
+// edges and colors in scratch buffers on the network, so the periodic check
+// allocates nothing in steady state. The transient vc.cwIdx field replaces
+// the reference engine's map from VC pointer to stalled index.
 func (net *network) findCircularWait(now, watchdog int64) bool {
-	type stalledVC struct {
-		v    *vc
-		node *switchNode
-		flat int // candidate index of v within its switch (output alloc space)
-	}
-	idx := make(map[*vc]int)
-	var stalled []stalledVC
+	stalled := net.cwStalled[:0]
 	for _, s := range net.nodes {
+		if s.busyVCs == 0 {
+			continue // a stalled VC is necessarily owned
+		}
 		for pi, ip := range s.inputs {
 			for k := range ip.vcs {
 				v := &ip.vcs[k]
-				if v.owner == nil || len(v.q) == 0 {
+				if v.owner < 0 || v.n == 0 {
 					continue
 				}
-				if v.q[0].readyAt > now || now-v.lastMove < watchdog {
+				if v.front().readyAt > now || now-v.lastMove < watchdog {
 					continue
 				}
-				idx[v] = len(stalled)
-				stalled = append(stalled, stalledVC{v: v, node: s, flat: pi*net.vcs + k})
+				v.cwIdx = int32(len(stalled))
+				stalled = append(stalled, stalledVC{v: v, node: s, flat: int32(pi*net.vcs + k)})
 			}
 		}
 	}
+	net.cwStalled = stalled
 	if len(stalled) < 2 {
+		clearCwIdx(stalled)
 		return false
+	}
+	if cap(net.cwWaits) < len(stalled) {
+		net.cwWaits = make([]int32, len(stalled))
+		net.cwColor = make([]uint8, len(stalled))
 	}
 	// waitsOn[i] is the index of the stalled VC that i definitely waits on
 	// (-1 when the blocker is not itself stalled, or the wait is not
 	// definite).
-	waitsOn := make([]int, len(stalled))
+	waitsOn := net.cwWaits[:len(stalled)]
 	for i, sv := range stalled {
 		waitsOn[i] = -1
-		o := net.nextOutput(sv.node, sv.v)
+		o := sv.node.outputs[sv.v.out]
 		var blocker *vc
 		switch {
 		case o.alloc == sv.flat:
@@ -392,13 +525,11 @@ func (net *network) findCircularWait(now, watchdog int64) bool {
 			}
 		case o.alloc >= 0:
 			// Output held by another packet until its tail passes.
-			hp := sv.node.inputs[o.alloc/net.vcs]
-			blocker = &hp.vcs[o.alloc%net.vcs]
+			hp := sv.node.inputs[o.alloc/int32(net.vcs)]
+			blocker = &hp.vcs[o.alloc%int32(net.vcs)]
 		}
-		if blocker != nil {
-			if j, ok := idx[blocker]; ok {
-				waitsOn[i] = j
-			}
+		if blocker != nil && blocker.cwIdx >= 0 {
+			waitsOn[i] = blocker.cwIdx
 		}
 	}
 	// Functional graph (≤1 out-edge per vertex): follow the chains and look
@@ -408,32 +539,44 @@ func (net *network) findCircularWait(now, watchdog int64) bool {
 		grey  = 1
 		black = 2
 	)
-	color := make([]int, len(stalled))
+	color := net.cwColor[:len(stalled)]
+	for i := range color {
+		color[i] = white
+	}
 	for i := range stalled {
 		if color[i] != white {
 			continue
 		}
-		j := i
+		j := int32(i)
 		for j >= 0 && color[j] == white {
 			color[j] = grey
 			j = waitsOn[j]
 		}
 		if j >= 0 && color[j] == grey {
+			clearCwIdx(stalled)
 			return true
 		}
-		k := i
+		k := int32(i)
 		for k >= 0 && color[k] == grey {
 			color[k] = black
 			k = waitsOn[k]
 		}
 	}
+	clearCwIdx(stalled)
 	return false
+}
+
+// clearCwIdx restores the -1 invariant of vc.cwIdx after a detection pass.
+func clearCwIdx(stalled []stalledVC) {
+	for _, sv := range stalled {
+		sv.v.cwIdx = -1
+	}
 }
 
 // freeVC returns the lowest-index unowned VC of the input port, or -1.
 func freeVC(ip *inputPort) int {
 	for k := range ip.vcs {
-		if ip.vcs[k].owner == nil {
+		if ip.vcs[k].owner < 0 {
 			return k
 		}
 	}

@@ -261,13 +261,11 @@ func TestWatchdogDetectsDeadlock(t *testing.T) {
 	}
 }
 
-// TestWatchdogDetectsPartialDeadlock checks that a wedged subnetwork is
-// detected even while unrelated traffic keeps flowing: the global-stall
-// watchdog never fires (flits keep moving on the healthy pair of switches),
-// so only the circular-wait detector can see the dead ring.
-func TestWatchdogDetectsPartialDeadlock(t *testing.T) {
-	// The 4-switch ring of deadlockRing plus an independent live flow on two
-	// extra switches.
+// partialDeadlockTopology builds the 4-switch ring of deadlockRing plus an
+// independent live flow on two extra switches: the ring wedges while the
+// extra flow keeps the global movement counter alive.
+func partialDeadlockTopology(t *testing.T) *topology.Topology {
+	t.Helper()
 	cores := make([]model.Core, 6)
 	for i := range cores {
 		cores[i] = model.Core{
@@ -298,6 +296,15 @@ func TestWatchdogDetectsPartialDeadlock(t *testing.T) {
 	if err := top.Validate(); err != nil {
 		t.Fatal(err)
 	}
+	return top
+}
+
+// TestWatchdogDetectsPartialDeadlock checks that a wedged subnetwork is
+// detected even while unrelated traffic keeps flowing: the global-stall
+// watchdog never fires (flits keep moving on the healthy pair of switches),
+// so only the circular-wait detector can see the dead ring.
+func TestWatchdogDetectsPartialDeadlock(t *testing.T) {
+	top := partialDeadlockTopology(t)
 	if route.DeadlockFree(top) {
 		t.Fatal("ring routes should have a cyclic CDG")
 	}

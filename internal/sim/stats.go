@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"strings"
+
+	"sunfloor3d/internal/topology"
 )
 
 // FlowStats is the simulated behaviour of one communication flow. Latencies
@@ -78,9 +80,11 @@ type Stats struct {
 	DeadlockCycle int64 `json:"deadlock_cycle,omitempty"`
 	Livelock      bool  `json:"livelock"`
 
+	// Flows is always collected. Links and Switches are nil when the run was
+	// collected at StatsSummary level (Config.StatsLevel).
 	Flows    []FlowStats   `json:"flows"`
-	Links    []LinkStats   `json:"links"`
-	Switches []SwitchStats `json:"switches"`
+	Links    []LinkStats   `json:"links,omitempty"`
+	Switches []SwitchStats `json:"switches,omitempty"`
 }
 
 // DeliveredFraction returns the fraction of injected packets delivered by the
@@ -95,9 +99,14 @@ func (s *Stats) DeliveredFraction() float64 {
 // Healthy reports that the run saw neither a deadlock nor a livelock.
 func (s *Stats) Healthy() bool { return !s.Deadlock && !s.Livelock }
 
-// collect freezes the run state into the exported statistics.
-func (net *network) collect(st *runState, cfg Config, cycles int64) *Stats {
-	t := net.top
+// collectStats freezes the run state into the exported statistics. It is
+// shared by the optimized and the reference engine: both hand over the same
+// link slice layout and per-switch forwarded-flit and output-port counts, so
+// equal run states produce byte-identical Stats. When cfg.StatsLevel is
+// StatsSummary the per-link and per-switch rows are skipped (the aggregate
+// and per-flow numbers are always collected); the simulation itself is
+// unaffected.
+func collectStats(t *topology.Topology, cfg Config, cycles int64, st *runState, links []*link, forwarded, outputs []int64) *Stats {
 	bytesPerFlit := float64(t.Lib.LinkWidthBits) / 8
 	// flits/cycle * bytes/flit * cycles/us = bytes/us = MB/s at FreqMHz.
 	toMBps := func(flits int64) float64 {
@@ -146,9 +155,13 @@ func (net *network) collect(st *runState, cfg Config, cycles int64) *Stats {
 		out.Flows[f] = fs
 	}
 
+	if cfg.StatsLevel == StatsSummary {
+		return out
+	}
+
 	kinds := map[linkKind]string{linkInjection: "injection", linkInternal: "internal", linkEjection: "ejection"}
-	out.Links = make([]LinkStats, len(net.links))
-	for i, l := range net.links {
+	out.Links = make([]LinkStats, len(links))
+	for i, l := range links {
 		u := 0.0
 		if cycles > 0 {
 			u = float64(l.busy) / float64(cycles)
@@ -159,13 +172,13 @@ func (net *network) collect(st *runState, cfg Config, cycles int64) *Stats {
 		}
 	}
 
-	out.Switches = make([]SwitchStats, len(net.nodes))
-	for i, s := range net.nodes {
+	out.Switches = make([]SwitchStats, len(forwarded))
+	for i, fw := range forwarded {
 		u := 0.0
-		if slots := cycles * int64(len(s.outputs)); slots > 0 {
-			u = float64(s.forwarded) / float64(slots)
+		if slots := cycles * outputs[i]; slots > 0 {
+			u = float64(fw) / float64(slots)
 		}
-		out.Switches[i] = SwitchStats{Switch: i, FlitsForwarded: s.forwarded, Utilization: u}
+		out.Switches[i] = SwitchStats{Switch: i, FlitsForwarded: fw, Utilization: u}
 	}
 	return out
 }

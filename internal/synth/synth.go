@@ -43,6 +43,10 @@ type DesignPoint struct {
 	// Sim holds the flit-level traffic simulation of the point (nil unless
 	// Options.Sim requested simulation and the point is valid).
 	Sim *sim.Stats
+	// SimElapsed is the wall-clock time spent simulating the point (zero
+	// when simulation was not requested or the point was invalid). It is
+	// part of Elapsed.
+	SimElapsed time.Duration
 	// Elapsed is the wall-clock time spent building, routing and evaluating
 	// this point.
 	Elapsed time.Duration
@@ -224,11 +228,13 @@ func refineBest(res *Result, opt Options, refine func(*topology.Topology) error)
 	if opt.Sim != nil {
 		// The refinement moved the switches, which changes link pipeline
 		// depths; the attached simulation must describe the refined geometry.
+		simStart := time.Now()
 		stats, err := sim.Run(refined, *opt.Sim)
 		if err != nil {
 			return
 		}
 		best.Sim = stats
+		best.SimElapsed = time.Since(simStart)
 	}
 	best.Topology = refined
 	best.Metrics = m
@@ -515,6 +521,7 @@ func runAndEvaluate(top *topology.Topology, opt Options, cfg route.Config, dp De
 	}
 	dp.Valid = true
 	if opt.Sim != nil {
+		simStart := time.Now()
 		stats, err := sim.Run(top, *opt.Sim)
 		if err != nil {
 			dp.Valid = false
@@ -522,6 +529,7 @@ func runAndEvaluate(top *topology.Topology, opt Options, cfg route.Config, dp De
 			return dp
 		}
 		dp.Sim = stats
+		dp.SimElapsed = time.Since(simStart)
 	}
 	return dp
 }

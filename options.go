@@ -190,6 +190,11 @@ func WithRequireLatencyMet(require bool) Option {
 // the returned points. Like Elapsed and Cache, SimStats is excluded from the
 // JSON serialisation of a Result, which stays byte-identical with and without
 // simulation enabled.
+//
+// Sweeps that only read the aggregate and per-flow numbers should set
+// cfg.StatsLevel to SimStatsSummary: it skips the per-link/per-switch tables
+// each run would otherwise materialise and discard, without changing any
+// simulated number (see SimStatsLevel).
 func WithSimulation(cfg SimConfig) Option {
 	return func(c *config) { c.opt.Sim = &cfg }
 }

@@ -118,6 +118,11 @@ type DesignPoint struct {
 	// excluded from JSON so that serialised results stay byte-identical with
 	// and without simulation.
 	Sim *SimStats `json:"-"`
+	// SimElapsed is the wall-clock time spent simulating this point (zero
+	// when simulation was not requested or the point was invalid); it is the
+	// number behind the CLI's per-point sim timing under -progress. Excluded
+	// from JSON like Elapsed.
+	SimElapsed time.Duration `json:"-"`
 
 	topo *topology.Topology
 }
@@ -137,9 +142,10 @@ func pointFromInternal(dp synth.DesignPoint) DesignPoint {
 			IndirectSwitches: dp.Route.IndirectSwitches,
 			DeadlockRetries:  dp.Route.DeadlockRetries,
 		},
-		Elapsed: dp.Elapsed,
-		Sim:     dp.Sim,
-		topo:    dp.Topology,
+		Elapsed:    dp.Elapsed,
+		Sim:        dp.Sim,
+		SimElapsed: dp.SimElapsed,
+		topo:       dp.Topology,
 	}
 }
 

@@ -32,6 +32,24 @@ type (
 // bandwidths of the communication graph.
 type SimProfile = sim.Profile
 
+// SimStatsLevel selects how much of the SimStats breakdown a run collects.
+// The level never changes the simulation — cycle-by-cycle behaviour and
+// every aggregate and per-flow number are identical at every level — it only
+// controls whether the per-link and per-switch tables are materialised.
+// Sweep-mode simulation that discards those tables should use
+// SimStatsSummary; it removes the dominant share of collection cost.
+type SimStatsLevel = sim.StatsLevel
+
+// Stats collection levels for SimConfig.StatsLevel.
+const (
+	// SimStatsFull (the zero value) collects aggregates, per-flow, per-link
+	// and per-switch rows.
+	SimStatsFull = sim.StatsFull
+	// SimStatsSummary collects aggregates and per-flow rows only; the Links
+	// and Switches tables stay nil.
+	SimStatsSummary = sim.StatsSummary
+)
+
 // Injection profiles.
 const (
 	// SimUniform injects every flow at its nominal bandwidth with a
@@ -66,7 +84,17 @@ func (t *Topology) Simulate(cfg SimConfig) (*SimStats, error) {
 // single-flit packet in an otherwise empty network) and returns the measured
 // head-flit latency of each flow in cycles. The returned values equal
 // the analytic zero-load model exactly; the function exists as the
-// cross-validation oracle between the simulator and Metrics latencies.
+// cross-validation oracle between the simulator and Metrics latencies. The
+// network is built once and reset between flows, so the oracle is cheap
+// enough to run inside sweeps.
 func (t *Topology) ZeroLoadLatencies() ([]float64, error) {
 	return sim.ZeroLoadLatencies(t.t, sim.DefaultConfig())
+}
+
+// ZeroLoadLatenciesConfig is ZeroLoadLatencies with an explicit simulator
+// configuration (VC count, buffer depth, engine selection); the injection
+// horizon, packet size and drain budget are still forced to the single-flit
+// oracle values.
+func (t *Topology) ZeroLoadLatenciesConfig(cfg SimConfig) ([]float64, error) {
+	return sim.ZeroLoadLatencies(t.t, cfg)
 }
