@@ -1,13 +1,21 @@
 // Command sunfloor3d is the command-line front end of the SunFloor 3D
-// topology synthesis tool. It reads a core specification file and a
-// communication specification file, synthesizes the most power-efficient
-// application-specific NoC topology meeting the 3-D technology constraints,
-// and writes the resulting topology (text and DOT), the switch placement and
-// floorplan, and a metrics report.
+// topology synthesis tool. It reads or generates an SoC design, synthesizes
+// the most power-efficient application-specific NoC topology meeting the 3-D
+// technology constraints, and writes the resulting topology (text and DOT),
+// the switch placement and floorplan, and a metrics report.
 //
 // Usage:
 //
 //	sunfloor3d -cores design.cores -comm design.comm [flags]
+//	sunfloor3d -spec design.cores,design.comm [flags]
+//	sunfloor3d -gen shape=hotspot,cores=40,layers=3,seed=7 [flags]
+//
+// The design comes from exactly one of three sources: the -cores/-comm file
+// pair, the -spec shorthand naming both files in one flag, or -gen, which
+// synthesizes a random but fully reproducible benchmark from the built-in
+// workload generator (shapes: pipeline, hotspot, multiapp, layered; see
+// sunfloor3d.GenSpec for all keys). The same -gen string always produces the
+// same design, so generated workloads are exact test-case identifiers.
 //
 // The frequency sweep is given as a comma-separated list (-freqs 400,600,800)
 // and evaluated on -jobs parallel workers; -json replaces the text summary on
@@ -31,8 +39,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -45,48 +55,49 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "sunfloor3d:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the whole CLI behind main: flag parsing, design loading or
+// generation, synthesis, and output writing. It takes its arguments and
+// output streams explicitly so the integration tests can drive the exact
+// production flow in-process against golden stdout and artifacts.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sunfloor3d", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		coreFile  = flag.String("cores", "", "core specification file (required)")
-		commFile  = flag.String("comm", "", "communication specification file (required)")
-		freqs     = flag.String("freqs", "400", "comma-separated NoC operating frequencies to sweep, in MHz")
-		jobs      = flag.Int("jobs", 1, "parallel design-point evaluations (1 = serial, -1 = one per CPU)")
-		maxILL    = flag.Int("max-ill", 25, "maximum links across adjacent layers (0 = unconstrained)")
-		phase     = flag.String("phase", "auto", "connectivity method: auto, phase1 or phase2")
-		alpha     = flag.Float64("alpha", 1.0, "bandwidth/latency weight of the partitioning graphs (0..1)")
-		outDir    = flag.String("out", "sunfloor3d_out", "output directory")
-		powerW    = flag.Float64("power-weight", 1.0, "objective weight on power (mW)")
-		latencyW  = flag.Float64("latency-weight", 0.5, "objective weight on average latency (cycles)")
-		floorplan = flag.Bool("floorplan", true, "insert the NoC components into the floorplan")
-		asJSON    = flag.Bool("json", false, "print the structured result as JSON on stdout instead of the text summary")
-		progress  = flag.Bool("progress", false, "report each evaluated design point on stderr")
+		coreFile = fs.String("cores", "", "core specification file")
+		commFile = fs.String("comm", "", "communication specification file")
+		specPair = fs.String("spec", "", "core and communication specification files as one 'cores,comm' pair")
+		genSpec  = fs.String("gen", "", "generate the design instead of loading it, e.g. shape=hotspot,cores=40,layers=3,seed=7")
+		freqs    = fs.String("freqs", "400", "comma-separated NoC operating frequencies to sweep, in MHz")
+		jobs     = fs.Int("jobs", 1, "parallel design-point evaluations (1 = serial, -1 = one per CPU)")
+		maxILL   = fs.Int("max-ill", 25, "maximum links across adjacent layers (0 = unconstrained)")
+		phase    = fs.String("phase", "auto", "connectivity method: auto, phase1 or phase2")
+		alpha    = fs.Float64("alpha", 1.0, "bandwidth/latency weight of the partitioning graphs (0..1)")
+		outDir   = fs.String("out", "sunfloor3d_out", "output directory")
+		powerW   = fs.Float64("power-weight", 1.0, "objective weight on power (mW)")
+		latencyW = fs.Float64("latency-weight", 0.5, "objective weight on average latency (cycles)")
+		doFloor  = fs.Bool("floorplan", true, "insert the NoC components into the floorplan")
+		asJSON   = fs.Bool("json", false, "print the structured result as JSON on stdout instead of the text summary")
+		progress = fs.Bool("progress", false, "report each evaluated design point on stderr")
 
-		simulate   = flag.Bool("simulate", false, "run the flit-level traffic simulator on every valid design point")
-		simCycles  = flag.Int("sim-cycles", 0, "simulation injection horizon in cycles (0 = default)")
-		simProfile = flag.String("sim-profile", "uniform", "traffic profile: uniform, bursty or hotspot")
-		simSeed    = flag.Int64("sim-seed", 1, "seed of the randomised injection profiles")
-		simScale   = flag.Float64("sim-scale", 1.0, "injection-rate multiplier on every flow bandwidth")
+		simulate   = fs.Bool("simulate", false, "run the flit-level traffic simulator on every valid design point")
+		simCycles  = fs.Int("sim-cycles", 0, "simulation injection horizon in cycles (0 = default)")
+		simProfile = fs.String("sim-profile", "uniform", "traffic profile: uniform, bursty or hotspot")
+		simSeed    = fs.Int64("sim-seed", 1, "seed of the randomised injection profiles")
+		simScale   = fs.Float64("sim-scale", 1.0, "injection-rate multiplier on every flow bandwidth")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memprofile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
-	flag.Parse()
-	if *coreFile == "" || *commFile == "" {
-		flag.Usage()
-		return fmt.Errorf("both -cores and -comm are required")
-	}
-	sweep, err := parseFreqs(*freqs)
-	if err != nil {
-		return err
-	}
-	ph, err := sunfloor3d.ParsePhase(*phase)
-	if err != nil {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
 		return err
 	}
 
@@ -112,20 +123,28 @@ func run() error {
 		defer func() {
 			runtime.GC() // settle the heap so the profile shows live objects
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "sunfloor3d: -memprofile:", err)
+				fmt.Fprintln(stderr, "sunfloor3d: -memprofile:", err)
 			}
 			f.Close()
 		}()
 	}
 
-	design, err := sunfloor3d.LoadDesignFiles(*coreFile, *commFile)
+	design, err := loadOrGenerate(fs, *coreFile, *commFile, *specPair, *genSpec)
 	if err != nil {
 		return err
 	}
 	if !*asJSON {
-		fmt.Println("design:", design.Summary())
+		fmt.Fprintln(stdout, "design:", design.Summary())
 	}
 
+	sweep, err := parseFreqs(*freqs)
+	if err != nil {
+		return err
+	}
+	ph, err := sunfloor3d.ParsePhase(*phase)
+	if err != nil {
+		return err
+	}
 	opts := []sunfloor3d.Option{
 		sunfloor3d.WithFrequenciesMHz(sweep...),
 		sunfloor3d.WithMaxILL(*maxILL),
@@ -158,7 +177,7 @@ func run() error {
 			if ev.Point.Sim != nil {
 				simTime = fmt.Sprintf(" (sim %.2fms)", ev.Point.SimElapsed.Seconds()*1e3)
 			}
-			fmt.Fprintf(os.Stderr, "[%d/%d] %d switches @ %.0f MHz (phase %d): %s%s\n",
+			fmt.Fprintf(stderr, "[%d/%d] %d switches @ %.0f MHz (phase %d): %s%s\n",
 				ev.Done, ev.Total, ev.Point.SwitchCount, ev.Point.FreqMHz, ev.Point.Phase, status, simTime)
 		}))
 	}
@@ -171,11 +190,11 @@ func run() error {
 	}
 
 	if *asJSON {
-		if err := res.WriteJSON(os.Stdout); err != nil {
+		if err := res.WriteJSON(stdout); err != nil {
 			return err
 		}
 	} else {
-		fmt.Print(res.Text())
+		fmt.Fprint(stdout, res.Text())
 	}
 	best := res.Best()
 	if best == nil {
@@ -214,7 +233,7 @@ func run() error {
 	}
 	resJSON.Close()
 
-	if *floorplan {
+	if *doFloor {
 		fp, err := top.Floorplan()
 		if err != nil {
 			return fmt.Errorf("floorplan insertion: %w", err)
@@ -232,16 +251,60 @@ func run() error {
 			return err
 		}
 		if !*asJSON {
-			fmt.Printf("simulated %s traffic for %d cycles: %d/%d packets delivered, avg latency %.2f cycles, deadlock=%v\n",
+			fmt.Fprintf(stdout, "simulated %s traffic for %d cycles: %d/%d packets delivered, avg latency %.2f cycles, deadlock=%v\n",
 				best.Sim.Profile, best.Sim.Cycles, best.Sim.PacketsDelivered, best.Sim.PacketsInjected,
 				best.Sim.AvgLatencyCycles, best.Sim.Deadlock)
 		}
 	}
 
 	if !*asJSON {
-		fmt.Println("results written to", *outDir)
+		fmt.Fprintln(stdout, "results written to", *outDir)
 	}
 	return nil
+}
+
+// loadOrGenerate resolves the design from exactly one of the three input
+// sources: the -cores/-comm file pair, the -spec shorthand, or the -gen
+// workload generator.
+func loadOrGenerate(fs *flag.FlagSet, coreFile, commFile, specPair, genSpec string) (*sunfloor3d.Design, error) {
+	sources := 0
+	if coreFile != "" || commFile != "" {
+		sources++
+	}
+	if specPair != "" {
+		sources++
+	}
+	if genSpec != "" {
+		sources++
+	}
+	if sources != 1 {
+		fs.Usage()
+		return nil, fmt.Errorf("exactly one design source is required: -cores/-comm, -spec or -gen")
+	}
+	switch {
+	case genSpec != "":
+		spec, err := sunfloor3d.ParseGenSpec(genSpec)
+		if err != nil {
+			return nil, err
+		}
+		b, err := sunfloor3d.GenerateBenchmark(spec)
+		if err != nil {
+			return nil, err
+		}
+		return b.Graph3D, nil
+	case specPair != "":
+		parts := strings.Split(specPair, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("-spec wants 'cores,comm', got %q", specPair)
+		}
+		coreFile, commFile = strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		fallthrough
+	default:
+		if coreFile == "" || commFile == "" {
+			return nil, fmt.Errorf("both a core and a communication specification are required")
+		}
+		return sunfloor3d.LoadDesignFiles(coreFile, commFile)
+	}
 }
 
 // parseFreqs parses a comma-separated frequency list like "400,600,800".

@@ -1,0 +1,156 @@
+package main
+
+// Integration tests of the CLI: run() is driven in-process with the exact
+// production flag set against golden stdout and golden on-disk artifacts.
+// Regenerate the golden files after an intentional output change with:
+//
+//	go test ./cmd/sunfloor3d -update
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sunfloor3d"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// genArg is the workload every CLI test synthesizes: small enough to sweep in
+// well under a second, generated so the test needs no fixture files.
+const genArg = "shape=hotspot,cores=12,layers=2,seed=5"
+
+// runCLI drives the production run() with the given arguments and returns
+// stdout.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+// checkGolden compares got against the named golden file, rewriting it under
+// -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run 'go test ./cmd/sunfloor3d -update'): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output drifted from %s.\nIf intentional, regenerate with 'go test ./cmd/sunfloor3d -update'.\ngot:\n%s\nwant:\n%s",
+			path, got, want)
+	}
+}
+
+func TestCLIGenJSON(t *testing.T) {
+	out := t.TempDir()
+	stdout := runCLI(t, "-gen", genArg, "-json", "-out", out)
+	checkGolden(t, "gen_hotspot.json", stdout)
+
+	// The structured result on stdout and the result.json artifact are the
+	// same serialisation.
+	artifact, err := os.ReadFile(filepath.Join(out, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(artifact) {
+		t.Error("-json stdout differs from the result.json artifact")
+	}
+	for _, name := range []string{"topology.txt", "topology.dot", "report.txt", "floorplan.txt"} {
+		if _, err := os.Stat(filepath.Join(out, name)); err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+}
+
+func TestCLIGenText(t *testing.T) {
+	out := t.TempDir()
+	stdout := runCLI(t, "-gen", genArg, "-out", out)
+	// The trailing "results written to <tmpdir>" line is machine-specific;
+	// golden-compare everything before it.
+	if !strings.Contains(stdout, "results written to "+out) {
+		t.Errorf("stdout lacks the results line:\n%s", stdout)
+	}
+	stable := stdout[:strings.Index(stdout, "results written to")]
+	checkGolden(t, "gen_hotspot.txt", stable)
+
+	report, err := os.ReadFile(filepath.Join(out, "report.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "gen_hotspot_report.txt", string(report))
+}
+
+func TestCLISpecFilesMatchGen(t *testing.T) {
+	// Writing the generated design to spec files and loading it back through
+	// -spec must synthesize to the byte-identical structured result.
+	spec, err := sunfloor3d.ParseGenSpec(genArg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sunfloor3d.GenerateBenchmark(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	corePath := filepath.Join(dir, "design.cores")
+	commPath := filepath.Join(dir, "design.comm")
+	cf, err := os.Create(corePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := os.Create(commPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sunfloor3d.WriteDesign(cf, mf, b.Graph3D); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+	mf.Close()
+
+	fromGen := runCLI(t, "-gen", genArg, "-json", "-out", t.TempDir())
+	fromSpec := runCLI(t, "-spec", corePath+","+commPath, "-json", "-out", t.TempDir())
+	if fromGen != fromSpec {
+		t.Error("-spec synthesis of the exported design differs from -gen")
+	}
+	fromPair := runCLI(t, "-cores", corePath, "-comm", commPath, "-json", "-out", t.TempDir())
+	if fromGen != fromPair {
+		t.Error("-cores/-comm synthesis differs from -gen")
+	}
+}
+
+func TestCLIInputValidation(t *testing.T) {
+	cases := [][]string{
+		{},                                  // no design source
+		{"-gen", genArg, "-cores", "x.c"},   // two sources
+		{"-spec", "only-one-file"},          // malformed -spec
+		{"-gen", "shape=teapot"},            // unknown shape
+		{"-gen", genArg, "-freqs", "x"},     // bad frequency
+		{"-gen", genArg, "-phase", "bogus"}, // bad phase
+		{"-cores", "missing.cores", "-comm", "missing.comm"}, // missing files
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -95,6 +95,35 @@
 // before/after timings to BENCH_PR4.json. DesignPoint.SimElapsed reports
 // each point's simulation wall time.
 //
+// # Generating and loading custom workloads
+//
+// Beyond the paper's seven fixed benchmarks (Benchmarks, BenchmarkByName),
+// GenerateBenchmark samples whole families of SoC designs from a GenSpec:
+// a traffic shape (ShapePipeline, ShapeHotspot, ShapeMultiApp,
+// ShapeLayered), core and layer counts, a seed, and optional
+// core-size/bandwidth/latency distribution knobs. Every generated design is
+// connected and satisfiable (all latency constraints sit above a
+// conservative floor), and generation is a pure function of the spec — the
+// same GenSpec yields byte-identical designs on every run, so
+// (shape, cores, layers, seed) tuples are exact test-case identifiers:
+//
+//	bench, err := sunfloor3d.GenerateBenchmark(sunfloor3d.GenSpec{
+//		Shape: sunfloor3d.ShapeHotspot, Cores: 40, Layers: 3, Seed: 7,
+//	})
+//	...
+//	res, err := sunfloor3d.Synthesize(ctx, bench.Graph3D,
+//		sunfloor3d.WithRequireLatencyMet(true))
+//
+// LoadBenchmark wraps the spec-file parsers (the text formats of
+// WriteDesign and cmd/specgen) into the same Benchmark form, and
+// ParseGenSpec parses the CLI's -gen string ("shape=hotspot,cores=40,...").
+// The property harness in properties_test.go runs the full
+// synthesize -> route -> floorplan -> simulate pipeline over dozens of
+// generated workloads per shape and asserts the cross-layer invariants
+// (latency constraints honored, acyclic channel dependency graphs, no
+// simulator deadlocks, zero-load simulation equal to the analytic model,
+// serial == parallel, byte-stable JSON) on the whole distribution.
+//
 // The implementation lives in the internal/ packages:
 //
 //   - internal/model      — cores, flows and the communication graph
@@ -110,6 +139,7 @@
 //   - internal/mesh       — optimized-mesh baseline
 //   - internal/synth      — the SunFloor 3D synthesis engine (Phases 1 and 2)
 //   - internal/bench      — the paper's benchmark suite, synthesized
+//   - internal/workload   — seed-deterministic random SoC benchmark generator
 //   - internal/experiments — one runner per table/figure of the evaluation
 //
 // The executables in cmd/ (sunfloor3d, specgen, sunfloor-bench) and the

@@ -47,6 +47,16 @@ func goldenCases() []goldenCase {
 			return b.Graph3D
 		}
 	}
+	fromGen := func(spec sunfloor3d.GenSpec) func(t *testing.T) *sunfloor3d.Design {
+		return func(t *testing.T) *sunfloor3d.Design {
+			t.Helper()
+			b, err := sunfloor3d.GenerateBenchmark(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return b.Graph3D
+		}
+	}
 	return []goldenCase{
 		{
 			// The paper's multimedia SoC with the default single-frequency
@@ -77,6 +87,28 @@ func goldenCases() []goldenCase {
 			opts: []sunfloor3d.Option{
 				sunfloor3d.WithFrequenciesMHz(400, 600, 800),
 				sunfloor3d.WithMaxILL(6),
+			},
+		},
+		{
+			// A generated hub-and-spoke workload: the corpus pins a non-paper
+			// design family (and the workload generator's bytes) the same way
+			// it pins the paper benchmarks. The generator is deterministic, so
+			// the spec is as stable an input as a committed fixture file.
+			name:   "gen_hotspot_c24",
+			design: fromGen(sunfloor3d.GenSpec{Shape: sunfloor3d.ShapeHotspot, Cores: 24, Layers: 3, Seed: 11, Hubs: 2}),
+			opts: []sunfloor3d.Option{
+				sunfloor3d.WithRequireLatencyMet(true),
+			},
+		},
+		{
+			// A generated multi-application mix across two frequencies:
+			// cluster-local traffic plus cross-app bridges under the latency
+			// validation and the partition cache.
+			name:   "gen_multiapp_c27",
+			design: fromGen(sunfloor3d.GenSpec{Shape: sunfloor3d.ShapeMultiApp, Cores: 27, Layers: 2, Seed: 23, Apps: 3}),
+			opts: []sunfloor3d.Option{
+				sunfloor3d.WithFrequenciesMHz(400, 800),
+				sunfloor3d.WithRequireLatencyMet(true),
 			},
 		},
 	}

@@ -269,9 +269,14 @@ func (p *Problem) Solve() (*Solution, error) {
 			sol.Values[basis[i]] = tab[i][total]
 		}
 	}
+	// Accumulate in ascending variable order: map iteration order would vary
+	// the float summation order and with it the last bits of the reported
+	// objective between otherwise identical runs.
 	var objVal float64
-	for j, c := range p.objective {
-		objVal += c * sol.Values[j]
+	for j := 0; j < n; j++ {
+		if c, ok := p.objective[j]; ok {
+			objVal += c * sol.Values[j]
+		}
 	}
 	sol.Objective = objVal
 	return sol, nil

@@ -1,0 +1,88 @@
+package model_test
+
+// Fuzz harness for the spec parsers: arbitrary (malformed) core and
+// communication specification texts must never panic the parsers, and any
+// design that parses successfully must survive a Write -> Parse round trip
+// with full equality — the writers and parsers are exact inverses on the
+// parsers' image.
+
+import (
+	"strings"
+	"testing"
+
+	"sunfloor3d/internal/model"
+)
+
+func FuzzParseSpecs(f *testing.F) {
+	// Seed corpus: a valid pair, comment/blank handling, the mem marker,
+	// scientific-notation floats, and a sampler of malformed inputs (wrong
+	// keywords, bad numbers, unknown endpoints, duplicate names, negative
+	// values, short and overlong lines).
+	f.Add("core a 1 1 0 0 0\ncore b 1 1 2 0 1 mem\n", "flow a b 100 6 request\nflow b a 50 0 response\n")
+	f.Add("# header\n\ncore a 1.5 2.5 0.25 0.75 2 # trailing\n", "# flows\n\n")
+	f.Add("core a 1e-3 1e3 0 0 0\n", "flow a a 1 1 request\n")
+	f.Add("core a 1 1 0 0 0\ncore a 1 1 0 0 0\n", "flow a a 100 0 request\n")
+	f.Add("core a x 1 0 0 0\n", "flow a b -5 0 request\n")
+	f.Add("notcore a 1 1 0 0 0\n", "notflow a b 1 1 request\n")
+	f.Add("core a 1 1 0 0 zz\ncore b 1 1 0 0 -1\n", "flow a ghost 10 2 neither\n")
+	f.Add("core only 3\n", "flow a b 100 0 request extra\n")
+	f.Add("", "")
+
+	f.Fuzz(func(t *testing.T, coreSpec, commSpec string) {
+		cores, err := model.ParseCoreSpec(strings.NewReader(coreSpec))
+		if err != nil {
+			return
+		}
+		flows, err := model.ParseCommSpec(strings.NewReader(commSpec), cores)
+		if err != nil {
+			return
+		}
+		g, err := model.NewCommGraph(cores, flows)
+		if err != nil {
+			return
+		}
+
+		// Write -> Parse must reproduce the design exactly: %g emits the
+		// shortest float representation that round-trips, so every parsed
+		// value survives bit-for-bit.
+		var coreOut, commOut strings.Builder
+		if err := model.WriteCoreSpec(&coreOut, g.Cores); err != nil {
+			t.Fatalf("WriteCoreSpec: %v", err)
+		}
+		if err := model.WriteCommSpec(&commOut, g); err != nil {
+			t.Fatalf("WriteCommSpec: %v", err)
+		}
+		g2, err := model.LoadDesign(strings.NewReader(coreOut.String()), strings.NewReader(commOut.String()))
+		if err != nil {
+			t.Fatalf("round trip of a valid design failed to parse: %v\ncores:\n%s\ncomm:\n%s",
+				err, coreOut.String(), commOut.String())
+		}
+		if len(g2.Cores) != len(g.Cores) || len(g2.Flows) != len(g.Flows) {
+			t.Fatalf("round trip lost entities: %d/%d cores, %d/%d flows",
+				len(g2.Cores), len(g.Cores), len(g2.Flows), len(g.Flows))
+		}
+		for i := range g.Cores {
+			if g.Cores[i] != g2.Cores[i] {
+				t.Fatalf("core %d round-trip mismatch: %+v vs %+v", i, g.Cores[i], g2.Cores[i])
+			}
+		}
+		for i := range g.Flows {
+			if g.Flows[i] != g2.Flows[i] {
+				t.Fatalf("flow %d round-trip mismatch: %+v vs %+v", i, g.Flows[i], g2.Flows[i])
+			}
+		}
+
+		// A second write of the reparsed design must be byte-identical: the
+		// writers are deterministic on the parsers' image.
+		var coreOut2, commOut2 strings.Builder
+		if err := model.WriteCoreSpec(&coreOut2, g2.Cores); err != nil {
+			t.Fatal(err)
+		}
+		if err := model.WriteCommSpec(&commOut2, g2); err != nil {
+			t.Fatal(err)
+		}
+		if coreOut.String() != coreOut2.String() || commOut.String() != commOut2.String() {
+			t.Fatal("second serialisation differs from the first")
+		}
+	})
+}

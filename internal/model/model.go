@@ -7,10 +7,16 @@ package model
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"sunfloor3d/internal/geom"
 )
+
+// finite reports whether v is neither NaN nor an infinity. The spec parsers
+// accept anything strconv.ParseFloat does — including "NaN" and "Inf" — so
+// graph validation must reject non-finite values explicitly.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // MessageType distinguishes request from response traffic. The distinction is
 // used by the path-computation step to avoid message-dependent deadlocks by
@@ -109,6 +115,11 @@ func NewCommGraph(cores []Core, flows []Flow) (*CommGraph, error) {
 		if _, dup := g.nameIdx[c.Name]; dup {
 			return nil, fmt.Errorf("duplicate core name %q", c.Name)
 		}
+		// The comparisons below are false for NaN, so non-finite values need
+		// an explicit check: the spec parsers accept anything ParseFloat does.
+		if !finite(c.Width) || !finite(c.Height) || !finite(c.X) || !finite(c.Y) {
+			return nil, fmt.Errorf("core %q has a non-finite geometry value", c.Name)
+		}
 		if c.Width <= 0 || c.Height <= 0 {
 			return nil, fmt.Errorf("core %q has non-positive size %gx%g", c.Name, c.Width, c.Height)
 		}
@@ -124,11 +135,11 @@ func NewCommGraph(cores []Core, flows []Flow) (*CommGraph, error) {
 		if f.Src == f.Dst {
 			return nil, fmt.Errorf("flow %d is a self loop on core %q", i, g.Cores[f.Src].Name)
 		}
-		if f.BandwidthMBps <= 0 {
+		if !finite(f.BandwidthMBps) || f.BandwidthMBps <= 0 {
 			return nil, fmt.Errorf("flow %d (%q -> %q) has non-positive bandwidth %g",
 				i, g.Cores[f.Src].Name, g.Cores[f.Dst].Name, f.BandwidthMBps)
 		}
-		if f.LatencyCycles < 0 {
+		if !finite(f.LatencyCycles) || f.LatencyCycles < 0 {
 			return nil, fmt.Errorf("flow %d has negative latency constraint", i)
 		}
 	}

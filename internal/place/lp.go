@@ -8,6 +8,7 @@ package place
 
 import (
 	"fmt"
+	"sort"
 
 	"sunfloor3d/internal/geom"
 	"sunfloor3d/internal/lp"
@@ -79,20 +80,36 @@ func solveAxis(t *topology.Topology, xAxis bool) ([]float64, error) {
 
 	// Switch-to-switch terms: weight is the aggregated link bandwidth, Eq. 3
 	// and the second sum of Eq. 4. Sum both directions so each pair appears
-	// once.
+	// once. The pairs must enter the problem in a fixed order: the LP's
+	// auxiliary variables and constraint rows are created per term, simplex
+	// pivoting (and with it the choice among degenerate optima) depends on
+	// that order, and SwitchLinks() is sorted — iterating the aggregation map
+	// here instead made repeated placements of the same topology return
+	// different (all optimal) switch positions.
 	pair := make(map[[2]int]float64)
+	var pairKeys [][2]int
 	for _, l := range t.SwitchLinks() {
 		a, b := l.From, l.To
 		if a > b {
 			a, b = b, a
 		}
-		pair[[2]int{a, b}] += l.BandwidthMBps
+		k := [2]int{a, b}
+		if _, ok := pair[k]; !ok {
+			pairKeys = append(pairKeys, k)
+		}
+		pair[k] += l.BandwidthMBps
 	}
-	for k, bw := range pair {
+	sort.Slice(pairKeys, func(i, j int) bool {
+		if pairKeys[i][0] != pairKeys[j][0] {
+			return pairKeys[i][0] < pairKeys[j][0]
+		}
+		return pairKeys[i][1] < pairKeys[j][1]
+	})
+	for _, k := range pairKeys {
 		prob.AddAbsDifferenceObjective(
 			fmt.Sprintf("ds%d_%d", k[0], k[1]),
 			[]lp.Term{{Var: pos[k[0]], Coeff: 1}, {Var: pos[k[1]], Coeff: -1}},
-			0, bw)
+			0, pair[k])
 	}
 
 	sol, err := prob.Solve()

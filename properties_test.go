@@ -1,0 +1,245 @@
+package sunfloor3d
+
+// End-to-end property-based invariant harness. Where the golden corpus pins
+// three fixed designs byte-for-byte, this harness runs the full
+// synthesize -> route -> floorplan -> simulate pipeline over N generated
+// workloads per traffic shape (pipeline, hotspot, multiapp, layered; N = 50
+// by default, smaller under -short or SUNFLOOR_PROPERTY_N) and asserts the
+// cross-layer invariants that are proven pointwise elsewhere:
+//
+//   - every generated workload is connected and synthesizes to at least one
+//     valid design point under WithRequireLatencyMet (the generator's
+//     satisfiability guarantee);
+//   - valid points honor every flow latency constraint and route every flow;
+//   - the committed routes of every valid point form an acyclic channel
+//     dependency graph, and the flit simulator's runtime deadlock watchdog
+//     agrees (no deadlock, no livelock);
+//   - the simulated zero-load latency of every flow equals the analytic
+//     Topology.FlowLatencyCycles exactly;
+//   - the NoC components insert into the floorplan;
+//   - results JSON round-trip byte-identically, serial and parallel sweeps
+//     are byte-identical, and repeated generate+synthesize runs are
+//     byte-identical.
+//
+// The harness lives in the root package (not _test) on purpose: the
+// invariants reach below the public surface (committed routes, the CDG, the
+// internal simulator) through DesignPoint.topo.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"sunfloor3d/internal/route"
+	"sunfloor3d/internal/sim"
+	"sunfloor3d/internal/workload"
+)
+
+// propertyN returns the number of workloads per shape: 50 by default, 8
+// under -short, overridable with SUNFLOOR_PROPERTY_N (CI smoke runs use a
+// small value; the full distribution runs locally).
+func propertyN(t *testing.T) int {
+	if s := os.Getenv("SUNFLOOR_PROPERTY_N"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad SUNFLOOR_PROPERTY_N %q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 8
+	}
+	return 50
+}
+
+// propertySpec derives the i-th workload spec of a shape: core counts cycle
+// through all of 8..28 (5 is coprime to 21, so the full range is visited),
+// layer counts through 1..3, and every fourth case perturbs the
+// bandwidth/latency distributions so skewed and tight configurations are
+// part of the distribution, not a separate suite.
+func propertySpec(shape workload.Shape, i int) GenSpec {
+	spec := GenSpec{
+		Shape:  shape,
+		Cores:  8 + (5*i)%21,
+		Layers: 1 + i%3,
+		Seed:   int64(i),
+	}
+	switch i % 4 {
+	case 1: // tight latency, skewed bandwidth
+		spec.LatencySlack = 1.5
+		spec.BandwidthSpread = 0.8
+	case 2: // memory-heavy mix, every flow latency-constrained
+		spec.MemoryFraction = 0.4
+		spec.UnconstrainedFraction = -1
+	case 3: // loose latency, heavy traffic
+		spec.LatencySlack = 3
+		spec.MeanBandwidthMBps = 1000
+	}
+	return spec
+}
+
+// TestWorkloadProperties is the harness entry point.
+func TestWorkloadProperties(t *testing.T) {
+	n := propertyN(t)
+	for _, shape := range workload.Shapes() {
+		shape := shape
+		t.Run(shape.String(), func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < n; i++ {
+				i := i
+				t.Run(fmt.Sprintf("w%02d", i), func(t *testing.T) {
+					t.Parallel()
+					checkWorkload(t, propertySpec(shape, i), i)
+				})
+			}
+		})
+	}
+}
+
+// checkWorkload runs one generated workload through the whole pipeline and
+// asserts every invariant on the outcome.
+func checkWorkload(t *testing.T, spec GenSpec, i int) {
+	bench, err := GenerateBenchmark(spec)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	design := bench.Graph3D
+	if i%3 == 2 {
+		// Every third workload runs the flattened 2-D variant so the
+		// single-layer degenerate paths stay in the distribution.
+		design = bench.Graph2D
+	}
+	if !workload.IsConnected(design) {
+		t.Fatal("generated design is not connected")
+	}
+
+	ctx := context.Background()
+	opts := []Option{WithRequireLatencyMet(true)}
+	res, err := Synthesize(ctx, design, opts...)
+	if err != nil {
+		t.Fatalf("synthesize %s: %v", bench.Name, err)
+	}
+	best := res.Best()
+	if best == nil {
+		t.Fatalf("%s: no valid design point (satisfiability guarantee violated)", bench.Name)
+	}
+
+	// Invariants on every valid point: constraints honored, all flows
+	// routed, committed routes deadlock free.
+	for pi := range res.Points {
+		p := &res.Points[pi]
+		if !p.Valid {
+			continue
+		}
+		if p.Metrics.LatencyViolations != 0 {
+			t.Errorf("valid point %d reports %d latency violations", pi, p.Metrics.LatencyViolations)
+		}
+		if p.Route.FailedFlows != 0 || p.Route.Routed != design.NumFlows() {
+			t.Errorf("valid point %d routed %d/%d flows (%d failed)",
+				pi, p.Route.Routed, design.NumFlows(), p.Route.FailedFlows)
+		}
+		if p.topo == nil {
+			t.Fatalf("valid point %d carries no topology", pi)
+		}
+		for f, fl := range design.Flows {
+			if lat := p.topo.FlowLatencyCycles(f); fl.LatencyCycles > 0 && lat > fl.LatencyCycles {
+				t.Errorf("valid point %d: flow %d latency %.3f exceeds constraint %g",
+					pi, f, lat, fl.LatencyCycles)
+			}
+		}
+		if !route.DeadlockFree(p.topo) {
+			t.Errorf("valid point %d has a cyclic channel dependency graph", pi)
+		}
+	}
+
+	// Deep invariants on the best point: zero-load equivalence, floorplan
+	// insertion, and the runtime deadlock watchdog.
+	top := best.Topology()
+	cfg := sim.DefaultConfig()
+	zl, err := sim.ZeroLoadLatencies(best.topo, cfg)
+	if err != nil {
+		t.Fatalf("zero-load oracle: %v", err)
+	}
+	for f, got := range zl {
+		if want := best.topo.FlowLatencyCycles(f); got != want {
+			t.Errorf("flow %d: simulated zero-load latency %v != analytic %v", f, got, want)
+		}
+	}
+	fp, err := top.Floorplan()
+	if err != nil {
+		t.Fatalf("floorplan insertion: %v", err)
+	}
+	if fp.ChipAreaMM2() <= 0 {
+		t.Error("floorplan has non-positive chip area")
+	}
+	cfg.Cycles = 600
+	cfg.DrainCycles = 600
+	stats, err := sim.Run(best.topo, cfg)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if stats.Deadlock || stats.Livelock {
+		t.Errorf("acyclic-CDG point tripped the sim watchdog: deadlock=%v livelock=%v",
+			stats.Deadlock, stats.Livelock)
+	}
+	if stats.PacketsInjected == 0 {
+		t.Error("simulation injected no packets")
+	}
+
+	// Serialisation invariants: JSON round-trips byte-identically.
+	first, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Result
+	if err := json.Unmarshal(first, &restored); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(&restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("result JSON does not round-trip byte-identically")
+	}
+
+	// Determinism invariants, on a subset to bound the harness cost:
+	// serial == parallel, and a full regenerate+resynthesize reproduces the
+	// bytes.
+	if i%10 == 0 {
+		par, err := Synthesize(ctx, design, append(opts, WithParallelism(4))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pj, err := json.Marshal(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, pj) {
+			t.Error("parallel sweep differs from serial sweep")
+		}
+		again, err := GenerateBenchmark(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2 := again.Graph3D
+		if i%3 == 2 {
+			d2 = again.Graph2D
+		}
+		res2, err := Synthesize(ctx, d2, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2, err := json.Marshal(res2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, j2) {
+			t.Error("regenerated workload synthesizes to different bytes")
+		}
+	}
+}
