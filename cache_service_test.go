@@ -1,0 +1,165 @@
+package sunfloor3d_test
+
+// Acceptance property of the synthesis-as-a-service subsystem: every cached
+// request path answers with bytes identical to a direct Synthesize of the
+// same design and options. Two paths exist — the on-disk content-addressed
+// memo store (shared by `sunfloor3d -cache-dir` and the daemon) and the
+// sunfloor-server HTTP surface — and both are checked here over generated
+// workloads of every traffic shape, cold (computed) and warm (cache hit).
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sunfloor3d"
+	"sunfloor3d/internal/memo"
+	"sunfloor3d/internal/server"
+)
+
+// cachePropertySpecs spans the four traffic shapes with distinct option
+// sets; gen and body describe the same request to the library and to the
+// HTTP API respectively.
+var cachePropertySpecs = []struct {
+	gen  string
+	opts []sunfloor3d.Option
+	body string
+}{
+	{
+		gen:  "shape=pipeline,cores=10,layers=2,seed=4",
+		body: `{"gen":"shape=pipeline,cores=10,layers=2,seed=4"}`,
+	},
+	{
+		gen:  "shape=hotspot,cores=14,layers=3,seed=9",
+		opts: []sunfloor3d.Option{sunfloor3d.WithRequireLatencyMet(true)},
+		body: `{"gen":"shape=hotspot,cores=14,layers=3,seed=9","options":{"require_latency_met":true}}`,
+	},
+	{
+		gen:  "shape=multiapp,cores=12,layers=2,seed=2,apps=2",
+		opts: []sunfloor3d.Option{sunfloor3d.WithFrequenciesMHz(400, 800)},
+		body: `{"gen":"shape=multiapp,cores=12,layers=2,seed=2,apps=2","options":{"frequencies_mhz":[400,800]}}`,
+	},
+	{
+		gen:  "shape=layered,cores=12,layers=3,seed=7",
+		body: `{"gen":"shape=layered,cores=12,layers=3,seed=7"}`,
+	},
+}
+
+func TestCachedRequestPathMatchesDirect(t *testing.T) {
+	srv, err := server.New(server.Config{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	cache, err := memo.New(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	for _, tc := range cachePropertySpecs {
+		tc := tc
+		t.Run(tc.gen, func(t *testing.T) {
+			spec, err := sunfloor3d.ParseGenSpec(tc.gen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bench, err := sunfloor3d.GenerateBenchmark(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			design := bench.Graph3D
+
+			res, err := sunfloor3d.Synthesize(ctx, design, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := res.MarshalStable()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Path 1: the content-addressed memo store. The cold request
+			// computes through the cache; the warm request is answered from
+			// it. Both must reproduce the direct bytes.
+			key, err := sunfloor3d.Fingerprint(design, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, prov, err := cache.GetOrCompute(ctx, key, func() ([]byte, error) {
+				r, err := sunfloor3d.Synthesize(ctx, design, tc.opts...)
+				if err != nil {
+					return nil, err
+				}
+				return r.MarshalStable()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prov != memo.Computed {
+				t.Errorf("cold memo provenance = %q, want %q", prov, memo.Computed)
+			}
+			if !bytes.Equal(cold, direct) {
+				t.Error("memo compute path differs from direct Synthesize")
+			}
+			warm, prov, ok := cache.Lookup(key)
+			if !ok || prov == memo.Computed {
+				t.Fatalf("warm memo lookup: ok=%v provenance=%q", ok, prov)
+			}
+			if !bytes.Equal(warm, direct) {
+				t.Error("memo cache hit differs from direct Synthesize")
+			}
+
+			// The cached bytes restore to a result whose metrics survive.
+			restored, err := sunfloor3d.ReadResult(bytes.NewReader(warm))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b, d := restored.Best(), res.Best(); (b == nil) != (d == nil) {
+				t.Error("restored result disagrees on best-point existence")
+			} else if b != nil && b.Metrics.Power.TotalMW() != d.Metrics.Power.TotalMW() {
+				t.Error("restored best-point metrics differ from the computed run")
+			}
+
+			// Path 2: the HTTP daemon, cold then warm.
+			post := func() ([]byte, string) {
+				resp, err := http.Post(ts.URL+"/v1/synthesize?wait=1",
+					"application/json", strings.NewReader(tc.body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				b, _ := io.ReadAll(resp.Body)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("status %d: %s", resp.StatusCode, b)
+				}
+				return b, resp.Header.Get("X-Sunfloor-Cache")
+			}
+			coldBody, coldProv := post()
+			if coldProv != string(memo.Computed) {
+				t.Errorf("cold server provenance = %q, want %q", coldProv, memo.Computed)
+			}
+			if !bytes.Equal(coldBody, direct) {
+				t.Error("cold server response differs from direct Synthesize")
+			}
+			warmBody, warmProv := post()
+			if warmProv == string(memo.Computed) || warmProv == "" {
+				t.Errorf("warm server provenance = %q, want a cache tier", warmProv)
+			}
+			if !bytes.Equal(warmBody, direct) {
+				t.Error("warm server response differs from direct Synthesize")
+			}
+		})
+	}
+}

@@ -21,6 +21,21 @@
 // and evaluated on -jobs parallel workers; -json replaces the text summary on
 // stdout with the structured result. Press Ctrl-C to cancel a long sweep.
 //
+// With -cache-dir the run consults an on-disk design-point cache keyed by the
+// content fingerprint of the design and options (sunfloor3d.Fingerprint): a
+// hit restores the canonical serialised result without synthesizing — the
+// summary, result.json and report.txt come out as usual, topology artifacts
+// are skipped — and a miss synthesizes and stores the result for the next
+// run. The directory can be shared with a running sunfloor-server; the CLI
+// and the daemon then serve each other's results. -progress reports the hit
+// or miss and its provenance.
+//
+// With -server URL the design and options are submitted to a sunfloor-server
+// daemon instead of being synthesized locally; under -progress the server's
+// per-point progress events are streamed back. The response is the daemon's
+// canonical serialised result, byte-identical to a local run of the same
+// request.
+//
 // With -simulate the flit-level traffic simulator runs on every valid design
 // point (profile selected by -sim-profile: uniform, bursty or hotspot, seeded
 // by -sim-seed, scaled by -sim-scale, for -sim-cycles injection cycles) and
@@ -38,11 +53,15 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -52,6 +71,8 @@ import (
 	"strings"
 
 	"sunfloor3d"
+	"sunfloor3d/internal/memo"
+	"sunfloor3d/internal/server"
 )
 
 func main() {
@@ -93,12 +114,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+
+		cacheDir  = fs.String("cache-dir", "", "on-disk design-point cache directory (shareable with sunfloor-server)")
+		serverURL = fs.String("server", "", "submit the request to a sunfloor-server at this base URL instead of synthesizing locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help: usage already printed, exit 0
 		}
 		return err
+	}
+	if *serverURL != "" && *cacheDir != "" {
+		return fmt.Errorf("-server and -cache-dir are mutually exclusive (the daemon owns its own cache)")
+	}
+	if *simulate && (*serverURL != "" || *cacheDir != "") {
+		return fmt.Errorf("-simulate cannot be combined with -server or -cache-dir: simulation statistics are not part of the serialised result")
 	}
 
 	// The profiles cover the whole run — synthesis, per-point simulation and
@@ -184,9 +214,57 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *serverURL != "" {
+		req, err := buildServerRequest(*genSpec, *specPair, *coreFile, *commFile,
+			sweep, *maxILL, *phase, *alpha, *powerW, *latencyW, *jobs)
+		if err != nil {
+			return err
+		}
+		return runViaServer(ctx, *serverURL, req, *outDir, *asJSON, *progress, stdout, stderr)
+	}
+
+	var (
+		cache *memo.Cache
+		key   string
+	)
+	if *cacheDir != "" {
+		cache, err = memo.New(*cacheDir, 0)
+		if err != nil {
+			return err
+		}
+		key, err = sunfloor3d.Fingerprint(design, opts...)
+		if err != nil {
+			return err
+		}
+		if b, prov, ok := cache.Lookup(key); ok {
+			if *progress {
+				fmt.Fprintf(stderr, "cache hit (%s) for %s: synthesis skipped\n", prov, key)
+			}
+			res, err := sunfloor3d.ReadResult(bytes.NewReader(b))
+			if err != nil {
+				return fmt.Errorf("restoring cached result: %w", err)
+			}
+			return writeRestoredOutputs(*outDir, res, b, *asJSON, stdout)
+		}
+		if *progress {
+			fmt.Fprintf(stderr, "cache miss for %s: synthesizing\n", key)
+		}
+	}
+
 	res, err := sunfloor3d.Synthesize(ctx, design, opts...)
 	if err != nil {
 		return err
+	}
+	if cache != nil {
+		b, err := res.MarshalStable()
+		if err != nil {
+			return err
+		}
+		cache.Put(key, b)
+		if *progress {
+			fmt.Fprintf(stderr, "result stored under %s\n", key)
+		}
 	}
 
 	if *asJSON {
@@ -305,6 +383,217 @@ func loadOrGenerate(fs *flag.FlagSet, coreFile, commFile, specPair, genSpec stri
 		}
 		return sunfloor3d.LoadDesignFiles(coreFile, commFile)
 	}
+}
+
+// buildServerRequest packs the CLI's design source and sweep flags into a
+// sunfloor-server request. A -gen string is forwarded verbatim (the daemon
+// runs the same generator); spec files are read and embedded as text.
+func buildServerRequest(genSpec, specPair, coreFile, commFile string,
+	sweep []float64, maxILL int, phase string, alpha, powerW, latencyW float64, jobs int) (server.SynthesizeRequest, error) {
+	var req server.SynthesizeRequest
+	if genSpec != "" {
+		req.Gen = genSpec
+	} else {
+		if specPair != "" {
+			parts := strings.Split(specPair, ",")
+			if len(parts) != 2 {
+				return req, fmt.Errorf("-spec wants 'cores,comm', got %q", specPair)
+			}
+			coreFile, commFile = strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		}
+		cores, err := os.ReadFile(coreFile)
+		if err != nil {
+			return req, err
+		}
+		comm, err := os.ReadFile(commFile)
+		if err != nil {
+			return req, err
+		}
+		req.CoresSpec, req.CommSpec = string(cores), string(comm)
+	}
+	req.Options = &server.RequestOptions{
+		FrequenciesMHz: sweep,
+		MaxILL:         &maxILL,
+		Phase:          &phase,
+		Alpha:          &alpha,
+		PowerWeight:    &powerW,
+		LatencyWeight:  &latencyW,
+	}
+	if jobs != 0 {
+		req.Options.Parallelism = &jobs
+	}
+	return req, nil
+}
+
+// runViaServer submits the request to a sunfloor-server and writes the
+// returned canonical result. Without -progress it uses the synchronous
+// wait form; with -progress it submits asynchronously and relays the
+// daemon's NDJSON progress stream to stderr.
+func runViaServer(ctx context.Context, baseURL string, req server.SynthesizeRequest,
+	outDir string, asJSON, progress bool, stdout, stderr io.Writer) error {
+	base := strings.TrimRight(baseURL, "/")
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	var (
+		resBytes  []byte
+		prov, key string
+	)
+	if !progress {
+		resp, err := postJSON(ctx, base+"/v1/synthesize?wait=1", body)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return serverError(resp)
+		}
+		prov, key = resp.Header.Get("X-Sunfloor-Cache"), resp.Header.Get("X-Sunfloor-Key")
+		if resBytes, err = io.ReadAll(resp.Body); err != nil {
+			return err
+		}
+	} else {
+		resp, err := postJSON(ctx, base+"/v1/synthesize", body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			defer resp.Body.Close()
+			return serverError(resp)
+		}
+		var view server.JobView
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("parsing job acknowledgement: %w", err)
+		}
+		fmt.Fprintf(stderr, "job %s submitted (key %s)\n", view.ID, view.Key)
+		if err := relayStream(ctx, base+"/v1/jobs/"+view.ID+"/stream", stderr); err != nil {
+			return err
+		}
+		rr, err := getURL(ctx, base+"/v1/jobs/"+view.ID+"/result")
+		if err != nil {
+			return err
+		}
+		defer rr.Body.Close()
+		if rr.StatusCode != http.StatusOK {
+			return serverError(rr)
+		}
+		prov, key = rr.Header.Get("X-Sunfloor-Cache"), rr.Header.Get("X-Sunfloor-Key")
+		if resBytes, err = io.ReadAll(rr.Body); err != nil {
+			return err
+		}
+	}
+	if progress {
+		fmt.Fprintf(stderr, "server answered from %s (key %s)\n", prov, key)
+	}
+	res, err := sunfloor3d.ReadResult(bytes.NewReader(resBytes))
+	if err != nil {
+		return fmt.Errorf("parsing server result: %w", err)
+	}
+	return writeRestoredOutputs(outDir, res, resBytes, asJSON, stdout)
+}
+
+// relayStream copies the daemon's progress events to stderr in the CLI's
+// -progress line format, returning an error when the job failed.
+func relayStream(ctx context.Context, url string, stderr io.Writer) error {
+	resp, err := getURL(ctx, url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serverError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev server.ProgressEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("bad progress event %q: %w", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "progress":
+			status := "ok"
+			if !ev.Valid {
+				status = "invalid"
+			}
+			fmt.Fprintf(stderr, "[%d/%d] %d switches @ %.0f MHz: %s\n",
+				ev.Done, ev.Total, ev.SwitchCount, ev.FreqMHz, status)
+		case "done":
+			if ev.Status == server.StatusFailed {
+				return fmt.Errorf("server: %s", ev.Error)
+			}
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("progress stream ended without a terminal event")
+}
+
+// writeRestoredOutputs writes the artifacts available for a result that
+// crossed its serialised form (cache hit or server response): the stdout
+// summary, the verbatim canonical result.json and the metrics report. The
+// topology itself does not survive serialisation, so the topology, DOT and
+// floorplan artifacts are skipped.
+func writeRestoredOutputs(outDir string, res *sunfloor3d.Result, resBytes []byte, asJSON bool, stdout io.Writer) error {
+	if asJSON {
+		if _, err := stdout.Write(resBytes); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprint(stdout, res.Text())
+	}
+	if res.Best() == nil {
+		return fmt.Errorf("no valid topology meets the constraints")
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "result.json"), resBytes, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(outDir, "report.txt"), []byte(res.Best().Report()), 0o644); err != nil {
+		return err
+	}
+	if !asJSON {
+		fmt.Fprintln(stdout, "topology artifacts skipped (restored result carries no live topology); results written to", outDir)
+	}
+	return nil
+}
+
+// postJSON issues a POST with a JSON body.
+func postJSON(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	return http.DefaultClient.Do(hr)
+}
+
+// getURL issues a GET.
+func getURL(ctx context.Context, url string) (*http.Response, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return http.DefaultClient.Do(hr)
+}
+
+// serverError turns a non-success daemon response into an error, surfacing
+// the JSON error body when there is one.
+func serverError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(b, &e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
 }
 
 // parseFreqs parses a comma-separated frequency list like "400,600,800".

@@ -8,13 +8,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"sunfloor3d"
+	"sunfloor3d/internal/server"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
@@ -145,12 +149,173 @@ func TestCLIInputValidation(t *testing.T) {
 		{"-gen", "shape=teapot"},            // unknown shape
 		{"-gen", genArg, "-freqs", "x"},     // bad frequency
 		{"-gen", genArg, "-phase", "bogus"}, // bad phase
-		{"-cores", "missing.cores", "-comm", "missing.comm"}, // missing files
+		{"-cores", "missing.cores", "-comm", "missing.comm"},       // missing files
+		{"-gen", genArg, "-server", "http://x", "-cache-dir", "y"}, // exclusive modes
+		{"-gen", genArg, "-cache-dir", "y", "-simulate"},           // sim needs live run
+		{"-gen", genArg, "-server", "http://x", "-simulate"},       // sim needs live run
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer
 		if err := run(args, &stdout, &stderr); err == nil {
 			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+// runCLIWithStderr drives run() and returns stdout and stderr.
+func runCLIWithStderr(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+// TestCLICacheDir: a second run over the same -cache-dir skips synthesis,
+// reports its provenance under -progress, and reproduces the structured
+// result byte for byte.
+func TestCLICacheDir(t *testing.T) {
+	cacheDir := t.TempDir()
+
+	coldOut := t.TempDir()
+	coldStdout, coldStderr := runCLIWithStderr(t,
+		"-gen", genArg, "-json", "-progress", "-cache-dir", cacheDir, "-out", coldOut)
+	if !strings.Contains(coldStderr, "cache miss") || !strings.Contains(coldStderr, "result stored") {
+		t.Errorf("cold run stderr lacks miss/store provenance:\n%s", coldStderr)
+	}
+	// The cold run is a live synthesis: all topology artifacts exist.
+	if _, err := os.Stat(filepath.Join(coldOut, "topology.txt")); err != nil {
+		t.Errorf("cold cached run should write topology artifacts: %v", err)
+	}
+
+	warmOut := t.TempDir()
+	warmStdout, warmStderr := runCLIWithStderr(t,
+		"-gen", genArg, "-json", "-progress", "-cache-dir", cacheDir, "-out", warmOut)
+	if !strings.Contains(warmStderr, "cache hit (disk)") {
+		t.Errorf("warm run stderr lacks hit provenance:\n%s", warmStderr)
+	}
+	if warmStdout != coldStdout {
+		t.Error("cache-restored stdout differs from the computed run")
+	}
+	// The warm run restored a serialised result: metrics artifacts only.
+	for _, name := range []string{"result.json", "report.txt"} {
+		if _, err := os.Stat(filepath.Join(warmOut, name)); err != nil {
+			t.Errorf("warm run missing %s: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(warmOut, "topology.txt")); err == nil {
+		t.Error("warm run unexpectedly produced a topology artifact")
+	}
+	cold, err := os.ReadFile(filepath.Join(coldOut, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := os.ReadFile(filepath.Join(warmOut, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("warm result.json differs from cold result.json")
+	}
+
+	// The reports agree too: restored metrics are the computed metrics.
+	coldReport, _ := os.ReadFile(filepath.Join(coldOut, "report.txt"))
+	warmReport, _ := os.ReadFile(filepath.Join(warmOut, "report.txt"))
+	if !bytes.Equal(coldReport, warmReport) {
+		t.Error("warm report.txt differs from cold report.txt")
+	}
+}
+
+// TestCLIServerMode: -server submits to a daemon and writes the same
+// structured result as a local run; -progress relays the daemon's stream.
+func TestCLIServerMode(t *testing.T) {
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+
+	local := runCLI(t, "-gen", genArg, "-json", "-out", t.TempDir())
+
+	remoteOut := t.TempDir()
+	remote := runCLI(t, "-gen", genArg, "-json", "-server", ts.URL, "-out", remoteOut)
+	if remote != local {
+		t.Error("server-mode stdout differs from local synthesis")
+	}
+	if _, err := os.Stat(filepath.Join(remoteOut, "result.json")); err != nil {
+		t.Errorf("server mode missing result.json: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(remoteOut, "topology.txt")); err == nil {
+		t.Error("server mode unexpectedly produced a topology artifact")
+	}
+
+	// -progress drives the asynchronous submit + NDJSON stream path. The
+	// repeated request hits the daemon's cache, so the stream has only the
+	// terminal event and the provenance line names the cache tier.
+	_, stderr := runCLIWithStderr(t,
+		"-gen", genArg, "-json", "-progress", "-server", ts.URL, "-out", t.TempDir())
+	if !strings.Contains(stderr, "job j") || !strings.Contains(stderr, "server answered from memory") {
+		t.Errorf("server-mode -progress stderr lacks job/provenance lines:\n%s", stderr)
+	}
+
+	// A fresh request through the async path streams real progress events.
+	_, stderr2 := runCLIWithStderr(t,
+		"-gen", "shape=pipeline,cores=8,layers=2,seed=3", "-json", "-progress", "-server", ts.URL, "-out", t.TempDir())
+	if !strings.Contains(stderr2, "[") || !strings.Contains(stderr2, "switches @") {
+		t.Errorf("async server run streamed no progress events:\n%s", stderr2)
+	}
+	if !strings.Contains(stderr2, "server answered from computed") {
+		t.Errorf("fresh async run should be computed:\n%s", stderr2)
+	}
+
+	// Spec files embed as text and fingerprint like the equivalent -gen run,
+	// so the daemon answers both from the same cache entry.
+	spec, err := sunfloor3d.ParseGenSpec(genArg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sunfloor3d.GenerateBenchmark(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	corePath := filepath.Join(dir, "design.cores")
+	commPath := filepath.Join(dir, "design.comm")
+	cf, err := os.Create(corePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := os.Create(commPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sunfloor3d.WriteDesign(cf, mf, b.Graph3D); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+	mf.Close()
+	fromSpec := runCLI(t, "-spec", corePath+","+commPath, "-json", "-server", ts.URL, "-out", t.TempDir())
+	if fromSpec != local {
+		t.Error("server-mode -spec submission differs from local synthesis")
+	}
+
+	// A request the daemon rejects surfaces its JSON error message, on both
+	// the synchronous and the asynchronous submission path.
+	for _, args := range [][]string{
+		{"-gen", genArg, "-alpha", "7.5", "-server", ts.URL, "-out", t.TempDir()},
+		{"-gen", genArg, "-alpha", "7.5", "-progress", "-server", ts.URL, "-out", t.TempDir()},
+	} {
+		var stdout, stderr bytes.Buffer
+		err := run(args, &stdout, &stderr)
+		if err == nil || !strings.Contains(err.Error(), "server:") || !strings.Contains(err.Error(), "alpha") {
+			t.Errorf("run(%v) = %v, want a server-side alpha validation error", args, err)
 		}
 	}
 }

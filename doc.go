@@ -124,6 +124,44 @@
 // simulator deadlocks, zero-load simulation equal to the analytic model,
 // serial == parallel, byte-stable JSON) on the whole distribution.
 //
+// # Synthesis as a service
+//
+// Every synthesis request has a canonical content address:
+// Fingerprint(design, opts...) returns a versioned SHA-256 over the
+// communication graph and every result-affecting option. Execution knobs —
+// parallelism, progress callbacks, the partition cache, scheduler wiring —
+// are excluded from the hash, which is sound because the engine's
+// determinism guarantee makes them invisible in the serialised result.
+// Result.MarshalStable and ReadResult convert a Result to and from that
+// canonical serialisation (the WriteJSON bytes, byte-stable across runs).
+// Together they back internal/memo, the content-addressed design-point
+// cache: an in-memory LRU over an on-disk JSON store with single-flight
+// deduplication, shareable between processes. The CLI joins it with
+// `sunfloor3d -cache-dir DIR` — a hit skips synthesis entirely and restores
+// the result from its bytes (a restored result carries metrics and reports
+// but no live Topology).
+//
+// cmd/sunfloor-server serves the engine over HTTP/JSON (the subsystem is
+// internal/server): POST /v1/synthesize validates a request (a design as
+// spec text or a generator string plus options), answers cache hits
+// immediately, and queues misses on a bounded job queue drained by a worker
+// pool; GET /v1/jobs/{id}/stream relays per-design-point progress as NDJSON
+// or SSE, and responses are the canonical serialisation — byte-identical to
+// a local Synthesize of the same request, whichever tier answered
+// (the X-Sunfloor-Cache header says which). `sunfloor3d -server URL`
+// submits through a daemon instead of synthesizing locally.
+//
+// All jobs in a process share one fair-share scheduler rather than spawning
+// a worker pool per call: NewScheduler bounds the process-wide number of
+// concurrently evaluated design points, WithScheduler attaches a run to it,
+// and WithFairShareWeight sets the run's share (stride scheduling: slots are
+// granted to the eligible run with the least accumulated pass, so a
+// weight-2 run gets twice the slots of a weight-1 run under contention and
+// nobody starves). Scheduling never changes results — design points land at
+// pre-assigned indices. BenchmarkServerThroughput
+// ("go test -bench=ServerThroughput -benchtime=1x") records cold-vs-warm
+// request latency and concurrent warm throughput to BENCH_PR6.json.
+//
 // The implementation lives in the internal/ packages:
 //
 //   - internal/model      — cores, flows and the communication graph
@@ -138,11 +176,14 @@
 //   - internal/floorplan  — SA sequence-pair floorplanner (Parquet substitute)
 //   - internal/mesh       — optimized-mesh baseline
 //   - internal/synth      — the SunFloor 3D synthesis engine (Phases 1 and 2)
+//   - internal/memo       — content-addressed design-point result cache
+//   - internal/server     — the synthesis daemon's HTTP/JSON surface
 //   - internal/bench      — the paper's benchmark suite, synthesized
 //   - internal/workload   — seed-deterministic random SoC benchmark generator
 //   - internal/experiments — one runner per table/figure of the evaluation
 //
-// The executables in cmd/ (sunfloor3d, specgen, sunfloor-bench) and the
+// The executables in cmd/ (sunfloor3d, specgen, sunfloor-bench,
+// sunfloor-server) and the
 // programs in examples/ exercise the flow end to end through the public API;
 // bench_test.go exposes every paper experiment as a Go benchmark.
 package sunfloor3d

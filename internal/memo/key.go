@@ -1,0 +1,181 @@
+// Package memo implements the content-addressed design-point cache behind
+// synthesis-as-a-service: a canonical, versioned content hash of a synthesis
+// request — the communication graph plus the result-affecting options — and a
+// two-tier (in-memory LRU + on-disk) store of the JSON-stable Result bytes,
+// with single-flight deduplication of concurrent identical requests.
+//
+// The cache is sound because synthesis is deterministic: for equal
+// (CommGraph, Options) inputs the engine produces byte-identical serialised
+// Results regardless of parallelism, partition caching, progress callbacks or
+// the scheduler used (enforced since PR 2, property-tested since PR 5). The
+// key therefore covers exactly the inputs the serialised Result depends on
+// and deliberately excludes the execution knobs that are proven not to change
+// it (Parallelism, Progress, DisablePartitionCache, FullRebuildRouter,
+// Scheduler, Weight, and the simulator's Reference/StatsLevel switches).
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/synth"
+)
+
+// Version tags the canonical encoding. It must be bumped whenever the
+// encoding itself changes, a result-affecting field is added to the inputs,
+// or the synthesis flow changes the bytes it produces for unchanged inputs
+// (a golden-corpus diff): entries written under an old version must never be
+// returned for a new one. The version string is hashed into every key, so a
+// bump invalidates the whole store without touching it.
+const Version = "sunfloor3d-memo/v1"
+
+// Key returns the canonical content hash of a synthesis request as a
+// lowercase hex string. Two requests receive the same key exactly when the
+// engine is guaranteed to produce byte-identical serialised Results for them.
+//
+// The encoding walks every field in a fixed declaration order with explicit
+// length framing (no map iteration, no reflection, no struct layout
+// dependence) and normalises floats before hashing: negative zero hashes
+// like positive zero, every other value hashes its exact IEEE-754 bit
+// pattern. NaN and infinities never reach the hash — graph and option
+// validation reject them first.
+func Key(g *model.CommGraph, opt synth.Options) string {
+	h := sha256.New()
+	e := encoder{h: h}
+
+	e.str(Version)
+
+	// Section 1: the communication graph (Definitions 1 and 2).
+	e.str("cores")
+	e.i64(int64(len(g.Cores)))
+	for _, c := range g.Cores {
+		e.str(c.Name)
+		e.f64(c.Width)
+		e.f64(c.Height)
+		e.f64(c.X)
+		e.f64(c.Y)
+		e.i64(int64(c.Layer))
+		e.bool(c.IsMemory)
+	}
+	e.str("flows")
+	e.i64(int64(len(g.Flows)))
+	for _, f := range g.Flows {
+		e.i64(int64(f.Src))
+		e.i64(int64(f.Dst))
+		e.f64(f.BandwidthMBps)
+		e.f64(f.LatencyCycles)
+		e.i64(int64(f.Type))
+	}
+
+	// Section 2: the result-affecting synthesis options.
+	e.str("options")
+	e.i64(int64(len(opt.FrequenciesMHz)))
+	for _, f := range opt.FrequenciesMHz {
+		e.f64(f)
+	}
+	e.i64(int64(opt.MaxILL))
+	e.i64(int64(opt.SoftILLMargin))
+	e.i64(int64(opt.Phase))
+	e.f64(opt.Partition.Alpha)
+	e.f64(opt.Partition.ThetaMin)
+	e.f64(opt.Partition.ThetaMax)
+	e.f64(opt.Partition.ThetaStep)
+	e.f64(opt.Partition.IsolatedEdgeWeight)
+	e.i64(int64(opt.SwitchLayer))
+	e.f64(opt.PowerWeight)
+	e.f64(opt.LatencyWeight)
+	e.bool(opt.RunLPPlacement)
+	e.bool(opt.LPOnBest)
+	e.i64(int64(opt.MaxSwitchesPerLayer))
+	e.bool(opt.RequireLatencyMet)
+
+	// Section 3: the component library (power/delay/area models).
+	e.str("library")
+	e.i64(int64(opt.Lib.TechnologyNM))
+	e.i64(int64(opt.Lib.LinkWidthBits))
+	e.f64(opt.Lib.SwitchBasePowerMW)
+	e.f64(opt.Lib.SwitchPortPowerMW)
+	e.f64(opt.Lib.SwitchTrafficPowerMWPerGBps)
+	e.f64(opt.Lib.SwitchBaseAreaMM2)
+	e.f64(opt.Lib.SwitchPortAreaMM2)
+	e.f64(opt.Lib.NIPowerMW)
+	e.f64(opt.Lib.NIAreaMM2)
+	e.f64(opt.Lib.ReferenceFreqMHz)
+	e.f64(opt.Lib.WirePowerMWPerMMPerGBps)
+	e.f64(opt.Lib.WireLeakagePowerMWPerMM)
+	e.f64(opt.Lib.WireDelayPSPerMM)
+	e.f64(opt.Lib.MaxUnrepeatedLinkMM)
+	e.f64(opt.Lib.TSVDelayPS)
+	e.f64(opt.Lib.TSVPowerMWPerGBps)
+	e.f64(opt.Lib.TSVPitchUM)
+	e.f64(opt.Lib.VerticalPitchMM)
+	e.f64(opt.Lib.SwitchFreqK)
+	e.f64(opt.Lib.SwitchFreqCapMHz)
+
+	// Section 4: the simulation request. Simulation statistics are excluded
+	// from the serialised Result, but a failed simulation invalidates the
+	// point it ran on (Valid/FailReason are serialised), so the simulated
+	// workload is part of the key. Reference and StatsLevel are execution
+	// knobs with byte-identical outcomes and stay out.
+	e.str("sim")
+	e.bool(opt.Sim != nil)
+	if opt.Sim != nil {
+		s := opt.Sim
+		e.i64(int64(s.Cycles))
+		e.i64(int64(s.DrainCycles))
+		e.i64(s.Seed)
+		e.i64(int64(s.Profile))
+		e.f64(s.InjectionScale)
+		e.i64(int64(s.PacketFlits))
+		e.i64(int64(s.VCs))
+		e.i64(int64(s.BufferFlits))
+		e.i64(int64(s.WatchdogCycles))
+		e.i64(int64(s.LivelockCycles))
+		e.f64(s.BurstFactor)
+		e.f64(s.MeanBurstCycles)
+		e.f64(s.HotspotFactor)
+	}
+
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// encoder writes length-framed primitives into a hash. Every string is
+// prefixed with its byte length so that adjacent fields can never alias
+// ("ab"+"c" vs "a"+"bc"), and all integers are fixed-width little endian.
+type encoder struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (e *encoder) i64(v int64) {
+	binary.LittleEndian.PutUint64(e.buf[:], uint64(v))
+	e.h.Write(e.buf[:])
+}
+
+// f64 hashes the IEEE-754 bit pattern of v with negative zero normalised to
+// positive zero, so the two representations of zero — which compare equal and
+// behave identically throughout the flow — share a key.
+func (e *encoder) f64(v float64) {
+	if v == 0 {
+		v = 0
+	}
+	binary.LittleEndian.PutUint64(e.buf[:], math.Float64bits(v))
+	e.h.Write(e.buf[:])
+}
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.i64(1)
+	} else {
+		e.i64(0)
+	}
+}
+
+func (e *encoder) str(s string) {
+	e.i64(int64(len(s)))
+	e.h.Write([]byte(s))
+}

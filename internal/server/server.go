@@ -1,0 +1,584 @@
+// Package server implements sunfloor-server: synthesis as a service. It
+// wraps the sunfloor3d engine in an HTTP/JSON daemon with
+//
+//   - a content-addressed design-point cache (internal/memo): every request
+//     is fingerprinted, equal requests — across clients, processes and
+//     restarts — are answered from the cache or deduplicated onto one
+//     in-flight computation;
+//   - a bounded job queue with request validation and graceful shutdown;
+//   - streaming progress over NDJSON or SSE, wired to the engine's
+//     per-design-point progress events;
+//   - one process-wide fair-share scheduler: concurrent requests draw
+//     evaluation slots from a fixed budget proportionally to their weights
+//     instead of oversubscribing the CPU.
+//
+// The HTTP surface:
+//
+//	POST /v1/synthesize            submit a job; 202 + job view, or the
+//	                               result body directly with ?wait=1
+//	GET  /v1/jobs/{id}             job status
+//	GET  /v1/jobs/{id}/stream      progress events (NDJSON; SSE on Accept)
+//	GET  /v1/jobs/{id}/result      canonical serialised Result
+//	GET  /v1/cache/stats           cache, scheduler and queue statistics
+//	GET  /healthz                  liveness probe
+//
+// Result bodies are the engine's canonical serialisation: byte-identical to
+// a local Synthesize + WriteJSON of the same request, whatever mix of cache
+// tiers, deduplication and scheduling produced them.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"sunfloor3d"
+	"sunfloor3d/internal/memo"
+)
+
+// Config parameterizes a Server. The zero value is usable: memory-only
+// cache, CPU-sized scheduler, default queue and retention bounds.
+type Config struct {
+	// CacheDir is the on-disk tier of the design-point cache ("" = memory
+	// only). The directory may be shared with CLI runs (-cache-dir) and
+	// other server processes.
+	CacheDir string
+	// MemEntries bounds the in-memory cache tier (<= 0 selects the default).
+	MemEntries int
+	// QueueDepth bounds the backlog of accepted-but-not-started jobs;
+	// submissions beyond it are rejected with 503 (<= 0 selects 64).
+	QueueDepth int
+	// Workers is the number of jobs synthesized concurrently (<= 0 selects
+	// 4). Each job's design points still multiplex over the shared
+	// scheduler, so Workers bounds bookkeeping, not CPU use.
+	Workers int
+	// Capacity is the shared scheduler's evaluation-slot budget (<= 0
+	// selects one slot per available CPU).
+	Capacity int
+	// RetainJobs bounds how many terminal jobs keep their status and result
+	// queryable (<= 0 selects 256). Evicted results remain available through
+	// the cache by resubmitting the request.
+	RetainJobs int
+}
+
+// Server is the synthesis service. Create with New, serve with any
+// http.Server (Server implements http.Handler), stop with Shutdown.
+type Server struct {
+	cache *memo.Cache
+	sched *sunfloor3d.Scheduler
+	reg   *registry
+	mux   *http.ServeMux
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	queue   chan queued
+	workers sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	// genMu guards genCache, a memo of generator-built designs keyed by the
+	// raw gen string. Generation is deterministic and the engine treats
+	// designs as read-only, so sharing one instance across requests is sound
+	// — and skipping the ~tens-of-ms regeneration (the generator floorplans
+	// the design) is what keeps a warm cache hit in the sub-millisecond
+	// range.
+	genMu    sync.Mutex
+	genCache map[string]*sunfloor3d.Design
+}
+
+// maxGenCache bounds the generated-design memo; past it the memo is reset
+// (designs are cheap to regenerate, the bound only guards memory).
+const maxGenCache = 128
+
+// queued pairs an accepted job with its parsed, validated work.
+type queued struct {
+	job    *job
+	design *sunfloor3d.Design
+	opts   []sunfloor3d.Option
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	cache, err := memo.New(cfg.CacheDir, cfg.MemEntries)
+	if err != nil {
+		return nil, fmt.Errorf("server: opening cache: %w", err)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cache:    cache,
+		sched:    sunfloor3d.NewScheduler(cfg.Capacity),
+		reg:      newRegistry(cfg.RetainJobs),
+		baseCtx:  ctx,
+		cancel:   cancel,
+		queue:    make(chan queued, cfg.QueueDepth),
+		genCache: make(map[string]*sunfloor3d.Design),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/synthesize", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/cache/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// ServeHTTP dispatches to the server's API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Scheduler returns the process-wide fair-share scheduler, so embedding
+// callers can attach their own runs to the same slot budget.
+func (s *Server) Scheduler() *sunfloor3d.Scheduler { return s.sched }
+
+// Cache returns the design-point cache.
+func (s *Server) Cache() *memo.Cache { return s.cache }
+
+// Shutdown stops the server gracefully: new submissions are rejected,
+// queued and running jobs are given until ctx expires to finish, then the
+// stragglers are cancelled and drained. Shutdown returns once every worker
+// has exited.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue) // submissions stopped above, so no further sends
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancel() // cancel in-flight synthesis; workers drain and exit
+		<-done
+	}
+	s.cancel()
+	return err
+}
+
+// worker drains the job queue until it is closed.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for q := range s.queue {
+		s.run(q)
+	}
+}
+
+// run executes one job through the cache: a fingerprint hit (or another
+// in-flight job with the same fingerprint) answers without synthesizing;
+// otherwise this job computes and its progress is streamed.
+func (s *Server) run(q queued) {
+	q.job.setRunning()
+	compute := func() ([]byte, error) {
+		opts := append(q.opts, sunfloor3d.WithProgress(func(ev sunfloor3d.Event) {
+			q.job.progress(ProgressEvent{
+				Type: "progress", Done: ev.Done, Total: ev.Total,
+				FreqMHz:     ev.Point.FreqMHz,
+				SwitchCount: ev.Point.SwitchCount,
+				Valid:       ev.Point.Valid,
+			})
+		}))
+		res, err := sunfloor3d.Synthesize(s.baseCtx, q.design, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return res.MarshalStable()
+	}
+	body, prov, err := s.cache.GetOrCompute(s.baseCtx, q.job.key, compute)
+	q.job.finish(body, prov, err)
+}
+
+// SynthesizeRequest is the JSON body of POST /v1/synthesize. The design is
+// given either as the text spec pair (cores_spec + comm_spec, the formats of
+// WriteDesign/cmd/specgen) or as a workload generator string (gen, the
+// key=value form of the CLI's -gen flag). Requests that denote the same
+// design and options share one fingerprint however they were spelled.
+type SynthesizeRequest struct {
+	CoresSpec string          `json:"cores_spec,omitempty"`
+	CommSpec  string          `json:"comm_spec,omitempty"`
+	Gen       string          `json:"gen,omitempty"`
+	Options   *RequestOptions `json:"options,omitempty"`
+}
+
+// RequestOptions mirrors the facade's With* options; unset fields keep the
+// engine defaults. Weight is the request's fair-share weight on the shared
+// scheduler; Parallelism caps this request's slot share.
+type RequestOptions struct {
+	FrequenciesMHz      []float64 `json:"frequencies_mhz,omitempty"`
+	MaxILL              *int      `json:"max_ill,omitempty"`
+	SoftILLMargin       *int      `json:"soft_ill_margin,omitempty"`
+	Phase               *string   `json:"phase,omitempty"`
+	Alpha               *float64  `json:"alpha,omitempty"`
+	PowerWeight         *float64  `json:"power_weight,omitempty"`
+	LatencyWeight       *float64  `json:"latency_weight,omitempty"`
+	SwitchLayer         *string   `json:"switch_layer,omitempty"`
+	MaxSwitchesPerLayer *int      `json:"max_switches_per_layer,omitempty"`
+	LPEveryPoint        *bool     `json:"lp_every_point,omitempty"`
+	RequireLatencyMet   *bool     `json:"require_latency_met,omitempty"`
+	Weight              *int      `json:"weight,omitempty"`
+	Parallelism         *int      `json:"parallelism,omitempty"`
+}
+
+// maxRequestBody bounds the accepted request size (specs are text; even
+// hundreds of cores stay far below this).
+const maxRequestBody = 8 << 20
+
+// generatedDesign builds (or recalls) the design of a generator string.
+func (s *Server) generatedDesign(gen string) (*sunfloor3d.Design, error) {
+	s.genMu.Lock()
+	if d, ok := s.genCache[gen]; ok {
+		s.genMu.Unlock()
+		return d, nil
+	}
+	s.genMu.Unlock()
+
+	spec, err := sunfloor3d.ParseGenSpec(gen)
+	if err != nil {
+		return nil, err
+	}
+	b, err := sunfloor3d.GenerateBenchmark(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	s.genMu.Lock()
+	if len(s.genCache) >= maxGenCache {
+		s.genCache = make(map[string]*sunfloor3d.Design)
+	}
+	s.genCache[gen] = b.Graph3D
+	s.genMu.Unlock()
+	return b.Graph3D, nil
+}
+
+// parseRequest validates the request and builds the design plus the option
+// list (fingerprint-relevant options first; the caller appends execution
+// options such as the scheduler).
+func (s *Server) parseRequest(req *SynthesizeRequest) (*sunfloor3d.Design, []sunfloor3d.Option, error) {
+	hasSpecs := req.CoresSpec != "" || req.CommSpec != ""
+	hasGen := req.Gen != ""
+	var design *sunfloor3d.Design
+	switch {
+	case hasSpecs && hasGen:
+		return nil, nil, errors.New("give either cores_spec+comm_spec or gen, not both")
+	case hasSpecs:
+		if req.CoresSpec == "" || req.CommSpec == "" {
+			return nil, nil, errors.New("cores_spec and comm_spec must both be set")
+		}
+		d, err := sunfloor3d.LoadDesign(strings.NewReader(req.CoresSpec), strings.NewReader(req.CommSpec))
+		if err != nil {
+			return nil, nil, err
+		}
+		design = d
+	case hasGen:
+		d, err := s.generatedDesign(req.Gen)
+		if err != nil {
+			return nil, nil, err
+		}
+		design = d
+	default:
+		return nil, nil, errors.New("no design: set cores_spec+comm_spec or gen")
+	}
+
+	var opts []sunfloor3d.Option
+	o := req.Options
+	if o == nil {
+		return design, opts, nil
+	}
+	if len(o.FrequenciesMHz) > 0 {
+		opts = append(opts, sunfloor3d.WithFrequenciesMHz(o.FrequenciesMHz...))
+	}
+	if o.MaxILL != nil {
+		opts = append(opts, sunfloor3d.WithMaxILL(*o.MaxILL))
+	}
+	if o.SoftILLMargin != nil {
+		opts = append(opts, sunfloor3d.WithSoftILLMargin(*o.SoftILLMargin))
+	}
+	if o.Phase != nil {
+		p, err := sunfloor3d.ParsePhase(*o.Phase)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts = append(opts, sunfloor3d.WithPhase(p))
+	}
+	if o.Alpha != nil {
+		opts = append(opts, sunfloor3d.WithAlpha(*o.Alpha))
+	}
+	if (o.PowerWeight == nil) != (o.LatencyWeight == nil) {
+		return nil, nil, errors.New("power_weight and latency_weight must be set together")
+	}
+	if o.PowerWeight != nil {
+		opts = append(opts, sunfloor3d.WithObjective(*o.PowerWeight, *o.LatencyWeight))
+	}
+	if o.SwitchLayer != nil {
+		switch *o.SwitchLayer {
+		case "average":
+			opts = append(opts, sunfloor3d.WithSwitchLayerRule(sunfloor3d.LayerAverage))
+		case "majority":
+			opts = append(opts, sunfloor3d.WithSwitchLayerRule(sunfloor3d.LayerMajority))
+		default:
+			return nil, nil, fmt.Errorf("unknown switch_layer %q (valid: average, majority)", *o.SwitchLayer)
+		}
+	}
+	if o.MaxSwitchesPerLayer != nil {
+		opts = append(opts, sunfloor3d.WithMaxSwitchesPerLayer(*o.MaxSwitchesPerLayer))
+	}
+	if o.LPEveryPoint != nil {
+		opts = append(opts, sunfloor3d.WithLPPlacement(*o.LPEveryPoint))
+	}
+	if o.RequireLatencyMet != nil {
+		opts = append(opts, sunfloor3d.WithRequireLatencyMet(*o.RequireLatencyMet))
+	}
+	if o.Weight != nil {
+		opts = append(opts, sunfloor3d.WithFairShareWeight(*o.Weight))
+	}
+	if o.Parallelism != nil {
+		opts = append(opts, sunfloor3d.WithParallelism(*o.Parallelism))
+	}
+	return design, opts, nil
+}
+
+// handleSubmit validates and enqueues a synthesis request. With ?wait=1 it
+// blocks and answers with the result body directly; otherwise it returns
+// 202 with the job view. Either way the fingerprint is exposed as
+// X-Sunfloor-Key, and terminal responses carry X-Sunfloor-Cache.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SynthesizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("parsing request body: %v", err))
+		return
+	}
+	design, opts, err := s.parseRequest(&req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key, err := sunfloor3d.Fingerprint(design, opts...)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("X-Sunfloor-Key", key)
+
+	opts = append(opts, sunfloor3d.WithScheduler(s.sched))
+
+	// Cache fast path: a fingerprint hit answers without consuming a queue
+	// slot or a worker.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if body, prov, ok := s.cache.Peek(key); ok {
+		j := s.reg.add(key)
+		s.mu.Unlock()
+		j.setRunning()
+		j.finish(body, prov, nil)
+		s.respondTerminal(w, r, j)
+		return
+	}
+	j := s.reg.add(key)
+	select {
+	case s.queue <- queued{job: j, design: design, opts: opts}:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "job queue is full, retry later")
+		return
+	}
+
+	s.respondTerminal(w, r, j)
+}
+
+// respondTerminal finishes a submit response: waits for the job when ?wait
+// was requested, otherwise acknowledges with 202.
+func (s *Server) respondTerminal(w http.ResponseWriter, r *http.Request, j *job) {
+	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
+		status, body, prov, errMsg := j.wait(r.Context().Done())
+		if status == StatusFailed {
+			httpError(w, http.StatusUnprocessableEntity, errMsg)
+			return
+		}
+		if status != StatusDone {
+			// Client went away before the job finished; the job keeps running.
+			httpError(w, http.StatusRequestTimeout, "request cancelled while waiting")
+			return
+		}
+		w.Header().Set("X-Sunfloor-Cache", string(prov))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// handleStatus answers with the job view.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// handleResult answers with the canonical serialised Result of a finished
+// job, with the cache provenance and fingerprint in headers.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	j.mu.Lock()
+	status, body, prov, errMsg := j.status, j.result, j.prov, j.err
+	j.mu.Unlock()
+	switch status {
+	case StatusDone:
+		w.Header().Set("X-Sunfloor-Key", j.key)
+		w.Header().Set("X-Sunfloor-Cache", string(prov))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	case StatusFailed:
+		httpError(w, http.StatusUnprocessableEntity, errMsg)
+	default:
+		httpError(w, http.StatusConflict, "job is not finished")
+	}
+}
+
+// handleStream streams the job's progress events: one JSON object per line
+// (NDJSON), or SSE "data:" frames when the client asks for
+// text/event-stream. The stream replays history, follows live events and
+// ends after the terminal event.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// Wake the cond-based follower when the client disconnects.
+	clientGone := r.Context().Done()
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-clientGone:
+			j.cond.Broadcast()
+		case <-stop:
+		}
+	}()
+
+	next := 0
+	for {
+		j.mu.Lock()
+		for next >= len(j.events) {
+			select {
+			case <-clientGone:
+				j.mu.Unlock()
+				return
+			default:
+			}
+			j.cond.Wait()
+		}
+		batch := append([]ProgressEvent(nil), j.events[next:]...)
+		next = len(j.events)
+		j.mu.Unlock()
+
+		for _, ev := range batch {
+			line, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if sse {
+				fmt.Fprintf(w, "data: %s\n\n", line)
+			} else {
+				fmt.Fprintf(w, "%s\n", line)
+			}
+			if ev.Type == "done" {
+				if flusher != nil {
+					flusher.Flush()
+				}
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// StatsView is the body of GET /v1/cache/stats.
+type StatsView struct {
+	Cache     memo.Stats                `json:"cache"`
+	Scheduler sunfloor3d.SchedulerStats `json:"scheduler"`
+	QueueLen  int                       `json:"queue_len"`
+	QueueCap  int                       `json:"queue_cap"`
+}
+
+// handleStats reports cache, scheduler and queue statistics.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsView{
+		Cache:     s.cache.Stats(),
+		Scheduler: s.sched.Stats(),
+		QueueLen:  len(s.queue),
+		QueueCap:  cap(s.queue),
+	})
+}
+
+// errorBody is the JSON shape of every error response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,507 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sunfloor3d"
+	"sunfloor3d/internal/server"
+)
+
+// fastGen is a small workload that synthesizes in well under a second.
+const fastGen = "shape=pipeline,cores=8,layers=2,seed=1"
+
+// newTestServer starts a Server with the given config behind httptest.
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+// submit POSTs a synthesize request and returns the response.
+func submit(t *testing.T, ts *httptest.Server, body string, wait bool) *http.Response {
+	t.Helper()
+	url := ts.URL + "/v1/synthesize"
+	if wait {
+		url += "?wait=1"
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// directResult runs the same request through the in-process facade and
+// returns the canonical serialised Result.
+func directResult(t *testing.T, gen string, opts ...sunfloor3d.Option) []byte {
+	t.Helper()
+	spec, err := sunfloor3d.ParseGenSpec(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sunfloor3d.GenerateBenchmark(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sunfloor3d.Synthesize(context.Background(), b.Graph3D, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestServerWaitRoundTrip: a synchronous submit returns exactly the bytes a
+// direct Synthesize+WriteJSON produces, and resubmitting hits the cache with
+// an identical body.
+func TestServerWaitRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	body := fmt.Sprintf(`{"gen":%q}`, fastGen)
+
+	resp := submit(t, ts, body, true)
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold submit: status %d: %s", resp.StatusCode, got)
+	}
+	if prov := resp.Header.Get("X-Sunfloor-Cache"); prov != "computed" {
+		t.Fatalf("cold submit provenance = %q, want computed", prov)
+	}
+	if resp.Header.Get("X-Sunfloor-Key") == "" {
+		t.Fatal("no fingerprint header on response")
+	}
+	want := directResult(t, fastGen)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("served result differs from direct synthesis:\nserved %d bytes, direct %d bytes", len(got), len(want))
+	}
+
+	resp2 := submit(t, ts, body, true)
+	got2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if prov := resp2.Header.Get("X-Sunfloor-Cache"); prov != "memory" {
+		t.Fatalf("warm submit provenance = %q, want memory", prov)
+	}
+	if !bytes.Equal(got2, got) {
+		t.Fatal("warm body differs from cold body")
+	}
+}
+
+// TestServerDiskCacheAcrossRestart: a second server on the same cache
+// directory answers from disk with identical bytes.
+func TestServerDiskCacheAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := fmt.Sprintf(`{"gen":%q}`, fastGen)
+
+	_, ts1 := newTestServer(t, server.Config{CacheDir: dir})
+	resp := submit(t, ts1, body, true)
+	cold, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold: status %d: %s", resp.StatusCode, cold)
+	}
+
+	_, ts2 := newTestServer(t, server.Config{CacheDir: dir})
+	resp2 := submit(t, ts2, body, true)
+	warm, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if prov := resp2.Header.Get("X-Sunfloor-Cache"); prov != "disk" {
+		t.Fatalf("restarted-server provenance = %q, want disk", prov)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("disk-served body differs from computed body")
+	}
+}
+
+// TestServerAsyncLifecycle drives the asynchronous flow: 202 on submit,
+// status polling to done, progress stream ending in a terminal event, and a
+// result fetch byte-identical to direct synthesis.
+func TestServerAsyncLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	resp := submit(t, ts, fmt.Sprintf(`{"gen":%q}`, fastGen), false)
+	ack, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, ack)
+	}
+	var view server.JobView
+	if err := json.Unmarshal(ack, &view); err != nil {
+		t.Fatalf("parsing ack %q: %v", ack, err)
+	}
+	if view.ID == "" || view.Key == "" {
+		t.Fatalf("ack missing id/key: %+v", view)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+view.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	// The stream replays history, so subscribing after completion still
+	// yields every event.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v server.JobView
+		json.NewDecoder(r.Body).Decode(&v)
+		r.Body.Close()
+		if v.Status == server.StatusDone {
+			break
+		}
+		if v.Status == server.StatusFailed {
+			t.Fatalf("job failed: %+v", v)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job not done in time: %+v", v)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	sr, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, _ := io.ReadAll(sr.Body)
+	sr.Body.Close()
+	var events []server.ProgressEvent
+	for _, line := range strings.Split(strings.TrimSpace(string(lines)), "\n") {
+		var ev server.ProgressEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad stream line %q: %v", line, err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) < 2 {
+		t.Fatalf("stream had %d events, want progress + done", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Type != "done" || last.Status != server.StatusDone {
+		t.Fatalf("terminal stream event = %+v", last)
+	}
+	for _, ev := range events[:len(events)-1] {
+		if ev.Type != "progress" || ev.Total == 0 {
+			t.Fatalf("non-terminal stream event = %+v", ev)
+		}
+	}
+
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + view.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(rr.Body)
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("result fetch: status %d: %s", rr.StatusCode, got)
+	}
+	if want := directResult(t, fastGen); !bytes.Equal(got, want) {
+		t.Fatal("async result differs from direct synthesis")
+	}
+}
+
+// TestServerSpecAndGenShareFingerprint: the same design submitted as spec
+// text hits the cache entry created by its generator-string submission.
+func TestServerSpecAndGenShareFingerprint(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	resp := submit(t, ts, fmt.Sprintf(`{"gen":%q}`, fastGen), true)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	key := resp.Header.Get("X-Sunfloor-Key")
+
+	spec, err := sunfloor3d.ParseGenSpec(fastGen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sunfloor3d.GenerateBenchmark(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cores, comm bytes.Buffer
+	if err := sunfloor3d.WriteDesign(&cores, &comm, b.Graph3D); err != nil {
+		t.Fatal(err)
+	}
+	req, err := json.Marshal(server.SynthesizeRequest{CoresSpec: cores.String(), CommSpec: comm.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2 := submit(t, ts, string(req), true)
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if k2 := resp2.Header.Get("X-Sunfloor-Key"); k2 != key {
+		t.Fatalf("spec-form fingerprint %s differs from gen-form %s", k2, key)
+	}
+	if prov := resp2.Header.Get("X-Sunfloor-Cache"); prov != "memory" {
+		t.Fatalf("spec-form submission provenance = %q, want memory (same design)", prov)
+	}
+}
+
+// TestServerOptionsChangeFingerprint: result-affecting options produce a
+// different fingerprint and a different computation.
+func TestServerOptionsChangeFingerprint(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	r1 := submit(t, ts, fmt.Sprintf(`{"gen":%q}`, fastGen), true)
+	io.Copy(io.Discard, r1.Body)
+	r1.Body.Close()
+	r2 := submit(t, ts, fmt.Sprintf(`{"gen":%q,"options":{"frequencies_mhz":[400,800]}}`, fastGen), true)
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r1.Header.Get("X-Sunfloor-Key") == r2.Header.Get("X-Sunfloor-Key") {
+		t.Fatal("different frequencies produced the same fingerprint")
+	}
+	if prov := r2.Header.Get("X-Sunfloor-Cache"); prov != "computed" {
+		t.Fatalf("changed-options submission provenance = %q, want computed", prov)
+	}
+
+	// Execution-only knobs keep the fingerprint (and hit the cache).
+	r3 := submit(t, ts, fmt.Sprintf(`{"gen":%q,"options":{"weight":5,"parallelism":2}}`, fastGen), true)
+	io.Copy(io.Discard, r3.Body)
+	r3.Body.Close()
+	if r3.Header.Get("X-Sunfloor-Key") != r1.Header.Get("X-Sunfloor-Key") {
+		t.Fatal("execution knobs changed the fingerprint")
+	}
+	if prov := r3.Header.Get("X-Sunfloor-Cache"); prov != "memory" {
+		t.Fatalf("execution-knob resubmission provenance = %q, want memory", prov)
+	}
+}
+
+// TestServerConcurrentIdenticalRequests: N clients submitting the same cold
+// request get byte-identical bodies from a single synthesis.
+func TestServerConcurrentIdenticalRequests(t *testing.T) {
+	s, ts := newTestServer(t, server.Config{Workers: 8})
+	const clients = 8
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/synthesize?wait=1", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"gen":%q}`, fastGen)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("client %d: status %d: %s", i, resp.StatusCode, b)
+				return
+			}
+			bodies[i] = b
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d body differs from client 0", i)
+		}
+	}
+	if st := s.Cache().Stats(); st.Misses != 1 {
+		t.Fatalf("identical concurrent requests caused %d computations, want 1 (%+v)", st.Misses, st)
+	}
+}
+
+// TestServerValidation: malformed submissions are rejected with 400 and a
+// JSON error body.
+func TestServerValidation(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	cases := []struct {
+		name, body string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"genn":"x"}`},
+		{"no design", `{}`},
+		{"both forms", fmt.Sprintf(`{"gen":%q,"cores_spec":"x","comm_spec":"y"}`, fastGen)},
+		{"half spec pair", `{"cores_spec":"x"}`},
+		{"bad gen", `{"gen":"shape=nosuch"}`},
+		{"bad phase", fmt.Sprintf(`{"gen":%q,"options":{"phase":"phase9"}}`, fastGen)},
+		{"bad switch layer", fmt.Sprintf(`{"gen":%q,"options":{"switch_layer":"median"}}`, fastGen)},
+		{"half objective", fmt.Sprintf(`{"gen":%q,"options":{"power_weight":1}}`, fastGen)},
+		{"bad option value", fmt.Sprintf(`{"gen":%q,"options":{"alpha":7.5}}`, fastGen)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := submit(t, ts, tc.body, true)
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d (%s), want 400", resp.StatusCode, b)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(b, &e); err != nil || e.Error == "" {
+				t.Fatalf("error body %q not of the {error} shape", b)
+			}
+		})
+	}
+
+	// Unknown job endpoints.
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/stream", "/v1/jobs/nope/result"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerStats: the stats endpoint reports cache activity and scheduler
+// shape.
+func TestServerStats(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Capacity: 3, QueueDepth: 5})
+	resp := submit(t, ts, fmt.Sprintf(`{"gen":%q}`, fastGen), true)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	sr, err := http.Get(ts.URL + "/v1/cache/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Body.Close()
+	var view server.StatsView
+	if err := json.NewDecoder(sr.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Cache.Misses != 1 || view.Cache.Stores != 1 {
+		t.Fatalf("cache stats after one cold run: %+v", view.Cache)
+	}
+	if view.Scheduler.Capacity != 3 {
+		t.Fatalf("scheduler capacity = %d, want 3", view.Scheduler.Capacity)
+	}
+	if view.QueueCap != 5 {
+		t.Fatalf("queue cap = %d, want 5", view.QueueCap)
+	}
+}
+
+// TestServerHealthz: liveness probe answers ok.
+func TestServerHealthz(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(b) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, b)
+	}
+}
+
+// TestServerShutdown: a graceful shutdown finishes queued work, and
+// submissions after shutdown are rejected.
+func TestServerShutdown(t *testing.T) {
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp := submit(t, ts, fmt.Sprintf(`{"gen":%q}`, fastGen), false)
+	var view server.JobView
+	json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// Idempotent.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+
+	// The accepted job ran to completion before shutdown returned.
+	r, err := http.Get(ts.URL + "/v1/jobs/" + view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v server.JobView
+	json.NewDecoder(r.Body).Decode(&v)
+	r.Body.Close()
+	if v.Status != server.StatusDone {
+		t.Fatalf("job after graceful shutdown: %+v", v)
+	}
+
+	resp2 := submit(t, ts, fmt.Sprintf(`{"gen":%q}`, fastGen), true)
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after shutdown: status %d, want 503", resp2.StatusCode)
+	}
+}
+
+// TestServerQueueFull: with one busy worker and a one-deep queue, a burst of
+// distinct submissions overflows into 503.
+func TestServerQueueFull(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{Workers: 1, QueueDepth: 1})
+	// A burst of distinct, slow-ish requests: the first occupies the worker,
+	// the second the queue slot; one of the remainder must see a full queue.
+	const burst = 6
+	codes := make([]int, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"gen":"shape=hotspot,cores=20,layers=2,seed=%d"}`, 100+i)
+			resp, err := http.Post(ts.URL+"/v1/synthesize?wait=1", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	full, ok := 0, 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusServiceUnavailable:
+			full++
+		case http.StatusOK:
+			ok++
+		default:
+			t.Fatalf("unexpected status in burst: %v", codes)
+		}
+	}
+	if full == 0 {
+		t.Fatalf("no submission was rejected with a full queue: %v", codes)
+	}
+	if ok == 0 {
+		t.Fatalf("no submission succeeded: %v", codes)
+	}
+}

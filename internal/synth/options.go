@@ -103,8 +103,22 @@ type Options struct {
 	// Parallelism bounds how many design points are evaluated concurrently.
 	// 0 or 1 evaluates serially, n > 1 uses at most n workers, and a negative
 	// value uses one worker per available CPU. Serial and parallel runs
-	// produce identical Result.Points ordering and identical Best.
+	// produce identical Result.Points ordering and identical Best. When
+	// Scheduler is set, a positive Parallelism additionally caps this run's
+	// share of the shared slots; 0 or negative leaves the run bounded only by
+	// the scheduler capacity.
 	Parallelism int
+	// Scheduler, when non-nil, makes the run draw its evaluation slots from
+	// the given shared, process-wide fair-share scheduler instead of a
+	// private worker pool, so many concurrent Synthesize calls multiplex a
+	// fixed CPU budget instead of oversubscribing it. Scheduling never
+	// affects results: a run through a contended shared scheduler is
+	// byte-identical to a serial run.
+	Scheduler *Scheduler
+	// Weight is the fair-share weight of the run on the shared scheduler
+	// (<= 0 selects 1). A run with weight 2 is granted twice the slots of a
+	// weight-1 run when both are backlogged. Ignored without Scheduler.
+	Weight int
 	// Progress, when non-nil, receives an Event after every evaluated design
 	// point. Callbacks are serialised; a slow callback stalls the sweep.
 	Progress func(Event)

@@ -22,13 +22,16 @@ type Event struct {
 	Point DesignPoint
 }
 
-// pool evaluates design points on a bounded number of workers shared by every
-// stage of a synthesis run (all frequencies, theta retries and Phase-2
-// fallbacks draw from the same budget), tracks progress accounting, and
-// aborts scheduling when the run's context is cancelled.
+// pool is one synthesis run's view of design-point execution: it tracks
+// progress accounting, forwards completion events, and draws evaluation
+// slots from a fair-share Scheduler — the process-wide one from
+// Options.Scheduler when the run belongs to a multiplexing caller such as
+// sunfloor-server, or a private one sized from Options.Parallelism
+// otherwise. All stages of the run (all frequencies, theta retries and
+// Phase-2 fallbacks) share the same slot budget.
 type pool struct {
 	ctx     context.Context
-	sem     chan struct{} // one slot per concurrent evaluation
+	client  *schedClient // nil on the serial reference path
 	serial  bool
 	onEvent func(Event)
 
@@ -36,22 +39,47 @@ type pool struct {
 	done, total int
 }
 
-// newPool sizes a pool from the options: Parallelism 0 or 1 evaluates points
-// serially, n > 1 uses at most n workers, and a negative value uses one
-// worker per available CPU.
-func newPool(ctx context.Context, opt Options) *pool {
-	n := opt.Parallelism
+// resolveParallelism maps Options.Parallelism to a worker count: 0 or 1 is
+// serial, n > 1 uses at most n workers, negative uses one per available CPU.
+func resolveParallelism(n int) int {
 	if n < 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	if n < 1 {
 		n = 1
 	}
-	return &pool{
-		ctx:     ctx,
-		sem:     make(chan struct{}, n),
-		serial:  n == 1,
-		onEvent: opt.Progress,
+	return n
+}
+
+// newPool sizes a pool from the options. With a shared scheduler the run
+// registers as a client (weight Options.Weight, per-run limit
+// Options.Parallelism when positive); without one, a private single-client
+// scheduler reproduces the standalone bounded-worker behaviour, and
+// Parallelism 0 or 1 keeps the fully serial reference path.
+func newPool(ctx context.Context, opt Options) *pool {
+	p := &pool{ctx: ctx, onEvent: opt.Progress}
+	if opt.Scheduler != nil {
+		limit := 0
+		if opt.Parallelism > 0 {
+			limit = opt.Parallelism
+		}
+		p.client = opt.Scheduler.register(opt.Weight, limit)
+		return p
+	}
+	n := resolveParallelism(opt.Parallelism)
+	if n == 1 {
+		p.serial = true
+		return p
+	}
+	p.client = NewScheduler(n).register(1, 0)
+	return p
+}
+
+// close deregisters the run from its scheduler. It must be called after
+// every forEach returned, which guarantees all slots are back.
+func (p *pool) close() {
+	if p.client != nil {
+		p.client.close()
 	}
 }
 
@@ -67,11 +95,12 @@ func (p *pool) emit(dp DesignPoint) {
 
 // forEach evaluates fn(i) for every i in [0, n) and stores each result with
 // sink(i, point). Results land at their own index, so the caller observes the
-// same ordering whether the pool is serial or parallel. When the context is
-// cancelled, no further evaluations start and the context error is returned;
-// evaluations already in flight finish first. sink must be safe for
-// concurrent calls on distinct indices (writing to distinct elements of a
-// pre-allocated slice is).
+// same ordering whether the evaluations ran serially or on a contended
+// shared scheduler. When the context is cancelled, no further evaluations
+// start, the evaluations already in flight are drained to completion, and
+// the context error is returned — forEach never leaves a worker goroutine
+// behind. sink must be safe for concurrent calls on distinct indices
+// (writing to distinct elements of a pre-allocated slice is).
 func (p *pool) forEach(n int, fn func(i int) DesignPoint, sink func(i int, dp DesignPoint)) error {
 	p.mu.Lock()
 	p.total += n
@@ -92,28 +121,22 @@ func (p *pool) forEach(n int, fn func(i int) DesignPoint, sink func(i int, dp De
 	var wg sync.WaitGroup
 	var err error
 	for i := 0; i < n; i++ {
-		// Check cancellation before contending for a slot: with both channels
-		// ready, select picks randomly and could start one more evaluation
-		// after the context was already cancelled.
+		// acquire re-checks cancellation itself, but the explicit check first
+		// avoids queueing on a contended scheduler after the run is dead.
 		if err = p.ctx.Err(); err != nil {
 			break
 		}
-		select {
-		case <-p.ctx.Done():
-			err = p.ctx.Err()
-		case p.sem <- struct{}{}:
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-p.sem }()
-				dp := fn(i)
-				sink(i, dp)
-				p.emit(dp)
-			}(i)
-		}
-		if err != nil {
+		if err = p.client.acquire(p.ctx); err != nil {
 			break
 		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer p.client.release()
+			dp := fn(i)
+			sink(i, dp)
+			p.emit(dp)
+		}(i)
 	}
 	wg.Wait()
 	return err

@@ -1,0 +1,232 @@
+package synth
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Scheduler is a process-wide, fair-share admission controller for
+// design-point evaluations. Before PR 6 every Synthesize call created its own
+// worker pool, so N concurrent requests on a shared Engine (or a server)
+// oversubscribed the CPU N-fold. A Scheduler owns a fixed number of
+// evaluation slots; every synthesis run registers as a client and acquires a
+// slot per design point in flight.
+//
+// When demand exceeds capacity, slots are granted by stride scheduling: each
+// run carries a virtual pass value that advances by stride = K/weight per
+// granted slot, and the backlogged run with the smallest pass is served
+// next. Backlogged runs therefore share the machine proportionally to their
+// weights — a weight-2 request receives twice the slots of a weight-1
+// request — instead of first-come-first-served starving latecomers, and a
+// newly arriving run joins at the current virtual time rather than claiming
+// the service it "missed" while absent.
+//
+// Scheduling never affects results: design points land at pre-assigned
+// indices and the engine's ordering guarantees are independent of execution
+// interleaving, so a run through a contended shared scheduler is
+// byte-identical to a serial run.
+//
+// A Scheduler is safe for concurrent use and is typically created once per
+// process (sunfloor-server creates one sized to the CPU count and passes it
+// to every request's options).
+type Scheduler struct {
+	capacity int
+
+	mu         sync.Mutex
+	inUse      int
+	clients    map[*schedClient]struct{}
+	seq        uint64
+	globalPass uint64 // pass of the most recently granted client
+}
+
+// strideUnit is the pass advance of a weight-1 grant. Strides are
+// strideUnit/weight, so integer division keeps distinct weights ordered as
+// long as weights stay far below the unit.
+const strideUnit = 1 << 20
+
+// SchedStats is a snapshot of scheduler occupancy.
+type SchedStats struct {
+	// Capacity is the total number of evaluation slots.
+	Capacity int `json:"capacity"`
+	// Clients is the number of registered (active) synthesis runs.
+	Clients int `json:"clients"`
+	// Running is the number of slots currently held.
+	Running int `json:"running"`
+	// Waiting is the number of evaluations blocked on a slot.
+	Waiting int `json:"waiting"`
+}
+
+// NewScheduler returns a scheduler with the given number of evaluation
+// slots. A non-positive capacity selects one slot per available CPU.
+func NewScheduler(capacity int) *Scheduler {
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{
+		capacity: capacity,
+		clients:  make(map[*schedClient]struct{}),
+	}
+}
+
+// Capacity returns the total number of evaluation slots.
+func (s *Scheduler) Capacity() int { return s.capacity }
+
+// Stats returns a snapshot of the scheduler occupancy.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SchedStats{Capacity: s.capacity, Clients: len(s.clients), Running: s.inUse}
+	for c := range s.clients {
+		for _, w := range c.waiters {
+			if !w.granted && !w.abandoned {
+				st.Waiting++
+			}
+		}
+	}
+	return st
+}
+
+// register adds a run with the given fair-share weight (<= 0 selects 1) and
+// per-run concurrency limit (0 = bounded only by scheduler capacity). The
+// run joins at the current virtual time.
+func (s *Scheduler) register(weight, limit int) *schedClient {
+	if weight <= 0 {
+		weight = 1
+	}
+	c := &schedClient{s: s, weight: weight, limit: limit}
+	s.mu.Lock()
+	s.seq++
+	c.seq = s.seq
+	c.pass = s.globalPass
+	s.clients[c] = struct{}{}
+	s.mu.Unlock()
+	return c
+}
+
+// schedClient is one registered synthesis run drawing slots from the shared
+// scheduler.
+type schedClient struct {
+	s      *Scheduler
+	weight int
+	limit  int
+	seq    uint64
+
+	// Guarded by s.mu.
+	running int
+	pass    uint64
+	waiters []*schedWaiter // FIFO within the run
+}
+
+// schedWaiter is one evaluation blocked on a slot.
+type schedWaiter struct {
+	ready     chan struct{} // closed when the slot is granted
+	granted   bool
+	abandoned bool
+}
+
+// acquire blocks until the scheduler grants this run a slot or ctx is done.
+// On success the caller owns one slot and must release it.
+func (c *schedClient) acquire(ctx context.Context) error {
+	s := c.s
+	w := &schedWaiter{ready: make(chan struct{})}
+	s.mu.Lock()
+	// A run that went idle keeps its old (small) pass; pulling it up to the
+	// current virtual time stops it from claiming a catch-up burst that
+	// would starve the runs that stayed busy.
+	if c.pass < s.globalPass {
+		c.pass = s.globalPass
+	}
+	c.waiters = append(c.waiters, w)
+	s.dispatchLocked()
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+	}
+	// Cancelled: the grant may have raced the cancellation. Settle under the
+	// lock — if the slot arrived anyway, hand it back before reporting the
+	// cancellation so no slot is ever leaked.
+	s.mu.Lock()
+	if w.granted {
+		c.running--
+		s.inUse--
+		s.dispatchLocked()
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+	w.abandoned = true
+	s.mu.Unlock()
+	return ctx.Err()
+}
+
+// release returns a slot to the scheduler.
+func (c *schedClient) release() {
+	s := c.s
+	s.mu.Lock()
+	c.running--
+	s.inUse--
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// close deregisters the run. The caller must have released every slot and
+// have no acquire in flight (SynthesizeContext guarantees both by joining
+// all workers before returning).
+func (c *schedClient) close() {
+	s := c.s
+	s.mu.Lock()
+	delete(s.clients, c)
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// dispatchLocked hands free slots to waiting runs: among the runs with a
+// live waiter that are under their per-run limit it grants the one with the
+// smallest pass, breaking ties by registration order, then advances that
+// run's pass by its stride. Callers must hold s.mu.
+func (s *Scheduler) dispatchLocked() {
+	for s.inUse < s.capacity {
+		var best *schedClient
+		for c := range s.clients {
+			if c.limit > 0 && c.running >= c.limit {
+				continue
+			}
+			if !c.hasWaiterLocked() {
+				continue
+			}
+			if best == nil || c.pass < best.pass || (c.pass == best.pass && c.seq < best.seq) {
+				best = c
+			}
+		}
+		if best == nil {
+			return
+		}
+		w := best.popWaiterLocked()
+		w.granted = true
+		best.running++
+		s.inUse++
+		s.globalPass = best.pass
+		best.pass += strideUnit / uint64(best.weight)
+		close(w.ready)
+	}
+}
+
+// hasWaiterLocked reports whether the run has a live (non-abandoned) waiter,
+// compacting abandoned ones off the queue head as it looks.
+func (c *schedClient) hasWaiterLocked() bool {
+	for len(c.waiters) > 0 && c.waiters[0].abandoned {
+		c.waiters = c.waiters[1:]
+	}
+	return len(c.waiters) > 0
+}
+
+// popWaiterLocked removes and returns the first live waiter. Only called
+// after hasWaiterLocked returned true under the same lock.
+func (c *schedClient) popWaiterLocked() *schedWaiter {
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	return w
+}

@@ -160,6 +160,11 @@ func SynthesizeContext(ctx context.Context, g *model.CommGraph, opt Options) (*R
 	}
 
 	p := newPool(ctx, opt)
+	// The deferred close deregisters the run from its (possibly shared)
+	// scheduler only after every stage has joined its workers, so a cancelled
+	// run drains all in-flight evaluations before SynthesizeContext returns
+	// and never leaks a goroutine or an evaluation slot.
+	defer p.close()
 	cache := newPartitionCache(g, opt.Partition, !opt.DisablePartitionCache)
 	perFreq := make([][]DesignPoint, len(opt.FrequenciesMHz))
 	errs := make([]error, len(opt.FrequenciesMHz))

@@ -182,6 +182,41 @@ func WithRequireLatencyMet(require bool) Option {
 	return func(c *config) { c.opt.RequireLatencyMet = require }
 }
 
+// Scheduler is a process-wide, fair-share admission controller for
+// design-point evaluations. Without one, every Synthesize call runs on its
+// own bounded worker pool, so N concurrent calls can oversubscribe the CPU
+// N-fold; runs attached to a shared Scheduler (see WithScheduler) draw from
+// one fixed slot budget instead, with backlogged runs served proportionally
+// to their fair-share weights (stride scheduling). sunfloor-server creates
+// one Scheduler per process and attaches every request to it.
+type Scheduler = synth.Scheduler
+
+// SchedulerStats is a snapshot of a shared scheduler's occupancy: its slot
+// capacity, registered runs, held slots and blocked evaluations.
+type SchedulerStats = synth.SchedStats
+
+// NewScheduler returns a shared scheduler with the given number of
+// evaluation slots. A non-positive capacity selects one slot per available
+// CPU.
+func NewScheduler(capacity int) *Scheduler { return synth.NewScheduler(capacity) }
+
+// WithScheduler attaches the run to a shared process-wide scheduler. The
+// run's design points then compete for the scheduler's slots instead of
+// spawning a private pool; a positive WithParallelism value additionally
+// caps this run's share. Scheduling never affects results: a run through a
+// contended shared scheduler returns a byte-identical Result to a serial
+// run.
+func WithScheduler(s *Scheduler) Option {
+	return func(c *config) { c.opt.Scheduler = s }
+}
+
+// WithFairShareWeight sets the run's weight on the shared scheduler (<= 0
+// selects 1): when several runs are backlogged, each is granted slots in
+// proportion to its weight. Without WithScheduler the weight is ignored.
+func WithFairShareWeight(w int) Option {
+	return func(c *config) { c.opt.Weight = w }
+}
+
 // WithSimulation runs the flit-level traffic simulator on every valid design
 // point and attaches the resulting SimStats to DesignPoint.Sim. The simulator
 // replays the committed per-flow routes with wormhole switching, finite VC

@@ -1,6 +1,7 @@
 package sunfloor3d
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -298,9 +299,36 @@ func (r *Result) Text() string {
 	return b.String()
 }
 
-// WriteJSON writes the result as indented JSON.
+// WriteJSON writes the result as indented JSON. The serialisation is
+// canonical: for equal inputs the engine produces byte-identical output
+// regardless of parallelism, caching, progress callbacks or the scheduler
+// used, which is what makes results content-addressable (see Fingerprint).
 func (r *Result) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// MarshalStable returns exactly the bytes WriteJSON would write: the
+// canonical serialisation stored by the design-point cache and served by
+// sunfloor-server.
+func (r *Result) MarshalStable() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ReadResult parses a serialised Result (the WriteJSON format, as stored in
+// the design-point cache or returned by a sunfloor-server result fetch).
+// Restored points carry their scalar fields and Metrics but no live
+// Topology, exactly like any other Result that crossed a JSON boundary.
+func ReadResult(r io.Reader) (*Result, error) {
+	dec := json.NewDecoder(r)
+	var res Result
+	if err := dec.Decode(&res); err != nil {
+		return nil, fmt.Errorf("sunfloor3d: parsing serialised result: %w", err)
+	}
+	return &res, nil
 }

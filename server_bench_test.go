@@ -1,0 +1,194 @@
+package sunfloor3d_test
+
+// BenchmarkServerThroughput is the performance record of the PR 6 service
+// subsystem: it measures, for the golden-corpus workload specs, the cold
+// (synthesizing) and warm (content-addressed cache hit) latency of a
+// sunfloor-server request, verifies the two answers are byte-identical, and
+// then drives concurrent clients against the warm server to measure request
+// throughput and cache hit rate. The numbers land in BENCH_PR6.json; the CI
+// smoke step runs it with -benchtime=1x. The acceptance bar of the PR —
+// warm-cache latency at least 100x below cold — is asserted, not just
+// recorded.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sunfloor3d/internal/server"
+)
+
+// goldenServerSpecs are the request bodies benchmarked and smoked in CI:
+// the golden-corpus generator specs with representative option sets.
+var goldenServerSpecs = []struct {
+	Name string
+	Body string
+}{
+	{
+		Name: "hotspot24",
+		Body: `{"gen":"shape=hotspot,cores=24,layers=3,seed=11,hubs=2","options":{"require_latency_met":true}}`,
+	},
+	{
+		Name: "multiapp27",
+		Body: `{"gen":"shape=multiapp,cores=27,layers=2,seed=23,apps=3","options":{"frequencies_mhz":[400,800]}}`,
+	},
+}
+
+// ServerLatencyRecord is one spec's cold/warm measurement.
+type ServerLatencyRecord struct {
+	Spec       string  `json:"spec"`
+	ColdMS     float64 `json:"cold_ms"`
+	WarmMS     float64 `json:"warm_ms"`
+	Speedup    float64 `json:"warm_speedup"`
+	ResultSize int     `json:"result_bytes"`
+}
+
+// ServerThroughputRecord is the concurrent warm-cache phase.
+type ServerThroughputRecord struct {
+	Clients        int     `json:"clients"`
+	Requests       int     `json:"requests"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+}
+
+func BenchmarkServerThroughput(b *testing.B) {
+	var latencies []ServerLatencyRecord
+	var throughput ServerThroughputRecord
+	for i := 0; i < b.N; i++ {
+		latencies, throughput = runServerThroughput(b)
+	}
+
+	minSpeedup := latencies[0].Speedup
+	for _, r := range latencies {
+		if r.Speedup < minSpeedup {
+			minSpeedup = r.Speedup
+		}
+	}
+	b.ReportMetric(minSpeedup, "min_warm_speedup")
+	b.ReportMetric(throughput.RequestsPerSec, "warm_req/sec")
+	b.ReportMetric(throughput.CacheHitRate, "hit_rate")
+	if minSpeedup < 100 {
+		b.Errorf("warm-cache speedup %.1fx below the 100x acceptance bar", minSpeedup)
+	}
+
+	out := struct {
+		Description string                 `json:"description"`
+		MinSpeedup  float64                `json:"min_warm_speedup"`
+		Latencies   []ServerLatencyRecord  `json:"latencies"`
+		Throughput  ServerThroughputRecord `json:"concurrent_warm_throughput"`
+	}{
+		Description: "sunfloor-server request latency on the golden-corpus specs: cold " +
+			"(synthesizing) vs warm (content-addressed cache hit, byte-identical body), " +
+			"plus concurrent warm-cache throughput. " +
+			"Regenerate with: go test -bench=ServerThroughput -benchtime=1x",
+		MinSpeedup: minSpeedup,
+		Latencies:  latencies,
+		Throughput: throughput,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR6.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func runServerThroughput(b *testing.B) ([]ServerLatencyRecord, ServerThroughputRecord) {
+	b.Helper()
+	s, err := server.New(server.Config{CacheDir: b.TempDir(), Workers: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	post := func(body string) ([]byte, time.Duration) {
+		start := time.Now()
+		resp, err := http.Post(ts.URL+"/v1/synthesize?wait=1", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		res, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d: %s", resp.StatusCode, res)
+		}
+		return res, time.Since(start)
+	}
+
+	// Phase 1: cold and warm latency per golden spec, with byte-identity.
+	const warmSamples = 32
+	var latencies []ServerLatencyRecord
+	for _, spec := range goldenServerSpecs {
+		cold, coldDur := post(spec.Body)
+		var warmTotal time.Duration
+		for i := 0; i < warmSamples; i++ {
+			warm, warmDur := post(spec.Body)
+			if !bytes.Equal(cold, warm) {
+				b.Fatalf("%s: warm body differs from cold body", spec.Name)
+			}
+			warmTotal += warmDur
+		}
+		warmMS := warmTotal.Seconds() * 1e3 / warmSamples
+		coldMS := coldDur.Seconds() * 1e3
+		latencies = append(latencies, ServerLatencyRecord{
+			Spec:       spec.Name,
+			ColdMS:     coldMS,
+			WarmMS:     warmMS,
+			Speedup:    coldMS / warmMS,
+			ResultSize: len(cold),
+		})
+	}
+
+	// Phase 2: concurrent clients hammering the warm cache.
+	const (
+		clients   = 8
+		perClient = 32
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				spec := goldenServerSpecs[(c+i)%len(goldenServerSpecs)]
+				resp, err := http.Post(ts.URL+"/v1/synthesize?wait=1", "application/json", strings.NewReader(spec.Body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("concurrent client %d: status %d", c, resp.StatusCode)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := s.Cache().Stats()
+	hits := st.MemHits + st.DiskHits + st.Shared
+	hitRate := float64(hits) / float64(hits+st.Misses)
+	throughput := ServerThroughputRecord{
+		Clients:        clients,
+		Requests:       clients * perClient,
+		ElapsedMS:      elapsed.Seconds() * 1e3,
+		RequestsPerSec: float64(clients*perClient) / elapsed.Seconds(),
+		CacheHitRate:   hitRate,
+	}
+
+	return latencies, throughput
+}
