@@ -92,6 +92,8 @@ func DefaultSweepFrequenciesMHz() []float64 {
 // speedup isolates the algorithmic effect (partition cache + incremental
 // cost graph) from scheduling noise. go test -bench=Sweep records the
 // results of the standard suite to BENCH_PR2.json.
+//
+//determlint:wallclock measured wall-clock time is the benchmark's product; the synthesis Results it times are produced deterministically elsewhere
 func RunSweepBenchmark(name string, seed int64, freqs ...float64) (SweepBenchmark, error) {
 	bm, err := bench.ByName(name, seed)
 	if err != nil {
@@ -217,6 +219,8 @@ var simBenchTopos struct {
 // level and the results are compared byte for byte; a mismatch is an error,
 // never a number in the report. go test -bench=Sim records the standard
 // suite to BENCH_PR4.json.
+//
+//determlint:wallclock measured wall-clock time is the benchmark's product; the simulation Stats it times are verified byte-identical before timing
 func RunSimBenchmark(name string, profile SimProfile, seed int64) (SimBenchmark, error) {
 	tops, err := validTopologies(name, seed)
 	if err != nil {
@@ -313,6 +317,8 @@ type ZeroLoadBenchmark struct {
 // RunZeroLoadBenchmark times ZeroLoadLatencies over every valid design point
 // of the named benchmark in both engine configurations, verifying that the
 // latency vectors agree exactly before timing.
+//
+//determlint:wallclock measured wall-clock time is the benchmark's product; the latency vectors it times are verified equal before timing
 func RunZeroLoadBenchmark(name string, seed int64) (ZeroLoadBenchmark, error) {
 	tops, err := validTopologies(name, seed)
 	if err != nil {

@@ -162,6 +162,22 @@
 // ("go test -bench=ServerThroughput -benchtime=1x") records cold-vs-warm
 // request latency and concurrent warm throughput to BENCH_PR6.json.
 //
+// # Determinism contract and static enforcement
+//
+// Everything above assumes one contract: a Result is a pure function of the
+// communication graph and the result-affecting options — byte-identical
+// across runs, worker counts, schedulers, caches and hosts. The golden
+// corpus, the property harness and the soundness of the content-addressed
+// cache all rest on it. internal/determlint enforces the contract at
+// compile time: the maprange, floataccum and wallclock analyzers ban
+// nondeterministically-ordered map iteration, float accumulation under
+// unordered iteration, and wall-clock/global-rand reads in result-affecting
+// packages (with written //determlint waivers for provably
+// order-independent sites), and fingerprintcover proves every option field
+// is either hashed by the cache fingerprint or justified on its exclusion
+// list. The cmd/sunfloor-lint multichecker runs the suite together with
+// go vet ("go run ./cmd/sunfloor-lint ./..."), and CI blocks on it.
+//
 // The implementation lives in the internal/ packages:
 //
 //   - internal/model      — cores, flows and the communication graph
@@ -180,10 +196,11 @@
 //   - internal/server     — the synthesis daemon's HTTP/JSON surface
 //   - internal/bench      — the paper's benchmark suite, synthesized
 //   - internal/workload   — seed-deterministic random SoC benchmark generator
+//   - internal/determlint — static analyzers enforcing the determinism contract
 //   - internal/experiments — one runner per table/figure of the evaluation
 //
 // The executables in cmd/ (sunfloor3d, specgen, sunfloor-bench,
-// sunfloor-server) and the
+// sunfloor-server, sunfloor-lint) and the
 // programs in examples/ exercise the flow end to end through the public API;
 // bench_test.go exposes every paper experiment as a Go benchmark.
 package sunfloor3d

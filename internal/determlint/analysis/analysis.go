@@ -1,0 +1,60 @@
+// Package analysis is a minimal, dependency-free stand-in for the
+// golang.org/x/tools/go/analysis framework, providing exactly the subset the
+// determlint suite needs: an Analyzer descriptor, a per-package Pass carrying
+// parsed files and type information, and positioned Diagnostics.
+//
+// The API deliberately mirrors x/tools so the analyzers read idiomatically
+// and porting them onto the upstream framework (multichecker, unitchecker,
+// go vet -vettool) later is a mechanical import swap. The repo builds with
+// the standard library only, so vendoring the upstream module is not an
+// option; everything here is built on go/ast, go/token and go/types.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and waiver directives.
+	// It must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description printed by sunfloor-lint -help.
+	Doc string
+	// Run applies the analyzer to one package. It reports findings through
+	// pass.Report / pass.Reportf and returns an optional result value
+	// (unused by the determlint suite) and an error for operational
+	// failures — an error is not a finding.
+	Run func(*Pass) (any, error)
+}
+
+// Pass carries one package's syntax and types to an Analyzer's Run function.
+type Pass struct {
+	// Analyzer is the check being applied.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files of the package, with
+	// comments attached.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's findings for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

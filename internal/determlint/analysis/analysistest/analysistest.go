@@ -1,0 +1,140 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture packages
+// under a testdata/src root and checks its diagnostics against `// want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on top of
+// the dependency-free framework in the parent packages.
+//
+// A want comment sits on the line the diagnostic is expected at and carries
+// one or more quoted or backquoted regular expressions, each of which must
+// match (unanchored) a distinct diagnostic on that line:
+//
+//	for v := range m { // want `nondeterministic iteration order`
+//
+// The block form `/* want "..." */` attaches an expectation to a line whose
+// trailing line comment is already taken — a //determlint: directive that is
+// itself expected to be diagnosed, for example.
+//
+// Fixture packages may import each other under their full (fake) import
+// paths — the loader resolves anything under testdata/src from source and
+// everything else, the standard library included, from compiled export data.
+// A fixture package with no want comments asserts the analyzer stays silent
+// on it.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sunfloor3d/internal/determlint/analysis"
+	"sunfloor3d/internal/determlint/analysis/load"
+)
+
+// want is one expected-diagnostic pattern.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run applies the analyzer to each fixture package in paths (relative to
+// testdata/src) and reports any mismatch between its diagnostics and the
+// fixtures' want comments as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	loader := load.New(".", testdata+"/src")
+	for _, path := range paths {
+		pkg, err := loader.Fixture(path)
+		if err != nil {
+			t.Errorf("%s: loading fixture %s: %v", a.Name, path, err)
+			continue
+		}
+		runPackage(t, a, pkg)
+	}
+}
+
+func runPackage(t *testing.T, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	var diags []analysis.Diagnostic
+	pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("%s: running on %s: %v", a.Name, pkg.Path, err)
+		return
+	}
+
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: %s: unexpected diagnostic: %s", a.Name, p, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: %s: expected diagnostic matching %q, got none", a.Name, key, w.re)
+			}
+		}
+	}
+}
+
+// collectWants parses the `// want` comments of every fixture file, keyed by
+// "filename:line".
+func collectWants(t *testing.T, pkg *load.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				var rest string
+				if idx := strings.Index(c.Text, "// want "); idx >= 0 {
+					rest = c.Text[idx+len("// want "):]
+				} else if strings.HasPrefix(c.Text, "/* want ") {
+					rest = strings.TrimSuffix(c.Text[len("/* want "):], "*/")
+				} else {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				rest = strings.TrimSpace(rest)
+				for rest != "" {
+					quoted, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s: malformed want comment %q: %v", p, c.Text, err)
+						break
+					}
+					pattern, err := strconv.Unquote(quoted)
+					if err != nil {
+						t.Errorf("%s: unquoting %q: %v", p, quoted, err)
+						break
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s: compiling want pattern %q: %v", p, pattern, err)
+						break
+					}
+					wants[key] = append(wants[key], &want{re: re})
+					rest = strings.TrimSpace(rest[len(quoted):])
+				}
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,255 @@
+// Package load type-checks Go packages for the determlint analyzers without
+// depending on golang.org/x/tools/go/packages. It has two entry points that
+// mirror how the upstream drivers work:
+//
+//   - Packages loads module packages by pattern. It shells out to
+//     `go list -deps -export -json`, which compiles (or reuses from the build
+//     cache) the export data of every dependency, then parses each target
+//     package's non-test sources and type-checks them against that export
+//     data with the standard library's gc importer — the same strategy
+//     go vet uses.
+//
+//   - Fixtures loads GOPATH-style source trees under a testdata/src root for
+//     analysistest. Fixture packages are type-checked from source (so they
+//     may import each other under their real import paths, including
+//     deliberately fake stand-ins for this repo's packages), while standard
+//     library imports are resolved lazily through the same export-data
+//     importer.
+//
+// Both paths share one token.FileSet and one gc importer instance, so type
+// identity holds across every package loaded by the same Loader.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Fset maps positions in Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+}
+
+// Loader loads and caches packages. The zero value is not usable; construct
+// with New.
+type Loader struct {
+	fset    *token.FileSet
+	dir     string            // working directory for go invocations
+	srcRoot string            // fixture source root ("" outside analysistest)
+	exports map[string]string // import path -> export data file
+	gc      types.Importer    // export-data importer over exports
+	pkgs    map[string]*Package
+	loading map[string]bool // fixture import cycle guard
+}
+
+// New returns a Loader that runs the go tool in dir. srcRoot, when non-empty,
+// is a GOPATH-style source root consulted before the export-data importer,
+// enabling analysistest fixtures to shadow real import paths.
+func New(dir, srcRoot string) *Loader {
+	l := &Loader{
+		fset:    token.NewFileSet(),
+		dir:     dir,
+		srcRoot: srcRoot,
+		exports: make(map[string]string),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", l.lookup)
+	return l
+}
+
+// lookup feeds export data files to the gc importer, resolving paths that the
+// bulk `go list -deps` pass did not cover (fixture stdlib imports) one by one.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		if err := l.listExports(path); err != nil {
+			return nil, err
+		}
+		file, ok = l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+}
+
+// goList runs `go list` with the given arguments and decodes the JSON stream.
+func (l *Loader) goList(args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// listExports records the export data files of paths and their dependencies.
+func (l *Loader) listExports(paths ...string) error {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export", "--"}, paths...)
+	pkgs, err := l.goList(args...)
+	if err != nil {
+		return err
+	}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// Packages loads the module packages matching patterns (as `go list` resolves
+// them), parses their non-test sources and type-checks them. Test files are
+// excluded by design: the determinism contract binds shipped code, and
+// analysistest fixtures exercise the analyzers themselves.
+func (l *Loader) Packages(patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,DepOnly", "--"}, patterns...)
+	pkgs, err := l.goList(args...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, p := range pkgs {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly {
+			continue
+		}
+		loaded, err := l.check(p.ImportPath, p.Dir, p.GoFiles, l.gc)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, loaded)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Fixture loads the package at import path from the loader's srcRoot,
+// type-checking it (and any fixture packages it imports) from source.
+func (l *Loader) Fixture(path string) (*Package, error) {
+	if l.srcRoot == "" {
+		return nil, fmt.Errorf("load: loader has no fixture source root")
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: fixture import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: fixture %q: %v", path, err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			files = append(files, name)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: fixture %q has no Go files", path)
+	}
+	p, err := l.check(path, dir, files, fixtureImporter{l})
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// fixtureImporter resolves imports for fixture packages: source trees under
+// srcRoot shadow everything else, which falls through to export data.
+type fixtureImporter struct{ l *Loader }
+
+func (f fixtureImporter) Import(path string) (*types.Package, error) {
+	dir := filepath.Join(f.l.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		p, err := f.l.Fixture(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return f.l.gc.Import(path)
+}
+
+// check parses files (named relative to dir) and type-checks them.
+func (l *Loader) check(path, dir string, files []string, imp types.Importer) (*Package, error) {
+	sort.Strings(files)
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := types.Config{Importer: imp}
+	tpkg, err := cfg.Check(path, l.fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: parsed, Types: tpkg, Info: info}, nil
+}

@@ -1,0 +1,219 @@
+package determlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sunfloor3d/internal/determlint/analysis"
+)
+
+// FingerprintCover proves the memo fingerprint total: every exported field
+// reachable from the parameters of internal/memo's Key function — the
+// CommGraph and the synthesis Options, recursively through nested structs,
+// slices and pointers — must either be read by Key (hashed into the content
+// address) or appear in the package's executionKnobs map with a written
+// justification. A future option added without classification is reported,
+// so it can never silently poison the content-addressed cache by producing
+// equal keys for requests with different results.
+//
+// The analyzer also reports the two ways the classification itself can rot:
+// an executionKnobs entry whose field Key meanwhile hashes (contradictory),
+// and an entry naming a field that no longer exists (stale).
+// TestOptionsFingerprintCoverage in internal/memo mirrors this check at
+// runtime for builds that never run sunfloor-lint.
+var FingerprintCover = &analysis.Analyzer{
+	Name: "fingerprintcover",
+	Doc: "verifies that every field reachable from memo.Key's parameters is either hashed " +
+		"by the canonical encoder or justified in the executionKnobs exclusion list",
+	Run: runFingerprintCover,
+}
+
+func runFingerprintCover(pass *analysis.Pass) (any, error) {
+	if !strings.HasSuffix(pass.Pkg.Path(), "internal/memo") {
+		return nil, nil
+	}
+	keyDecl := findFunc(pass, "Key")
+	if keyDecl == nil {
+		pass.Reportf(pass.Files[0].Pos(), "package %s declares no Key function for fingerprintcover to check", pass.Pkg.Path())
+		return nil, nil
+	}
+	knobs, knobPos, ok := executionKnobs(pass)
+	if !ok {
+		pass.Reportf(keyDecl.Pos(), "package %s must declare an executionKnobs map classifying every option field Key does not hash", pass.Pkg.Path())
+		return nil, nil
+	}
+
+	// Every field selection evaluated inside Key, attributed to the struct
+	// type it selects from. Aliases like `s := opt.Sim; s.Cycles` resolve
+	// through the type checker, so no syntactic chain tracking is needed.
+	type selKey struct {
+		recv  *types.Named
+		field string
+	}
+	selected := make(map[selKey]bool)
+	for sel, s := range pass.TypesInfo.Selections {
+		if s.Kind() != types.FieldVal || !within(sel.Pos(), keyDecl) {
+			continue
+		}
+		if named := namedStruct(s.Recv()); named != nil {
+			selected[selKey{named, s.Obj().Name()}] = true
+		}
+	}
+
+	visitedKnobs := make(map[string]bool)
+	seen := make(map[*types.Named]bool)
+	var check func(n *types.Named, path string)
+	check = func(n *types.Named, path string) {
+		if seen[n] {
+			pass.Reportf(keyDecl.Pos(), "struct %s is reachable from two different Key parameters or fields; fingerprintcover cannot attribute its selections", n.Obj().Name())
+			return
+		}
+		seen[n] = true
+		st := n.Underlying().(*types.Struct)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue // unexported fields must be derived from exported state
+			}
+			fp := f.Name()
+			if path != "" {
+				fp = path + "." + f.Name()
+			}
+			excluded := false
+			if _, ok := knobs[fp]; ok {
+				excluded = true
+				visitedKnobs[fp] = true
+			}
+			hashed := selected[selKey{n, f.Name()}]
+			switch {
+			case excluded && hashed:
+				pass.Reportf(keyDecl.Pos(), "field %s is listed as an execution knob in executionKnobs but is also hashed by Key; remove one of the two classifications", fp)
+			case excluded:
+				// Justified exclusion exempts the whole subtree.
+			case !hashed:
+				pass.Reportf(keyDecl.Pos(), "option field %s is neither hashed by Key nor classified in executionKnobs; hash it (and bump memo.Version) or record why it cannot affect the Result", fp)
+			default:
+				if elem := namedStruct(f.Type()); elem != nil {
+					check(elem, fp)
+				}
+			}
+		}
+	}
+	params := keyDecl.Type.Params
+	if params != nil {
+		for _, field := range params.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if elem := namedStruct(obj.Type()); elem != nil {
+					check(elem, "")
+				}
+			}
+		}
+	}
+
+	var stale []string
+	for path := range knobs {
+		if !visitedKnobs[path] {
+			stale = append(stale, path)
+		}
+	}
+	sort.Strings(stale)
+	for _, path := range stale {
+		pass.Reportf(knobPos[path], "executionKnobs entry %q matches no field reachable from Key's parameters; delete the stale entry", path)
+	}
+	return nil, nil
+}
+
+// findFunc returns the package-level function decl named name.
+func findFunc(pass *analysis.Pass, name string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// executionKnobs parses the package-level `var executionKnobs = map[string]string{...}`
+// declaration, returning the excluded field paths and the position of each
+// entry's key.
+func executionKnobs(pass *analysis.Pass) (map[string]string, map[string]token.Pos, bool) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "executionKnobs" || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				knobs := make(map[string]string)
+				pos := make(map[string]token.Pos)
+				for _, elt := range lit.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					kl, ok := kv.Key.(*ast.BasicLit)
+					if !ok || kl.Kind != token.STRING {
+						continue
+					}
+					key, err := strconv.Unquote(kl.Value)
+					if err != nil {
+						continue
+					}
+					reason := ""
+					if vl, ok := kv.Value.(*ast.BasicLit); ok && vl.Kind == token.STRING {
+						reason, _ = strconv.Unquote(vl.Value)
+					}
+					knobs[key] = reason
+					pos[key] = kv.Key.Pos()
+					if strings.TrimSpace(reason) == "" {
+						pass.Reportf(kv.Key.Pos(), "executionKnobs entry %q needs a written justification for why the field cannot change the Result", key)
+					}
+				}
+				return knobs, pos, true
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// namedStruct resolves t — through pointers, slices, arrays and map values —
+// to the named struct type it carries, or nil.
+func namedStruct(t types.Type) *types.Named {
+	for {
+		switch u := types.Unalias(t).(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		case *types.Named:
+			if _, ok := u.Underlying().(*types.Struct); ok {
+				return u
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

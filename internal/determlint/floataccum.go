@@ -1,0 +1,201 @@
+package determlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sunfloor3d/internal/determlint/analysis"
+)
+
+// FloatAccum flags floating-point accumulation (`sum += x`, `sum = sum + x`
+// and the -, *, / variants) whose evaluation order is unordered: inside a
+// `for range` over a map, inside a goroutine body, or inside a function
+// literal handed to the sync package. Float arithmetic is not associative,
+// so the same multiset of operands folded in two different orders can differ
+// in the last ULPs — the exact shape of the PR 3 partitioner bug, where a
+// map-ordered bandwidth sum steered min-cut tie-breaks differently from run
+// to run.
+//
+// Only accumulators declared outside the unordered region are flagged: a
+// variable created inside the loop body restarts every iteration and cannot
+// fold values across the unordered sequence. The //determlint:ordered waiver
+// is shared with maprange, so one justified directive silences both.
+var FloatAccum = &analysis.Analyzer{
+	Name: "floataccum",
+	Doc: "flags floating-point accumulation under unordered iteration (map range, goroutine, " +
+		"sync callback) in result-affecting packages",
+	Run: runFloatAccum,
+}
+
+// unorderedCtx is one region whose execution order is not deterministic.
+type unorderedCtx struct {
+	node ast.Node
+	kind string
+}
+
+func runFloatAccum(pass *analysis.Pass) (any, error) {
+	if !ResultAffecting(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	w := collectWaivers(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxs := collectUnordered(pass, w, fd)
+			if len(ctxs) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				lhs, op := accumLHS(pass, as)
+				if lhs == nil {
+					return true
+				}
+				ctx := innermost(ctxs, as.Pos())
+				if ctx == nil {
+					return true
+				}
+				obj := rootObject(pass, lhs)
+				if obj == nil || within(obj.Pos(), ctx.node) {
+					return true
+				}
+				if w.waived("ordered", as.Pos()) {
+					return true
+				}
+				pass.Reportf(as.Pos(), "floating-point accumulation %s %s ... inside %s folds operands in nondeterministic order (float arithmetic is not associative); iterate in sorted order or waive with //determlint:ordered <reason>",
+					types.ExprString(lhs), op, ctx.kind)
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// collectUnordered finds the unordered regions of fd: non-waived map ranges,
+// goroutine function literals and function literals passed to sync.
+func collectUnordered(pass *analysis.Pass, w *waiverSet, fd *ast.FuncDecl) []unorderedCtx {
+	var ctxs []unorderedCtx
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapRange(pass, n) && !w.waived("ordered", n.Pos()) {
+				ctxs = append(ctxs, unorderedCtx{n.Body, "a map-ordered loop"})
+			}
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ctxs = append(ctxs, unorderedCtx{lit.Body, "a goroutine"})
+			}
+		case *ast.CallExpr:
+			if !isSyncCall(pass, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					ctxs = append(ctxs, unorderedCtx{lit.Body, "a sync callback"})
+				}
+			}
+		}
+		return true
+	})
+	return ctxs
+}
+
+// isSyncCall reports whether call invokes a function or method of package
+// sync (sync.Map.Range, sync.OnceFunc, WaitGroup helpers, ...).
+func isSyncCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync"
+}
+
+// accumLHS reports the accumulated expression and operator if as is a
+// floating-point read-modify-write, and nil otherwise.
+func accumLHS(pass *analysis.Pass, as *ast.AssignStmt) (ast.Expr, string) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, ""
+	}
+	lhs := as.Lhs[0]
+	t := pass.TypesInfo.TypeOf(lhs)
+	if t == nil {
+		return nil, ""
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return nil, ""
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return lhs, as.Tok.String()
+	case token.ASSIGN:
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok {
+			return nil, ""
+		}
+		switch bin.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+		default:
+			return nil, ""
+		}
+		// x = x + e and x = e + x both fold x across iterations.
+		ls := types.ExprString(lhs)
+		if types.ExprString(bin.X) == ls || types.ExprString(bin.Y) == ls {
+			return lhs, "= " + types.ExprString(lhs) + " " + bin.Op.String()
+		}
+	}
+	return nil, ""
+}
+
+// rootObject resolves the base identifier of an lvalue (sum, s.total,
+// arr[i], *p) to its object.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// innermost returns the smallest unordered region containing pos.
+func innermost(ctxs []unorderedCtx, pos token.Pos) *unorderedCtx {
+	var best *unorderedCtx
+	for i := range ctxs {
+		n := ctxs[i].node
+		if pos < n.Pos() || pos >= n.End() {
+			continue
+		}
+		if best == nil || n.End()-n.Pos() < best.node.End()-best.node.Pos() {
+			best = &ctxs[i]
+		}
+	}
+	return best
+}
+
+// within reports whether pos falls inside node.
+func within(pos token.Pos, node ast.Node) bool {
+	return pos >= node.Pos() && pos < node.End()
+}

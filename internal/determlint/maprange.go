@@ -1,0 +1,208 @@
+package determlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sunfloor3d/internal/determlint/analysis"
+)
+
+// MapRange flags `for range` over a map in result-affecting packages. Go
+// randomises map iteration order per run, so any map range whose body can
+// influence the serialised Result — ordering of emitted elements, float
+// arithmetic, first-wins/last-wins selection — is a determinism bug of
+// exactly the class behind the PR 3 partitioner and PR 5 LP-placement
+// incidents.
+//
+// Three shapes are accepted without a waiver:
+//
+//   - the canonical sorted-keys idiom: a loop whose body only appends the
+//     key (or value) to a slice that is subsequently passed to the sort or
+//     slices package within the same function;
+//   - the keyed scatter: a body that is exactly `dst[k] = expr` with k the
+//     range key and expr not reading dst — writes to distinct keys commute,
+//     so the loop is order-independent by construction; and
+//   - loops waived with //determlint:ordered <reason>, for bodies that are
+//     provably order-independent (set construction, integer counting,
+//     commutative min/max with a total tie-break).
+var MapRange = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flags nondeterministically-ordered map iteration in result-affecting packages " +
+		"unless the keys are collected and sorted or the loop carries a //determlint:ordered waiver",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *analysis.Pass) (any, error) {
+	if !ResultAffecting(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	w := collectWaivers(pass)
+	// maprange is the one analyzer guaranteed to visit every
+	// result-affecting package, so it owns directive hygiene.
+	w.validate(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass, rs) {
+					return true
+				}
+				if w.waived("ordered", rs.Pos()) || isSortedKeyCollection(pass, fd, rs) || isKeyedScatter(pass, rs) {
+					return true
+				}
+				pass.Reportf(rs.Pos(), "range over map %s has nondeterministic iteration order; collect and sort the keys first, or waive an order-independent body with //determlint:ordered <reason>",
+					types.ExprString(rs.X))
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// isMapRange reports whether rs ranges over a map value.
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isSortedKeyCollection recognises the canonical deterministic-iteration
+// idiom: the loop body is exactly `s = append(s, k)` (k the range key and/or
+// value), and s is later handed to the sort or slices package inside the same
+// function. The append-only body cannot observe iteration order, and the
+// subsequent sort erases it.
+func isSortedKeyCollection(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	sliceObj := pass.TypesInfo.Uses[lhs]
+	if sliceObj == nil {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, builtin := pass.TypesInfo.Uses[fn].(*types.Builtin); !builtin || fn.Name != "append" {
+		return false
+	}
+	if arg0, ok := call.Args[0].(*ast.Ident); !ok || pass.TypesInfo.Uses[arg0] != sliceObj {
+		return false
+	}
+	// Every appended element must be the loop's key or value variable.
+	loopVars := make(map[types.Object]bool)
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := arg.(*ast.Ident)
+		if !ok || !loopVars[pass.TypesInfo.Uses[id]] {
+			return false
+		}
+	}
+	return sortedAfter(pass, fd, rs, sliceObj)
+}
+
+// isKeyedScatter recognises the write-only scatter idiom: the loop body is
+// exactly `dst[k] = expr` where k is the range key and expr never mentions
+// dst's base variable. Each iteration writes a distinct key and reads no
+// accumulated state, so the iterations commute exactly and the resulting map
+// or slice content is independent of iteration order.
+func isKeyedScatter(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	idx, ok := as.Lhs[0].(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	keyID, ok := rs.Key.(*ast.Ident)
+	if !ok || keyID.Name == "_" {
+		return false
+	}
+	keyObj := pass.TypesInfo.Defs[keyID]
+	idxID, ok := idx.Index.(*ast.Ident)
+	if !ok || keyObj == nil || pass.TypesInfo.Uses[idxID] != keyObj {
+		return false
+	}
+	base := rootObject(pass, idx.X)
+	if base == nil {
+		return false
+	}
+	mentionsBase := false
+	ast.Inspect(as.Rhs[0], func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == base {
+			mentionsBase = true
+		}
+		return !mentionsBase
+	})
+	return !mentionsBase
+}
+
+// sortedAfter reports whether, after the loop, the enclosing function passes
+// slice (anywhere in an argument) to a function of package sort or slices.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, slice types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pkgName.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == slice {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

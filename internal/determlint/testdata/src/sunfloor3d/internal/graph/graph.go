@@ -1,0 +1,104 @@
+// Package graph is a maprange fixture: it shadows the result-affecting
+// import path sunfloor3d/internal/graph so the analyzer treats it as bound by
+// the determinism contract.
+package graph
+
+import "sort"
+
+// Bare map iteration whose body depends on order: the canonical violation.
+func SumNames(m map[string]int) string {
+	var out string
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		out += k
+	}
+	return out
+}
+
+// Ranging over the values is just as order-sensitive as ranging over keys.
+func FirstPositive(m map[int]float64) float64 {
+	for _, v := range m { // want `range over map m has nondeterministic iteration order`
+		if v > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// The sorted-keys idiom: collect, sort, then iterate the slice. Neither loop
+// is a finding — the first only appends the key, the second ranges a slice.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// The keyed scatter: each iteration writes a distinct key of dst and reads
+// nothing back from it, so the iterations commute.
+func Invert(src map[int]string) map[int]bool {
+	dst := make(map[int]bool)
+	for k := range src {
+		dst[k] = len(src[k]) > 0
+	}
+	return dst
+}
+
+// A justified waiver silences the finding.
+func CountEdges(m map[string][]int) int {
+	n := 0
+	//determlint:ordered integer counting is commutative and order-independent
+	for _, edges := range m {
+		n += len(edges)
+	}
+	return n
+}
+
+// A trailing same-line waiver works too.
+func HasAny(m map[string]bool) bool {
+	found := false
+	for _, v := range m { //determlint:ordered boolean OR is commutative
+		found = found || v
+	}
+	return found
+}
+
+// A directive in the function's doc comment waives every map range in the
+// body.
+//
+//determlint:ordered set union is order-independent
+func Union(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// Directive hygiene: unknown names and missing reasons are findings at the
+// directive itself (reported by maprange, which owns validation).
+func BadDirectives(m map[string]int) int {
+	n := 0
+	/* want `unknown determlint directive "sorted"` */ //determlint:sorted keys are fine
+	for k := range m {                                 // want `range over map m has nondeterministic iteration order`
+		n += len(k)
+	}
+	/* want `determlint:ordered directive requires a justification` */ //determlint:ordered
+	for k := range m {
+		n += len(k)
+	}
+	return n
+}
+
+// Ranging over a slice or channel is always fine.
+func SliceSum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

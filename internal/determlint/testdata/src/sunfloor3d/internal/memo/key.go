@@ -1,0 +1,27 @@
+// Package memo is the fingerprintcover fixture: a miniature Key over the
+// fixture CommGraph and Options, with an executionKnobs map seeded with one
+// good entry, one entry missing its justification, one contradicting Key, and
+// one stale entry.
+package memo
+
+import (
+	"fmt"
+
+	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/synth"
+)
+
+var executionKnobs = map[string]string{
+	"Knob":     "justified execution knob that cannot change the Result",
+	"NoReason": "", // want `executionKnobs entry "NoReason" needs a written justification`
+	"Both":     "claimed to be a knob, but Key hashes it",
+	"Gone":     "names a field that no longer exists", // want `executionKnobs entry "Gone" matches no field reachable from Key's parameters`
+}
+
+func Key(g *model.CommGraph, opt synth.Options) string { // want `field Both is listed as an execution knob in executionKnobs but is also hashed by Key` `option field Dummy is neither hashed by Key nor classified in executionKnobs`
+	s := ""
+	for _, c := range g.Cores {
+		s += c.Name
+	}
+	return s + fmt.Sprint(opt.Hashed, opt.Sub.Inner, opt.Both)
+}

@@ -1,0 +1,12 @@
+// Package model is the miniature CommGraph for the fingerprintcover fixture.
+package model
+
+// Core is one core; Name is hashed by the fixture Key.
+type Core struct {
+	Name string
+}
+
+// CommGraph is the fixture communication graph.
+type CommGraph struct {
+	Cores []Core
+}

@@ -1,0 +1,107 @@
+// Package partition is a floataccum fixture shadowing the result-affecting
+// import path sunfloor3d/internal/partition — deliberately, because this is
+// the package where the real bug lived: in PR 3 the min-cut partitioner
+// summed adjacent-edge bandwidth by ranging a map, and the last-ULP
+// differences between iteration orders flipped gain tie-breaks from run to
+// run.
+package partition
+
+import "sync"
+
+// SwapGain recreates the PR 3 bug shape: a float accumulator declared outside
+// a map-ordered loop.
+func SwapGain(adjBW map[int]float64) float64 {
+	var gain float64
+	for _, w := range adjBW {
+		gain += w // want `floating-point accumulation gain \+= .* inside a map-ordered loop`
+	}
+	return gain
+}
+
+// The spelled-out form x = x + e is the same accumulation.
+func TotalBandwidth(flows map[string]float64) float64 {
+	total := 0.0
+	for _, bw := range flows {
+		total = total + bw // want `floating-point accumulation total = total \+ .* inside a map-ordered loop`
+	}
+	return total
+}
+
+// Multiplicative folds are order-sensitive too.
+func Product(weights map[int]float64) float64 {
+	p := 1.0
+	for _, w := range weights {
+		p *= w // want `floating-point accumulation p \*= .* inside a map-ordered loop`
+	}
+	return p
+}
+
+// An accumulator declared inside the loop body restarts every iteration and
+// cannot fold values across the unordered sequence.
+func MaxPairSum(pairs map[int][2]float64) float64 {
+	best := -1.0
+	//determlint:ordered max with deterministic >= tie-break over per-key sums
+	for _, p := range pairs {
+		s := p[0]
+		s += p[1]
+		if s >= best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Integer accumulation is exact and commutative: never a finding.
+func CountFlows(flows map[string]int) int {
+	n := 0
+	//determlint:ordered integer addition is associative
+	for _, c := range flows {
+		n += c
+	}
+	return n
+}
+
+// A goroutine body is an unordered region even without any map in sight.
+func AsyncSum(xs []float64) float64 {
+	var sum float64
+	done := make(chan struct{})
+	go func() {
+		for _, x := range xs {
+			sum += x // want `floating-point accumulation sum \+= .* inside a goroutine`
+		}
+		close(done)
+	}()
+	<-done
+	return sum
+}
+
+// So is a function literal handed to the sync package.
+func OnceSum(once *sync.Once, xs []float64) float64 {
+	var sum float64
+	once.Do(func() {
+		for _, x := range xs {
+			sum += x // want `floating-point accumulation sum \+= .* inside a sync callback`
+		}
+	})
+	return sum
+}
+
+// A waived map range is not an unordered region, so accumulation inside it is
+// accepted on the waiver's justification.
+func WaivedSum(m map[int]float64) float64 {
+	var s float64
+	//determlint:ordered fixture stand-in for a compensated (order-insensitive) summation
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Accumulation in an ordered loop is the baseline and never flagged.
+func OrderedSum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

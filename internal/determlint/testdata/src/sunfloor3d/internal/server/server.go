@@ -1,0 +1,27 @@
+// Package server is the allowlisted-path fixture: internal/server is not in
+// the result-affecting set, so every violation shape below — map iteration,
+// float accumulation under it, wall-clock reads, global rand — must produce
+// zero findings from every analyzer. There are deliberately no want comments
+// in this file.
+package server
+
+import (
+	"math/rand"
+	"time"
+)
+
+func RequestStats(latencies map[string]float64) (float64, int) {
+	var total float64
+	n := 0
+	for _, l := range latencies {
+		total += l
+		n++
+	}
+	return total, n
+}
+
+func StampResponse() (int64, time.Duration, float64) {
+	begin := time.Now()
+	jitter := rand.Float64()
+	return begin.UnixNano(), time.Since(begin), jitter
+}

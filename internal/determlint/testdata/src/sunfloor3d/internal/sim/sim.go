@@ -1,0 +1,58 @@
+// Package sim is a wallclock fixture shadowing the result-affecting import
+// path sunfloor3d/internal/sim: simulation results must be pure functions of
+// the request, so wall-clock reads and the process-global random source are
+// forbidden while explicitly seeded generators are the supported idiom.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Reading the wall clock smuggles host state into a result-affecting package.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `call to time.Now reads the wall clock`
+}
+
+// Since and Until are Now in disguise.
+func Age(t time.Time) time.Duration {
+	return time.Since(t) // want `call to time.Since reads the wall clock`
+}
+
+// The package-level math/rand functions draw from the process-global,
+// randomly-seeded source.
+func Jitter() float64 {
+	return rand.Float64() // want `call to math/rand.Float64 draws from the process-global random source`
+}
+
+// An explicitly seeded generator is the supported idiom: the constructors are
+// allowlisted and methods on the resulting Rand are pure state transitions.
+func SeededJitter(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Pure time arithmetic — constructors, methods, constants — is fine.
+func Deadline(start time.Time, budget time.Duration) time.Time {
+	return start.Add(budget * 2)
+}
+
+// Timing plumbing that provably never reaches the serialised Result can carry
+// a waiver.
+func Observe() time.Duration {
+	begin := time.Now() //determlint:wallclock fixture stand-in for json-excluded observability plumbing
+	work()
+	return time.Since(begin) //determlint:wallclock fixture stand-in for json-excluded observability plumbing
+}
+
+// A doc-comment directive waives the whole function body — every wall-clock
+// read inside, with one written justification.
+//
+//determlint:wallclock fixture stand-in for a benchmark recorder
+func Profile() time.Duration {
+	begin := time.Now()
+	work()
+	return time.Since(begin)
+}
+
+func work() {}

@@ -1,0 +1,30 @@
+// Package synth is the miniature Options surface for the fingerprintcover
+// fixture. Each field exercises one classification outcome:
+//
+//	Hashed    — read by Key: covered.
+//	Sub.Inner — read by Key through a nested struct: covered recursively.
+//	Knob      — justified in executionKnobs: excluded.
+//	NoReason  — excluded, but with an empty justification: a finding.
+//	Both      — hashed AND excluded: a contradiction finding.
+//	Dummy     — neither hashed nor excluded: the poisoned-cache finding.
+//	hidden    — unexported: ignored (must be derived from exported state).
+package synth
+
+// SubOptions is a nested result-affecting option group.
+type SubOptions struct {
+	Inner int
+}
+
+// Options is the fixture option surface.
+type Options struct {
+	Hashed   float64
+	Sub      SubOptions
+	Knob     int
+	NoReason int
+	Both     int
+	Dummy    string
+	hidden   int
+}
+
+// Touch keeps the unexported field legal to declare.
+func (o Options) Touch() int { return o.hidden }

@@ -1,0 +1,80 @@
+package determlint
+
+import (
+	"go/types"
+	"sort"
+
+	"sunfloor3d/internal/determlint/analysis"
+)
+
+// WallClock forbids wall-clock reads and global (unseeded) math/rand use in
+// result-affecting packages. A Result must be a pure function of
+// (CommGraph, Options): time.Now smuggles the host's clock into scope, and
+// the math/rand package-level functions draw from a process-global,
+// randomly-seeded source. Constructing an explicitly seeded generator
+// (rand.New(rand.NewSource(seed))) is fine — that is how the floorplanner,
+// the simulator and the workload generator stay reproducible.
+//
+// The two legitimate timing sites — the json-excluded Elapsed/SimElapsed
+// plumbing in internal/synth and the facade's benchmark recorders — carry
+// //determlint:wallclock waivers; the server and bench packages are outside
+// the result-affecting set entirely.
+var WallClock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/Since/Until and global math/rand in result-affecting packages; " +
+		"seeded rand.New(rand.NewSource(...)) and //determlint:wallclock-waived timing plumbing are allowed",
+	Run: runWallClock,
+}
+
+// wallClockFuncs are the forbidden time package functions.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededConstructors are the math/rand entry points that do not touch the
+// global source (they build or wrap an explicitly seeded generator).
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 equivalents.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runWallClock(pass *analysis.Pass) (any, error) {
+	if !ResultAffecting(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	w := collectWaivers(pass)
+	var diags []analysis.Diagnostic
+	for ident, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			continue
+		}
+		if fn.Type().(*types.Signature).Recv() != nil {
+			continue // methods (e.g. Time.Sub, Rand.Intn) are pure
+		}
+		var msg string
+		switch fn.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[fn.Name()] {
+				msg = "reads the wall clock"
+			}
+		case "math/rand", "math/rand/v2":
+			if !seededConstructors[fn.Name()] {
+				msg = "draws from the process-global random source"
+			}
+		}
+		if msg == "" || w.waived("wallclock", ident.Pos()) {
+			continue
+		}
+		diags = append(diags, analysis.Diagnostic{
+			Pos: ident.Pos(),
+			Message: "call to " + fn.Pkg().Path() + "." + fn.Name() + " " + msg +
+				" in a result-affecting package; results must be pure functions of (CommGraph, Options) — use a seeded source, or waive timing plumbing with //determlint:wallclock <reason>",
+		})
+	}
+	// Uses is a map; report in source order so driver output is stable.
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pass.Report(d)
+	}
+	return nil, nil
+}

@@ -87,7 +87,11 @@ func (g *Graph) dijkstra(src, target int) (dist []float64, prev []int) {
 		if u == target {
 			return dist, prev
 		}
-		for v, w := range g.adj[u] {
+		// Relax neighbours in ascending vertex order: with map iteration the
+		// predecessor recorded for an equal-cost tie — and therefore the
+		// reconstructed path — would depend on the run's map seed.
+		for _, v := range g.Successors(u) {
+			w := g.adj[u][v]
 			if w >= Infinity || settled[v] {
 				continue
 			}
@@ -119,6 +123,7 @@ func (g *Graph) HopDistance(src, dst int) int {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
+		//determlint:ordered BFS level numbers are unique minima; the returned hop count is identical for every intra-level visit order
 		for v := range g.adj[u] {
 			if dist[v] == -1 {
 				dist[v] = dist[u] + 1

@@ -128,6 +128,7 @@ func (g *Graph) Successors(u int) []int {
 func (g *Graph) Edges() []Edge {
 	var es []Edge
 	for u, m := range g.adj {
+		//determlint:ordered every (From, To) pair is appended exactly once and the final sort key (From, To) is total, so the returned order is independent of map order
 		for v, w := range m {
 			es = append(es, Edge{From: u, To: v, Weight: w})
 		}
@@ -158,21 +159,22 @@ func (g *Graph) Clone() *Graph {
 func (g *Graph) Undirected() *Graph {
 	u := New(g.n)
 	for a, m := range g.adj {
+		//determlint:ordered cell (x, y) receives exactly the weights of directed edges (x, y) and (y, x), always in ascending outer-index order; map order only permutes writes to distinct cells, which commute
 		for b, w := range m {
-			u.adj[a][b] += w
-			u.adj[b][a] += w
+			u.adj[a][b] += w //determlint:ordered see loop waiver: per-cell operand order is fixed by the outer slice index
+			u.adj[b][a] += w //determlint:ordered see loop waiver: per-cell operand order is fixed by the outer slice index
 		}
 	}
 	return u
 }
 
-// TotalWeight returns the sum of all edge weights.
+// TotalWeight returns the sum of all edge weights, folded in (From, To)
+// order. Float addition is not associative, so summing in map iteration
+// order would drift by ULPs between runs.
 func (g *Graph) TotalWeight() float64 {
 	var t float64
-	for _, m := range g.adj {
-		for _, w := range m {
-			t += w
-		}
+	for _, e := range g.Edges() {
+		t += e.Weight
 	}
 	return t
 }
@@ -189,6 +191,7 @@ func (g *Graph) HasCycle() bool {
 	var visit func(u int) bool
 	visit = func(u int) bool {
 		color[u] = grey
+		//determlint:ordered cycle existence is a property of the edge set; the boolean result is identical for every visit order
 		for v := range g.adj[u] {
 			switch color[v] {
 			case grey:
@@ -227,6 +230,7 @@ func (g *Graph) ConnectedComponents() [][]int {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, u)
+			//determlint:ordered membership in a connected component is order-independent; each component is sorted below and components are emitted at their smallest vertex
 			for v := range und.adj[u] {
 				if !seen[v] {
 					seen[v] = true
@@ -248,11 +252,9 @@ func (g *Graph) CutWeight(block []int) float64 {
 		panic(fmt.Sprintf("graph: CutWeight assignment length %d != %d vertices", len(block), g.n))
 	}
 	var cut float64
-	for u, m := range g.adj {
-		for v, w := range m {
-			if block[u] != block[v] {
-				cut += w
-			}
+	for _, e := range g.Edges() {
+		if block[e.From] != block[e.To] {
+			cut += e.Weight
 		}
 	}
 	return cut

@@ -100,6 +100,7 @@ func (p *Problem) SetObjectiveCoeff(i int, c float64) {
 // AddConstraint adds the constraint sum(coeffs[i]*x_i) op rhs.
 func (p *Problem) AddConstraint(coeffs map[int]float64, op ConstraintOp, rhs float64) {
 	cp := make(map[int]float64, len(coeffs))
+	//determlint:ordered write-only copy into a fresh map keyed by the same indices; the checkVar panic fires only on caller bugs, never in a valid Result path
 	for i, c := range coeffs {
 		p.checkVar(i)
 		if c != 0 {

@@ -1,0 +1,178 @@
+package memo
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/synth"
+)
+
+// TestOptionsFingerprintCoverage mirrors the fingerprintcover analyzer at
+// runtime, so the fingerprint-totality invariant holds for anyone running
+// plain `go test ./...` even if sunfloor-lint never runs: every exported
+// field reachable from Key's parameters (CommGraph and Options, recursively)
+// must either be read by Key — established by parsing key.go — or carry a
+// justification in executionKnobs. It also asserts the classification is
+// consistent (no field both hashed and excluded) and current (no stale
+// executionKnobs entry).
+func TestOptionsFingerprintCoverage(t *testing.T) {
+	hashed := hashedPaths(t)
+
+	visitedKnobs := make(map[string]bool)
+	var problems []string
+	var walk func(rt reflect.Type, path string)
+	walk = func(rt reflect.Type, path string) {
+		for i := 0; i < rt.NumField(); i++ {
+			f := rt.Field(i)
+			if !f.IsExported() {
+				continue // unexported fields must be derived from exported state
+			}
+			fp := f.Name
+			if path != "" {
+				fp = path + "." + f.Name
+			}
+			_, excluded := executionKnobs[fp]
+			switch {
+			case excluded && hashed[fp]:
+				problems = append(problems, fp+": both hashed by Key and excluded in executionKnobs")
+				visitedKnobs[fp] = true
+			case excluded:
+				visitedKnobs[fp] = true // justified exclusion exempts the subtree
+			case !hashed[fp]:
+				problems = append(problems, fp+": neither hashed by Key nor classified in executionKnobs")
+			default:
+				if elem := structElem(f.Type); elem != nil {
+					walk(elem, fp)
+				}
+			}
+		}
+	}
+	walk(reflect.TypeOf(synth.Options{}), "")
+	walk(reflect.TypeOf(model.CommGraph{}), "")
+
+	for path := range executionKnobs {
+		if !visitedKnobs[path] {
+			problems = append(problems, path+": executionKnobs entry matches no option field (stale)")
+		}
+	}
+	for path, reason := range executionKnobs {
+		if strings.TrimSpace(reason) == "" {
+			problems = append(problems, path+": executionKnobs entry has no justification")
+		}
+	}
+	sort.Strings(problems)
+	for _, p := range problems {
+		t.Errorf("fingerprint coverage: %s", p)
+	}
+}
+
+// structElem resolves t through pointers, slices, arrays and map values to a
+// struct type, or nil — the reflect twin of the analyzer's namedStruct.
+func structElem(t reflect.Type) reflect.Type {
+	for {
+		switch t.Kind() {
+		case reflect.Pointer, reflect.Slice, reflect.Array, reflect.Map:
+			t = t.Elem()
+		case reflect.Struct:
+			return t
+		default:
+			return nil
+		}
+	}
+}
+
+// hashedPaths parses key.go and returns every dotted field path (and prefix)
+// the Key function reads from its parameters, following the two aliasing
+// forms the encoder uses: `s := opt.Sim` and `for _, c := range g.Cores`.
+func hashedPaths(t *testing.T) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "key.go", nil, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing key.go: %v", err)
+	}
+	var key *ast.FuncDecl
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == "Key" {
+			key = fd
+			break
+		}
+	}
+	if key == nil {
+		t.Fatal("key.go declares no func Key")
+	}
+
+	// roots maps a variable name to the dotted path it stands for; the
+	// parameters themselves stand for the empty root path.
+	roots := make(map[string]string)
+	for _, param := range key.Type.Params.List {
+		for _, name := range param.Names {
+			roots[name.Name] = ""
+		}
+	}
+	hashed := make(map[string]bool)
+	record := func(path string) {
+		parts := strings.Split(path, ".")
+		for i := 1; i <= len(parts); i++ {
+			hashed[strings.Join(parts[:i], ".")] = true
+		}
+	}
+	// resolve flattens a selector chain rooted at a known variable into its
+	// dotted path ("" base means the expression is not rooted at one).
+	var resolve func(e ast.Expr) (string, bool)
+	resolve = func(e ast.Expr) (string, bool) {
+		switch x := e.(type) {
+		case *ast.Ident:
+			p, ok := roots[x.Name]
+			return p, ok
+		case *ast.SelectorExpr:
+			base, ok := resolve(x.X)
+			if !ok {
+				return "", false
+			}
+			if base == "" {
+				return x.Sel.Name, true
+			}
+			return base + "." + x.Sel.Name, true
+		case *ast.ParenExpr:
+			return resolve(x.X)
+		}
+		return "", false
+	}
+
+	ast.Inspect(key.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			// s := opt.Sim — s aliases the path of the right-hand chain.
+			if x.Tok == token.DEFINE && len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+				if lhs, ok := x.Lhs[0].(*ast.Ident); ok {
+					if path, ok := resolve(x.Rhs[0]); ok && path != "" {
+						record(path)
+						roots[lhs.Name] = path
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// for _, c := range g.Cores — c aliases the element path.
+			if path, ok := resolve(x.X); ok && path != "" {
+				record(path)
+				if v, ok := x.Value.(*ast.Ident); ok && v.Name != "_" {
+					roots[v.Name] = path
+				}
+			}
+		case *ast.SelectorExpr:
+			if path, ok := resolve(x); ok && path != "" {
+				record(path)
+				return false // prefixes already recorded
+			}
+		}
+		return true
+	})
+	return hashed
+}

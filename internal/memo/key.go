@@ -33,6 +33,26 @@ import (
 // bump invalidates the whole store without touching it.
 const Version = "sunfloor3d-memo/v1"
 
+// executionKnobs classifies every field reachable from Key's parameters that
+// the canonical encoder deliberately does NOT hash, keyed by its dotted path
+// from the parameter root, with the proof obligation as the value: each entry
+// must name a property (usually an existing test) showing the field cannot
+// change the serialised Result bytes. The fingerprintcover analyzer in
+// internal/determlint and TestOptionsFingerprintCoverage both enforce that
+// this map plus the fields Key reads exactly tile the option surface — an
+// option added without being hashed here or justified below fails the lint
+// and the test, so it can never silently poison the content-addressed cache.
+var executionKnobs = map[string]string{
+	"Parallelism":           "worker count never changes Result bytes (serial==parallel property, PR 1; re-asserted by the PR 5 harness)",
+	"Scheduler":             "a contended shared scheduler is byte-identical to a serial run (scheduler equivalence tests, PR 6)",
+	"Weight":                "fair-share weight only reorders slot grants, which the pre-assigned point indices make result-neutral (PR 6)",
+	"Progress":              "progress callbacks observe the sweep; results are assembled independently of callback presence or speed (PR 1)",
+	"DisablePartitionCache": "cached and uncached partition runs are byte-identical (cache equivalence tests, PR 2)",
+	"FullRebuildRouter":     "incremental and full-rebuild routers share evalArc and are bit-identical (equivalence tests, PR 3)",
+	"Sim.StatsLevel":        "stats level only controls which per-resource rows are materialised; serialised Results exclude Sim stats entirely",
+	"Sim.Reference":         "reference and production simulator engines produce byte-identical Stats (equivalence suite + FuzzSimDeterminism, PR 4)",
+}
+
 // Key returns the canonical content hash of a synthesis request as a
 // lowercase hex string. Two requests receive the same key exactly when the
 // engine is guaranteed to produce byte-identical serialised Results for them.

@@ -540,6 +540,7 @@ func (r *router) tryWithIndirectSwitch(f int) (routed, kept bool) {
 	t.Switches = t.Switches[:id]
 	r.inPorts = r.inPorts[:id]
 	r.outPorts = r.outPorts[:id]
+	//determlint:ordered deletes of distinct keys commute and the loop reads nothing but the key; the surviving map content is order-independent
 	for key := range r.linkIdx {
 		if key[0] == id || key[1] == id {
 			delete(r.linkIdx, key)

@@ -77,6 +77,7 @@ func (s *Scheduler) Stats() SchedStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := SchedStats{Capacity: s.capacity, Clients: len(s.clients), Running: s.inUse}
+	//determlint:ordered integer counting over a set: addition of ints commutes, and SchedStats is observability plumbing, not part of any Result
 	for c := range s.clients {
 		for _, w := range c.waiters {
 			if !w.granted && !w.abandoned {
@@ -190,6 +191,7 @@ func (c *schedClient) close() {
 func (s *Scheduler) dispatchLocked() {
 	for s.inUse < s.capacity {
 		var best *schedClient
+		//determlint:ordered the minimum under the total order (pass, seq) is unique — seq never repeats — so the granted run is independent of iteration order
 		for c := range s.clients {
 			if c.limit > 0 && c.running >= c.limit {
 				continue

@@ -233,13 +233,13 @@ func refineBest(res *Result, opt Options, refine func(*topology.Topology) error)
 	if opt.Sim != nil {
 		// The refinement moved the switches, which changes link pipeline
 		// depths; the attached simulation must describe the refined geometry.
-		simStart := time.Now()
+		simStart := time.Now() //determlint:wallclock SimElapsed is json-excluded observability plumbing and never reaches the serialised Result
 		stats, err := sim.Run(refined, *opt.Sim)
 		if err != nil {
 			return
 		}
 		best.Sim = stats
-		best.SimElapsed = time.Since(simStart)
+		best.SimElapsed = time.Since(simStart) //determlint:wallclock SimElapsed is json-excluded observability plumbing and never reaches the serialised Result
 	}
 	best.Topology = refined
 	best.Metrics = m
@@ -267,6 +267,8 @@ func pickBest(pts []DesignPoint, opt Options) *DesignPoint {
 }
 
 // timed runs one design-point build and stamps its wall-clock duration.
+//
+//determlint:wallclock Elapsed is json-excluded observability plumbing and never reaches the serialised Result
 func timed(build func() DesignPoint) DesignPoint {
 	start := time.Now()
 	dp := build()
@@ -467,6 +469,7 @@ func buildPhase2Point(g *model.CommGraph, opt Options, freq float64, cache *part
 			swOf[b] = top.AddSwitch(l.Layer)
 		}
 		totalSwitches += np
+		//determlint:ordered AttachCore writes CoreAttach[core] exactly once per distinct core; keyed writes commute, so attachment state is order-independent
 		for core, block := range assignment {
 			top.AttachCore(core, swOf[block])
 		}
@@ -526,7 +529,7 @@ func runAndEvaluate(top *topology.Topology, opt Options, cfg route.Config, dp De
 	}
 	dp.Valid = true
 	if opt.Sim != nil {
-		simStart := time.Now()
+		simStart := time.Now() //determlint:wallclock SimElapsed is json-excluded observability plumbing and never reaches the serialised Result
 		stats, err := sim.Run(top, *opt.Sim)
 		if err != nil {
 			dp.Valid = false
@@ -534,7 +537,7 @@ func runAndEvaluate(top *topology.Topology, opt Options, cfg route.Config, dp De
 			return dp
 		}
 		dp.Sim = stats
-		dp.SimElapsed = time.Since(simStart)
+		dp.SimElapsed = time.Since(simStart) //determlint:wallclock SimElapsed is json-excluded observability plumbing and never reaches the serialised Result
 	}
 	return dp
 }

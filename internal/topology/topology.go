@@ -235,6 +235,7 @@ func (t *Topology) SwitchLinks() []SwitchLink {
 		}
 	}
 	links := make([]SwitchLink, 0, len(agg))
+	//determlint:ordered each aggregated key appears once and the sort below is by the full (From, To) key, so the returned slice is independent of map order
 	for k, bw := range agg {
 		links = append(links, SwitchLink{From: k[0], To: k[1], BandwidthMBps: bw})
 	}
@@ -268,6 +269,7 @@ func (t *Topology) CoreLinks() []CoreLink {
 		agg[key{core: fl.Dst, toCore: true}] += fl.BandwidthMBps
 	}
 	links := make([]CoreLink, 0, len(agg))
+	//determlint:ordered each aggregated key appears once and the sort below is by the full (Core, ToCore) key, so the returned slice is independent of map order
 	for k, bw := range agg {
 		sw := t.CoreAttach[k.core]
 		links = append(links, CoreLink{Core: k.core, Switch: sw, ToCore: k.toCore, BandwidthMBps: bw})
