@@ -409,6 +409,59 @@ func BenchmarkSimSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkExplorer measures the N-dimensional design-space explorer of PR 8
+// against brute-force enumeration of the same space: a 3-axis sweep
+// (frequency x link width x switch count) on three paper benchmarks, pruned
+// via duplicate-cell elimination and analytic branch-and-bound floors. Each
+// timed pair is preceded by a byte-level comparison of the Pareto fronts and
+// best points, so the benchmark fails — it does not just report a number —
+// if pruning ever changes the outcome. Besides ns/op it reports the
+// geometric-mean throughput speedup and the mean pruning rate, and records
+// the per-design numbers to BENCH_PR8.json (the CI smoke step runs it with
+// -benchtime=1x).
+func BenchmarkExplorer(b *testing.B) {
+	suite := []string{"D_26_media", "D_36_4", "D_36_8"}
+	var results []sunfloor3d.ExplorerBenchmark
+	for i := 0; i < b.N; i++ {
+		results = results[:0]
+		for _, name := range suite {
+			r, err := sunfloor3d.RunExplorerBenchmark(name, 1, sunfloor3d.Space{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			results = append(results, r)
+		}
+	}
+	logSpeedup, rate := 0.0, 0.0
+	for _, r := range results {
+		logSpeedup += math.Log(r.Speedup)
+		rate += r.PruningRate
+	}
+	speedup := math.Exp(logSpeedup / float64(len(results)))
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(rate/float64(len(results)), "pruning_rate")
+	out := struct {
+		Description string                         `json:"description"`
+		Speedup     float64                        `json:"geomean_speedup"`
+		Explorations    []sunfloor3d.ExplorerBenchmark `json:"explorations"`
+	}{
+		Description: "N-dimensional design-space exploration: brute force (every (frequency, " +
+			"link width, switch count) point evaluated) vs pruned (duplicate (vcs, link width) " +
+			"cells eliminated, switch counts cut by analytic power/latency floors). Pareto " +
+			"fronts and best points are verified byte-identical before reporting. " +
+			"Regenerate with: go test -bench=Explorer -benchtime=1x",
+		Speedup:  speedup,
+		Explorations: results,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR8.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // bestTopologyFor synthesizes the named benchmark with default options and
 // returns the best point's topology (benchmark setup, excluded from timing).
 func bestTopologyFor(b *testing.B, name string) *topology.Topology {

@@ -376,6 +376,163 @@ func RunZeroLoadBenchmark(name string, seed int64) (ZeroLoadBenchmark, error) {
 	return out, nil
 }
 
+// ExplorerBenchmark reports the timing of one N-dimensional design-space
+// exploration in the pruned (production) and brute-force (NoPrune)
+// configurations. Both runs enumerate the same points; the pruned run skips
+// provably dominated regions via duplicate-cell elimination and analytic
+// branch-and-bound floors. Exactness is a gate, not an assumption:
+// RunExplorerBenchmark fails when the pruned run's Pareto front or best point
+// differ from the brute-force run by a single byte.
+type ExplorerBenchmark struct {
+	// Benchmark is the name of the design (e.g. "D_26_media").
+	Benchmark string `json:"benchmark"`
+	// Axes names the explored dimensions (name x value count).
+	Axes []string `json:"axes"`
+	// Cells is the number of (frequency, vcs, link width) exploration cells;
+	// Points the total number of design points either run reports.
+	Cells  int `json:"cells"`
+	Points int `json:"points"`
+	// PrunedPoints is how many of those the pruned run skipped as stubs, and
+	// PruningRate the fraction PrunedPoints/Points.
+	PrunedPoints int     `json:"pruned_points"`
+	PruningRate  float64 `json:"pruning_rate"`
+	// BruteMS and PrunedMS are the wall-clock times of the two runs.
+	BruteMS  float64 `json:"brute_ms"`
+	PrunedMS float64 `json:"pruned_ms"`
+	// Speedup is BruteMS / PrunedMS.
+	Speedup float64 `json:"speedup"`
+	// BrutePointsPerSec and PrunedPointsPerSec are the exploration
+	// throughputs (total points over wall-clock time) of the two runs.
+	BrutePointsPerSec  float64 `json:"brute_points_per_sec"`
+	PrunedPointsPerSec float64 `json:"pruned_points_per_sec"`
+}
+
+// DefaultExplorerSpace is the 3-axis space RunExplorerBenchmark sweeps when
+// the caller passes a zero Space: three frequencies crossed with twelve link
+// widths, with the full switch-count range spelled as an explicit axis.
+func DefaultExplorerSpace() Space {
+	return Space{Axes: []Axis{
+		{Name: AxisFreqMHz, Values: []float64{400, 600, 800}},
+		{Name: AxisLinkWidthBits, Values: []float64{8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512}},
+		{Name: AxisSwitchCount, Values: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}},
+	}}
+}
+
+// RunExplorerBenchmark times the N-dimensional explorer on the named
+// benchmark design against the brute-force enumeration of the same space,
+// after verifying that pruning changed nothing: the Pareto fronts and best
+// points of the two runs must serialise byte-identically. Both runs are
+// serial, so the speedup isolates the pruning effect from scheduling noise.
+// go test -bench=Explorer records the standard suite to BENCH_PR8.json.
+//
+//determlint:wallclock measured wall-clock time is the benchmark's product; the exploration Results it times are produced deterministically elsewhere
+func RunExplorerBenchmark(name string, seed int64, space Space) (ExplorerBenchmark, error) {
+	bm, err := bench.ByName(name, seed)
+	if err != nil {
+		return ExplorerBenchmark{}, err
+	}
+	if len(space.Axes) == 0 {
+		space = DefaultExplorerSpace()
+	}
+	sp := Space{NoPrune: space.NoPrune, Axes: append([]Axis(nil), space.Axes...)}
+	for i, a := range sp.Axes {
+		// The default switch-count axis spans 12 counts; trim it to the
+		// design's core count so one default suits every suite member.
+		if a.Name == AxisSwitchCount {
+			var vals []float64
+			for _, v := range a.Values {
+				if int(v) <= bm.Graph3D.NumCores() {
+					vals = append(vals, v)
+				}
+			}
+			sp.Axes[i].Values = vals
+		}
+	}
+
+	opt := synth.DefaultOptions()
+	opt.Space = &sp
+	if err := opt.Validate(); err != nil {
+		return ExplorerBenchmark{}, err
+	}
+	cells := sp.NumCells(opt)
+
+	brute := opt
+	bsp := sp
+	bsp.NoPrune = true
+	brute.Space = &bsp
+	start := time.Now()
+	bruteRes, err := synth.Synthesize(bm.Graph3D, brute)
+	if err != nil {
+		return ExplorerBenchmark{}, fmt.Errorf("brute-force exploration: %w", err)
+	}
+	bruteMS := float64(time.Since(start).Microseconds()) / 1e3
+
+	start = time.Now()
+	prunedRes, err := synth.Synthesize(bm.Graph3D, opt)
+	if err != nil {
+		return ExplorerBenchmark{}, fmt.Errorf("pruned exploration: %w", err)
+	}
+	prunedMS := float64(time.Since(start).Microseconds()) / 1e3
+
+	// Exactness gate: identical point counts, byte-identical fronts and best
+	// points. A pruning bug is an error here, never a number in the report.
+	if len(prunedRes.Points) != len(bruteRes.Points) {
+		return ExplorerBenchmark{}, fmt.Errorf("exploration size diverged: %d brute vs %d pruned points",
+			len(bruteRes.Points), len(prunedRes.Points))
+	}
+	pf, err := json.Marshal(resultFromInternal(prunedRes).ParetoFront())
+	if err != nil {
+		return ExplorerBenchmark{}, err
+	}
+	bf, err := json.Marshal(resultFromInternal(bruteRes).ParetoFront())
+	if err != nil {
+		return ExplorerBenchmark{}, err
+	}
+	if !bytes.Equal(pf, bf) {
+		return ExplorerBenchmark{}, fmt.Errorf("%s: pruned Pareto front diverged from brute force", name)
+	}
+	pb, err := json.Marshal(resultFromInternal(prunedRes).Best())
+	if err != nil {
+		return ExplorerBenchmark{}, err
+	}
+	bb, err := json.Marshal(resultFromInternal(bruteRes).Best())
+	if err != nil {
+		return ExplorerBenchmark{}, err
+	}
+	if !bytes.Equal(pb, bb) {
+		return ExplorerBenchmark{}, fmt.Errorf("%s: pruned best point diverged from brute force", name)
+	}
+
+	prunedCount := 0
+	for _, p := range prunedRes.Points {
+		if p.Pruned {
+			prunedCount++
+		}
+	}
+	out := ExplorerBenchmark{
+		Benchmark:    name,
+		Cells:        cells,
+		Points:       len(prunedRes.Points),
+		PrunedPoints: prunedCount,
+		BruteMS:      bruteMS,
+		PrunedMS:     prunedMS,
+	}
+	for _, a := range sp.Axes {
+		out.Axes = append(out.Axes, fmt.Sprintf("%s x%d", a.Name, len(a.Values)))
+	}
+	if out.Points > 0 {
+		out.PruningRate = float64(prunedCount) / float64(out.Points)
+	}
+	if prunedMS > 0 {
+		out.Speedup = bruteMS / prunedMS
+		out.PrunedPointsPerSec = float64(out.Points) / (prunedMS / 1e3)
+	}
+	if bruteMS > 0 {
+		out.BrutePointsPerSec = float64(out.Points) / (bruteMS / 1e3)
+	}
+	return out, nil
+}
+
 // MeshBaseline maps the design onto a regular mesh NoC (one mesh per layer,
 // vertical links between vertically adjacent nodes), prunes unused links,
 // and returns its evaluation. It is the standard-topology baseline the

@@ -1,0 +1,123 @@
+package sunfloor3d
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sunfloor3d/internal/synth"
+)
+
+// checkpointVersion tags the on-disk checkpoint record format.
+const checkpointVersion = 1
+
+// checkpointRecord is one line of a checkpoint file: the complete point list
+// of one finished exploration cell, tagged with the request fingerprint so a
+// checkpoint can never resume a different request.
+type checkpointRecord struct {
+	V      int           `json:"v"`
+	FP     string        `json:"fp"`
+	Cell   int           `json:"cell"`
+	Points []DesignPoint `json:"points"`
+}
+
+// checkpointFile is the explorer's resumable on-disk state (WithCheckpoint):
+// an append-only JSON-lines file of checkpointRecord entries. Each finished
+// cell is appended as one line in a single write, so a crash can at worst
+// leave one torn trailing line, which the loader skips; everything before it
+// is replayed on resume. Records from other shards of the same request can
+// be concatenated into the file (plain `cat`) and are restored identically,
+// which is what makes shard merges exact.
+type checkpointFile struct {
+	f     *os.File
+	fp    string
+	cells map[int][]synth.DesignPoint
+	err   error
+}
+
+// openCheckpoint loads (or creates) the checkpoint at path for the request
+// with the given fingerprint. Existing records are validated against the
+// fingerprint: a mismatch is an error, because the file demonstrably belongs
+// to a different request. Malformed or torn lines are skipped; the first
+// record of a cell wins (later duplicates — e.g. from concatenated shard
+// files that each computed the witness cell — are ignored).
+func openCheckpoint(path, fingerprint string) (*checkpointFile, error) {
+	ck := &checkpointFile{fp: fingerprint, cells: map[int][]synth.DesignPoint{}}
+	if data, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(nil, 64<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var rec checkpointRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				continue // torn or corrupt line: recompute that cell
+			}
+			if rec.V != checkpointVersion {
+				continue
+			}
+			if rec.FP != fingerprint {
+				return nil, fmt.Errorf("sunfloor3d: checkpoint %s belongs to request %.12s…, not %.12s…", path, rec.FP, fingerprint)
+			}
+			if _, ok := ck.cells[rec.Cell]; ok {
+				continue
+			}
+			pts := make([]synth.DesignPoint, len(rec.Points))
+			for i, p := range rec.Points {
+				pts[i] = internalFromPoint(p)
+			}
+			ck.cells[rec.Cell] = pts
+		}
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("sunfloor3d: reading checkpoint %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("sunfloor3d: reading checkpoint %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sunfloor3d: opening checkpoint %s: %w", path, err)
+	}
+	ck.f = f
+	return ck, nil
+}
+
+// restore implements synth.ExplorationHooks.Restore.
+func (c *checkpointFile) restore(cell int) ([]synth.DesignPoint, bool) {
+	pts, ok := c.cells[cell]
+	return pts, ok
+}
+
+// append implements synth.ExplorationHooks.Done: it persists one finished
+// cell as a single appended line. Write errors are remembered and surfaced
+// when the run finishes — a requested checkpoint that cannot be written is
+// an error, not a silent no-op.
+func (c *checkpointFile) append(cell int, pts []synth.DesignPoint) {
+	if c.err != nil {
+		return
+	}
+	rec := checkpointRecord{V: checkpointVersion, FP: c.fp, Cell: cell, Points: make([]DesignPoint, len(pts))}
+	for i, dp := range pts {
+		rec.Points[i] = pointFromInternal(dp)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		c.err = err
+		return
+	}
+	if _, err := c.f.Write(append(data, '\n')); err != nil {
+		c.err = err
+	}
+}
+
+// close releases the file handle and reports any write error the run hit.
+func (c *checkpointFile) close() error {
+	if err := c.f.Close(); c.err == nil && err != nil {
+		c.err = err
+	}
+	return c.err
+}

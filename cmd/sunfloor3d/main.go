@@ -21,6 +21,19 @@
 // and evaluated on -jobs parallel workers; -json replaces the text summary on
 // stdout with the structured result. Press Ctrl-C to cancel a long sweep.
 //
+// Repeatable -axis flags switch the run to the N-dimensional design-space
+// explorer: -axis freq_mhz=400,600 -axis link_width_bits=16,32,64 sweeps the
+// cross product of the axes (valid names: freq_mhz, switch_count, vcs,
+// link_width_bits). The explorer prunes provably dominated regions before
+// partitioning and routing; the pruning is exact (the Pareto front and best
+// point match a -no-prune run byte for byte) and every pruning decision is
+// visible under -progress. -checkpoint makes the exploration resumable: each
+// finished cell is appended to the file, and rerunning the same command picks
+// up where the interrupted run stopped. -shard 2/8 evaluates only every 8th
+// cell starting at 2 — run one shard per machine with per-shard checkpoint
+// files, concatenate the files, and resume from the merged checkpoint to get
+// the exact full result.
+//
 // With -cache-dir the run consults an on-disk design-point cache keyed by the
 // content fingerprint of the design and options (sunfloor3d.Fingerprint): a
 // hit restores the canonical serialised result without synthesizing — the
@@ -117,7 +130,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 		cacheDir  = fs.String("cache-dir", "", "on-disk design-point cache directory (shareable with sunfloor-server)")
 		serverURL = fs.String("server", "", "submit the request to a sunfloor-server at this base URL instead of synthesizing locally")
+
+		noPrune    = fs.Bool("no-prune", false, "evaluate the -axis space exhaustively instead of pruning dominated regions")
+		checkpoint = fs.String("checkpoint", "", "resumable exploration checkpoint file; an interrupted run picks up where it left off (requires -axis)")
+		shardSpec  = fs.String("shard", "", "evaluate one shard of the -axis space, e.g. -shard 0/4; merge shards by concatenating their -checkpoint files")
 	)
+	var axes axisFlags
+	fs.Var(&axes, "axis", "explore a design-space axis as name=v1,v2,... (repeatable; names: freq_mhz, switch_count, vcs, link_width_bits)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help: usage already printed, exit 0
@@ -129,6 +148,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *simulate && (*serverURL != "" || *cacheDir != "") {
 		return fmt.Errorf("-simulate cannot be combined with -server or -cache-dir: simulation statistics are not part of the serialised result")
+	}
+	if len(axes) == 0 && (*noPrune || *checkpoint != "" || *shardSpec != "") {
+		return fmt.Errorf("-no-prune, -checkpoint and -shard require an exploration space (-axis)")
+	}
+	if *shardSpec != "" && *cacheDir != "" {
+		return fmt.Errorf("-shard and -cache-dir are mutually exclusive: a shard's result is partial and must not poison the cache")
+	}
+	if *serverURL != "" && (*checkpoint != "" || *shardSpec != "") {
+		return fmt.Errorf("-checkpoint and -shard are local-file features and cannot be combined with -server")
 	}
 
 	// The profiles cover the whole run — synthesis, per-point simulation and
@@ -183,6 +211,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sunfloor3d.WithObjective(*powerW, *latencyW),
 		sunfloor3d.WithParallelism(*jobs),
 	}
+	if len(axes) > 0 {
+		opts = append(opts, sunfloor3d.WithSpace(sunfloor3d.Space{Axes: axes, NoPrune: *noPrune}))
+	}
+	if *checkpoint != "" {
+		opts = append(opts, sunfloor3d.WithCheckpoint(*checkpoint))
+	}
+	if *shardSpec != "" {
+		idx, cnt, err := parseShard(*shardSpec)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, sunfloor3d.WithShard(idx, cnt))
+	}
 	if *simulate {
 		profile, err := sunfloor3d.ParseSimProfile(*simProfile)
 		if err != nil {
@@ -217,7 +258,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *serverURL != "" {
 		req, err := buildServerRequest(*genSpec, *specPair, *coreFile, *commFile,
-			sweep, *maxILL, *phase, *alpha, *powerW, *latencyW, *jobs)
+			sweep, *maxILL, *phase, *alpha, *powerW, *latencyW, *jobs, axes, *noPrune)
 		if err != nil {
 			return err
 		}
@@ -276,6 +317,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	best := res.Best()
 	if best == nil {
+		if *shardSpec != "" {
+			// A shard legitimately may own no valid cell; its deliverable is
+			// the checkpoint file, not the topology artifacts.
+			fmt.Fprintln(stderr, "shard holds no valid point; merge the shard checkpoints and rerun for the full result")
+			return nil
+		}
 		return fmt.Errorf("no valid topology meets the constraints")
 	}
 
@@ -286,6 +333,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return os.WriteFile(filepath.Join(*outDir, name), []byte(content), 0o644)
 	}
 	top := best.Topology()
+	if top == nil {
+		// The best point was restored from a checkpoint record; like a
+		// cache-restored result it carries metrics, JSON and reports but no
+		// live topology, so only result.json and report.txt can be written.
+		if *simulate {
+			return fmt.Errorf("-simulate needs a live synthesis run; the best point was restored from the checkpoint")
+		}
+		if err := writeFile("report.txt", best.Report()); err != nil {
+			return err
+		}
+		resJSON, err := os.Create(filepath.Join(*outDir, "result.json"))
+		if err != nil {
+			return err
+		}
+		if err := res.WriteJSON(resJSON); err != nil {
+			resJSON.Close()
+			return err
+		}
+		resJSON.Close()
+		if !*asJSON {
+			fmt.Fprintln(stdout, "topology artifacts skipped (restored result carries no live topology); results written to", *outDir)
+		}
+		return nil
+	}
 	if err := writeFile("topology.txt", top.Describe()); err != nil {
 		return err
 	}
@@ -389,7 +460,8 @@ func loadOrGenerate(fs *flag.FlagSet, coreFile, commFile, specPair, genSpec stri
 // sunfloor-server request. A -gen string is forwarded verbatim (the daemon
 // runs the same generator); spec files are read and embedded as text.
 func buildServerRequest(genSpec, specPair, coreFile, commFile string,
-	sweep []float64, maxILL int, phase string, alpha, powerW, latencyW float64, jobs int) (server.SynthesizeRequest, error) {
+	sweep []float64, maxILL int, phase string, alpha, powerW, latencyW float64, jobs int,
+	axes axisFlags, noPrune bool) (server.SynthesizeRequest, error) {
 	var req server.SynthesizeRequest
 	if genSpec != "" {
 		req.Gen = genSpec
@@ -422,7 +494,69 @@ func buildServerRequest(genSpec, specPair, coreFile, commFile string,
 	if jobs != 0 {
 		req.Options.Parallelism = &jobs
 	}
+	if len(axes) > 0 {
+		sp := &server.SpaceRequest{NoPrune: noPrune}
+		for _, a := range axes {
+			sp.Axes = append(sp.Axes, server.AxisRequest{Name: a.Name, Values: a.Values})
+		}
+		req.Options.Space = sp
+	}
 	return req, nil
+}
+
+// axisFlags collects repeated -axis flags, each of the form name=v1,v2,...
+type axisFlags []sunfloor3d.Axis
+
+func (a *axisFlags) String() string {
+	var parts []string
+	for _, ax := range *a {
+		vals := make([]string, len(ax.Values))
+		for i, v := range ax.Values {
+			vals[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		parts = append(parts, ax.Name+"="+strings.Join(vals, ","))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (a *axisFlags) Set(s string) error {
+	name, list, ok := strings.Cut(s, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return fmt.Errorf("-axis wants name=v1,v2,..., got %q", s)
+	}
+	var vals []float64
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return fmt.Errorf("invalid value %q for axis %s", part, name)
+		}
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return fmt.Errorf("axis %s lists no values", name)
+	}
+	*a = append(*a, sunfloor3d.Axis{Name: name, Values: vals})
+	return nil
+}
+
+// parseShard parses -shard's "index/count" form.
+func parseShard(s string) (index, count int, err error) {
+	is, cs, ok := strings.Cut(s, "/")
+	if ok {
+		index, err = strconv.Atoi(strings.TrimSpace(is))
+		if err == nil {
+			count, err = strconv.Atoi(strings.TrimSpace(cs))
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("-shard wants index/count (e.g. 0/4), got %q", s)
+	}
+	return index, count, nil
 }
 
 // runViaServer submits the request to a sunfloor-server and writes the
@@ -515,7 +649,10 @@ func relayStream(ctx context.Context, url string, stderr io.Writer) error {
 		switch ev.Type {
 		case "progress":
 			status := "ok"
-			if !ev.Valid {
+			switch {
+			case ev.Pruned:
+				status = "pruned"
+			case !ev.Valid:
 				status = "invalid"
 			}
 			fmt.Fprintf(stderr, "[%d/%d] %d switches @ %.0f MHz: %s\n",

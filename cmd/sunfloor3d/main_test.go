@@ -227,6 +227,53 @@ func TestCLICacheDir(t *testing.T) {
 	}
 }
 
+// TestCLICheckpointResume: re-running an exploration over the same
+// -checkpoint file restores every computed cell. The restored best point
+// carries no live topology (same contract as a cache hit), so the rerun
+// writes result.json and report.txt only — and must not crash on the
+// missing topology.
+func TestCLICheckpointResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "explore.ckpt")
+	axes := []string{
+		"-axis", "freq_mhz=400,600",
+		"-axis", "link_width_bits=16,32",
+		"-axis", "switch_count=1,2,3,4",
+	}
+
+	liveOut := t.TempDir()
+	liveArgs := append([]string{"-gen", genArg, "-json", "-checkpoint", ckpt, "-out", liveOut}, axes...)
+	liveStdout := runCLI(t, liveArgs...)
+	if _, err := os.Stat(filepath.Join(liveOut, "topology.txt")); err != nil {
+		t.Errorf("live explorer run should write topology artifacts: %v", err)
+	}
+
+	resumedOut := t.TempDir()
+	resumedArgs := append([]string{"-gen", genArg, "-json", "-checkpoint", ckpt, "-out", resumedOut}, axes...)
+	resumedStdout := runCLI(t, resumedArgs...)
+	if resumedStdout != liveStdout {
+		t.Error("checkpoint-restored stdout differs from the live run")
+	}
+	for _, name := range []string{"result.json", "report.txt"} {
+		if _, err := os.Stat(filepath.Join(resumedOut, name)); err != nil {
+			t.Errorf("resumed run missing %s: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(resumedOut, "topology.txt")); err == nil {
+		t.Error("resumed run unexpectedly produced a topology artifact")
+	}
+	live, err := os.ReadFile(filepath.Join(liveOut, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := os.ReadFile(filepath.Join(resumedOut, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live, resumed) {
+		t.Error("resumed result.json differs from the live result.json")
+	}
+}
+
 // TestCLIServerMode: -server submits to a daemon and writes the same
 // structured result as a local run; -progress relays the daemon's stream.
 func TestCLIServerMode(t *testing.T) {

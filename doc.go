@@ -124,6 +124,36 @@
 // simulator deadlocks, zero-load simulation equal to the analytic model,
 // serial == parallel, byte-stable JSON) on the whole distribution.
 //
+// # Exploring large design spaces
+//
+// WithSpace(Space) generalises the classic two-axis sweep into an
+// N-dimensional explorer: any subset of freq_mhz, link_width_bits, vcs and
+// switch_count becomes an explicit Axis, and the engine enumerates the
+// cross product in a deterministic order. Pruning is exact, never
+// heuristic: within one frequency only the first (vcs, link width) cell is
+// evaluated, because neither axis affects a result-affecting metric, and a
+// switch count whose analytic power floor already exceeds the best valid
+// point at an admissible latency floor is cut before its topology is
+// built. Pruned points stay in Result.Points as Pruned stubs whose
+// FailReason names the rule that cut them, and progress events carry the
+// marker. The guarantee — enforced by the facade tests, the property
+// harness and the benchmark itself — is that a pruned run's ParetoFront
+// and Best are byte-identical to an exhaustive Space{NoPrune: true} run.
+//
+// WithCheckpoint(path) makes an exploration resumable: each computed cell
+// is appended to a JSON-lines file keyed by the run's cache fingerprint
+// (atomic appends; torn trailing lines are ignored; a checkpoint written
+// for different inputs is rejected). WithShard(i, n) makes a run own only
+// the cells with cell%n == i; shards share the fingerprint, so their
+// checkpoint files merge by plain concatenation and a final run with the
+// merged file restores the union. Shard results are partial and are never
+// stored in the content-addressed cache. The CLI exposes the same surface
+// as -axis name=v1,v2,... (repeatable), -no-prune, -checkpoint and
+// -shard i/n; the server accepts the space as options.space.
+// BenchmarkExplorer ("go test -bench=Explorer -benchtime=1x") verifies
+// front/best byte-identity between pruned and brute-force runs and records
+// the speedups to BENCH_PR8.json.
+//
 // # Synthesis as a service
 //
 // Every synthesis request has a canonical content address:

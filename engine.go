@@ -2,7 +2,9 @@ package sunfloor3d
 
 import (
 	"context"
+	"fmt"
 
+	"sunfloor3d/internal/memo"
 	"sunfloor3d/internal/synth"
 )
 
@@ -21,7 +23,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	if err := cfg.opt.Validate(); err != nil {
+	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	return &Engine{cfg: cfg}, nil
@@ -41,7 +43,41 @@ func (e *Engine) Synthesize(ctx context.Context, d *Design) (*Result, error) {
 			progress(Event{Done: ev.Done, Total: ev.Total, Point: pointFromInternal(ev.Point)})
 		}
 	}
+
+	// Checkpoint/shard plumbing for explorer runs. The hooks only decide
+	// which cells this process computes, restores or persists — they never
+	// change what an evaluated cell contains — so they stay outside the
+	// request fingerprint, which is also what lets every shard of one
+	// exploration share the checkpoint key.
+	var hooks synth.ExplorationHooks
+	var ck *checkpointFile
+	if e.cfg.shardCount > 0 {
+		index, count := e.cfg.shardIndex, e.cfg.shardCount
+		hooks.Own = func(cell int) bool { return cell%count == index }
+	}
+	if e.cfg.checkpoint != "" {
+		var err error
+		ck, err = openCheckpoint(e.cfg.checkpoint, memo.Key(d, opt))
+		if err != nil {
+			return nil, err
+		}
+		hooks.Restore = ck.restore
+		hooks.Done = ck.append
+	}
+	if hooks.Own != nil || hooks.Restore != nil {
+		opt.SetExplorationHooks(hooks)
+	}
+
 	res, err := synth.SynthesizeContext(ctx, d, opt)
+	if ck != nil {
+		// Cells checkpointed before a failure (including cancellation) are
+		// kept — that is the point of resumability — but a checkpoint that
+		// could not be written must fail the run rather than silently
+		// produce an unresumable file.
+		if cerr := ck.close(); cerr != nil && err == nil {
+			return nil, fmt.Errorf("sunfloor3d: writing checkpoint: %w", cerr)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

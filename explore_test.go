@@ -1,0 +1,292 @@
+package sunfloor3d_test
+
+// Tests of the N-dimensional design-space explorer: exactness of pruning
+// against brute force, serial/parallel equivalence, checkpoint resume,
+// shard merging, and option validation.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sunfloor3d"
+)
+
+func exploreSpace3() sunfloor3d.Space {
+	return sunfloor3d.Space{Axes: []sunfloor3d.Axis{
+		{Name: sunfloor3d.AxisFreqMHz, Values: []float64{400, 600}},
+		{Name: sunfloor3d.AxisLinkWidthBits, Values: []float64{16, 32, 64}},
+		{Name: sunfloor3d.AxisSwitchCount, Values: []float64{1, 2, 3, 4, 6, 8}},
+	}}
+}
+
+func stable(t *testing.T, r *sunfloor3d.Result) []byte {
+	t.Helper()
+	b, err := r.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// points wraps a point slice in a Result so it can be serialised with
+// MarshalStable for byte comparison.
+func points(t *testing.T, pts []sunfloor3d.DesignPoint) []byte {
+	t.Helper()
+	return stable(t, &sunfloor3d.Result{Points: pts, BestIndex: -1})
+}
+
+// TestExplorerExactAgainstBruteForce is the core acceptance check: the
+// pruned explorer's Pareto front and best point are byte-identical to the
+// brute-force (NoPrune) enumeration of the same 3-axis space, while at
+// least one point was actually pruned.
+func TestExplorerExactAgainstBruteForce(t *testing.T) {
+	d := apiDesign(t)
+	ctx := context.Background()
+	sp := exploreSpace3()
+
+	pruned, err := sunfloor3d.Synthesize(ctx, d,
+		sunfloor3d.WithSpace(sp), sunfloor3d.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := sp
+	brute.NoPrune = true
+	exhaustive, err := sunfloor3d.Synthesize(ctx, d,
+		sunfloor3d.WithSpace(brute), sunfloor3d.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(pruned.Points) != len(exhaustive.Points) {
+		t.Fatalf("point counts differ: pruned %d, brute %d", len(pruned.Points), len(exhaustive.Points))
+	}
+	nPruned := 0
+	for _, p := range pruned.Points {
+		if p.Pruned {
+			nPruned++
+		}
+	}
+	if nPruned == 0 {
+		t.Fatal("no point was pruned on a 3-axis space with duplicate cells")
+	}
+
+	if pf, bf := points(t, pruned.ParetoFront()), points(t, exhaustive.ParetoFront()); !bytes.Equal(pf, bf) {
+		t.Errorf("Pareto fronts differ:\npruned: %s\nbrute:  %s", pf, bf)
+	}
+	pb, bb := pruned.Best(), exhaustive.Best()
+	if (pb == nil) != (bb == nil) {
+		t.Fatalf("best presence differs: pruned %v, brute %v", pb != nil, bb != nil)
+	}
+	if pb != nil {
+		pjb := points(t, []sunfloor3d.DesignPoint{*pb})
+		bjb := points(t, []sunfloor3d.DesignPoint{*bb})
+		if !bytes.Equal(pjb, bjb) {
+			t.Errorf("best points differ:\npruned: %s\nbrute:  %s", pjb, bjb)
+		}
+	}
+}
+
+// TestExplorerSerialParallelIdentical extends the engine's core determinism
+// contract to explorer runs.
+func TestExplorerSerialParallelIdentical(t *testing.T) {
+	d := apiDesign(t)
+	ctx := context.Background()
+	sp := exploreSpace3()
+	serial, err := sunfloor3d.Synthesize(ctx, d, sunfloor3d.WithSpace(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := sunfloor3d.Synthesize(ctx, d,
+		sunfloor3d.WithSpace(sp), sunfloor3d.WithParallelism(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stable(t, serial), stable(t, parallel)) {
+		t.Error("serial and parallel explorer runs differ")
+	}
+}
+
+// TestExplorerProgressReportsPruning checks that every point — evaluated or
+// pruned — reaches the progress stream, with pruning decisions visible.
+func TestExplorerProgressReportsPruning(t *testing.T) {
+	d := apiDesign(t)
+	var events, prunedEvents int
+	_, err := sunfloor3d.Synthesize(context.Background(), d,
+		sunfloor3d.WithSpace(exploreSpace3()),
+		sunfloor3d.WithProgress(func(ev sunfloor3d.Event) {
+			events++
+			if ev.Point.Pruned {
+				prunedEvents++
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 3 * 6 // freq x link width x switch counts
+	if events < want {
+		t.Errorf("progress events = %d, want at least %d", events, want)
+	}
+	if prunedEvents == 0 {
+		t.Error("no pruned point reached the progress stream")
+	}
+}
+
+// TestExplorerCheckpointResume interrupts an exploration mid-run and resumes
+// it from the checkpoint, asserting the resumed result is byte-identical to
+// an uninterrupted run.
+func TestExplorerCheckpointResume(t *testing.T) {
+	d := apiDesign(t)
+	ctx := context.Background()
+	sp := exploreSpace3()
+	ckpt := filepath.Join(t.TempDir(), "explore.ckpt")
+
+	baseline, err := sunfloor3d.Synthesize(ctx, d, sunfloor3d.WithSpace(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt after the first few points.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	n := 0
+	_, err = sunfloor3d.Synthesize(cctx, d,
+		sunfloor3d.WithSpace(sp),
+		sunfloor3d.WithCheckpoint(ckpt),
+		sunfloor3d.WithProgress(func(sunfloor3d.Event) {
+			n++
+			if n == 4 {
+				cancel()
+			}
+		}))
+	if err == nil {
+		t.Log("run finished before the cancellation took effect; resume still exercises restore")
+	}
+
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Skipf("no checkpoint written before cancellation: %v", err)
+	}
+
+	resumed, err := sunfloor3d.Synthesize(ctx, d,
+		sunfloor3d.WithSpace(sp), sunfloor3d.WithCheckpoint(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stable(t, baseline), stable(t, resumed)) {
+		t.Error("resumed run differs from uninterrupted run")
+	}
+
+	// A third run restores every cell from the checkpoint.
+	restored, err := sunfloor3d.Synthesize(ctx, d,
+		sunfloor3d.WithSpace(sp), sunfloor3d.WithCheckpoint(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stable(t, baseline), stable(t, restored)) {
+		t.Error("fully restored run differs from uninterrupted run")
+	}
+}
+
+// TestExplorerShardMerge runs a space in n shards with per-shard
+// checkpoints, concatenates the checkpoint files, and asserts the merged
+// restore equals the unsharded run byte for byte.
+func TestExplorerShardMerge(t *testing.T) {
+	d := apiDesign(t)
+	ctx := context.Background()
+	sp := exploreSpace3()
+	dir := t.TempDir()
+
+	unsharded, err := sunfloor3d.Synthesize(ctx, d, sunfloor3d.WithSpace(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 3
+	var merged []byte
+	for i := 0; i < shards; i++ {
+		ckpt := filepath.Join(dir, fmt.Sprintf("shard%d.ckpt", i))
+		if _, err := sunfloor3d.Synthesize(ctx, d,
+			sunfloor3d.WithSpace(sp),
+			sunfloor3d.WithShard(i, shards),
+			sunfloor3d.WithCheckpoint(ckpt)); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		data, err := os.ReadFile(ckpt)
+		if err != nil {
+			t.Fatalf("shard %d checkpoint: %v", i, err)
+		}
+		merged = append(merged, data...)
+	}
+	mergedPath := filepath.Join(dir, "merged.ckpt")
+	if err := os.WriteFile(mergedPath, merged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mergedRes, err := sunfloor3d.Synthesize(ctx, d,
+		sunfloor3d.WithSpace(sp), sunfloor3d.WithCheckpoint(mergedPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stable(t, unsharded), stable(t, mergedRes)) {
+		t.Error("merged sharded result differs from unsharded run")
+	}
+}
+
+// TestExplorerOptionValidation covers the cross-option constraints.
+func TestExplorerOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []sunfloor3d.Option
+	}{
+		{"unknown axis", []sunfloor3d.Option{sunfloor3d.WithSpace(sunfloor3d.Space{
+			Axes: []sunfloor3d.Axis{{Name: "voltage", Values: []float64{1}}}})}},
+		{"empty axis", []sunfloor3d.Option{sunfloor3d.WithSpace(sunfloor3d.Space{
+			Axes: []sunfloor3d.Axis{{Name: sunfloor3d.AxisFreqMHz}}})}},
+		{"no axes", []sunfloor3d.Option{sunfloor3d.WithSpace(sunfloor3d.Space{})}},
+		{"duplicate axis", []sunfloor3d.Option{sunfloor3d.WithSpace(sunfloor3d.Space{
+			Axes: []sunfloor3d.Axis{
+				{Name: sunfloor3d.AxisFreqMHz, Values: []float64{400}},
+				{Name: sunfloor3d.AxisFreqMHz, Values: []float64{600}}}})}},
+		{"duplicate value", []sunfloor3d.Option{sunfloor3d.WithSpace(sunfloor3d.Space{
+			Axes: []sunfloor3d.Axis{{Name: sunfloor3d.AxisFreqMHz, Values: []float64{400, 400}}}})}},
+		{"fractional switch count", []sunfloor3d.Option{sunfloor3d.WithSpace(sunfloor3d.Space{
+			Axes: []sunfloor3d.Axis{{Name: sunfloor3d.AxisSwitchCount, Values: []float64{1.5}}}})}},
+		{"vcs without sim", []sunfloor3d.Option{sunfloor3d.WithSpace(sunfloor3d.Space{
+			Axes: []sunfloor3d.Axis{{Name: sunfloor3d.AxisVCs, Values: []float64{2}}}})}},
+		{"switch count with phase2", []sunfloor3d.Option{
+			sunfloor3d.WithPhase(sunfloor3d.Phase2Only),
+			sunfloor3d.WithSpace(sunfloor3d.Space{
+				Axes: []sunfloor3d.Axis{{Name: sunfloor3d.AxisSwitchCount, Values: []float64{2}}}})}},
+		{"checkpoint without space", []sunfloor3d.Option{sunfloor3d.WithCheckpoint("x.ckpt")}},
+		{"shard without space", []sunfloor3d.Option{sunfloor3d.WithShard(0, 2)}},
+		{"shard index out of range", []sunfloor3d.Option{
+			sunfloor3d.WithSpace(exploreSpace3()), sunfloor3d.WithShard(2, 2)}},
+	}
+	for _, tc := range cases {
+		if _, err := sunfloor3d.NewEngine(tc.opts...); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	if _, err := sunfloor3d.NewEngine(sunfloor3d.WithSpace(exploreSpace3()), sunfloor3d.WithShard(1, 2)); err != nil {
+		t.Errorf("valid shard config rejected: %v", err)
+	}
+}
+
+// TestExplorerCheckpointFingerprintMismatch asserts a checkpoint written by
+// a different request cannot be resumed.
+func TestExplorerCheckpointFingerprintMismatch(t *testing.T) {
+	d := apiDesign(t)
+	ctx := context.Background()
+	ckpt := filepath.Join(t.TempDir(), "explore.ckpt")
+	sp := exploreSpace3()
+	if _, err := sunfloor3d.Synthesize(ctx, d, sunfloor3d.WithSpace(sp), sunfloor3d.WithCheckpoint(ckpt)); err != nil {
+		t.Fatal(err)
+	}
+	other := sp
+	other.NoPrune = true
+	if _, err := sunfloor3d.Synthesize(ctx, d, sunfloor3d.WithSpace(other), sunfloor3d.WithCheckpoint(ckpt)); err == nil {
+		t.Error("checkpoint of a different request resumed without error")
+	}
+}

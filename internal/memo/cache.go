@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+	"time"
 )
 
 // Provenance says where a cached result came from.
@@ -90,9 +92,16 @@ type flight struct {
 	err  error
 }
 
+// staleTempAge is how old an orphaned diskPut temp file must be before New
+// sweeps it. A live temp file belonging to a concurrent writer is at most a
+// few seconds old; anything this stale is the residue of a crash between
+// CreateTemp and Rename.
+const staleTempAge = time.Hour
+
 // New opens a cache. dir is the on-disk store root ("" disables the disk
-// tier); it is created if missing. memEntries bounds the memory tier
-// (<= 0 selects DefaultMemEntries).
+// tier); it is created if missing, and temp files orphaned by a crashed
+// writer (older than staleTempAge) are swept. memEntries bounds the memory
+// tier (<= 0 selects DefaultMemEntries).
 func New(dir string, memEntries int) (*Cache, error) {
 	if memEntries <= 0 {
 		memEntries = DefaultMemEntries
@@ -101,6 +110,7 @@ func New(dir string, memEntries int) (*Cache, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("memo: creating cache dir: %w", err)
 		}
+		sweepStaleTemps(dir)
 	}
 	return &Cache{
 		dir:        dir,
@@ -109,6 +119,42 @@ func New(dir string, memEntries int) (*Cache, error) {
 		mem:        make(map[string]*list.Element),
 		flights:    make(map[string]*flight),
 	}, nil
+}
+
+// sweepStaleTemps removes diskPut temp files left behind by a crashed
+// writer. Real entries are <hexkey>.json and never start with a dot, so
+// anything dot-prefixed with ".tmp" in its name inside a fan-out directory is
+// a write-in-progress; the age gate keeps a concurrent writer's live temp
+// file safe. Sweep failures are ignored — a leftover temp file is garbage,
+// not a correctness problem.
+func sweepStaleTemps(dir string) {
+	now := time.Now() //determlint:wallclock age-gating orphaned temp files only; file removal never affects cache content or results
+	fans, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, fan := range fans {
+		if !fan.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(dir, fan.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasPrefix(name, ".") || !strings.Contains(name, ".tmp") {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			if now.Sub(info.ModTime()) >= staleTempAge {
+				os.Remove(filepath.Join(dir, fan.Name(), name))
+			}
+		}
+	}
 }
 
 // Dir returns the on-disk store root ("" when the disk tier is disabled).
@@ -190,7 +236,9 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 				if f.err != nil {
 					return nil, Shared, f.err
 				}
-				return f.val, Shared, nil
+				// Every waiter gets its own copy: f.val is shared by all
+				// joiners and may also be the leader's return value.
+				return clone(f.val), Shared, nil
 			case <-ctx.Done():
 				return nil, Shared, ctx.Err()
 			}
@@ -217,14 +265,28 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 		c.stats.Misses++
 		c.mu.Unlock()
 
-		f.val, f.err = compute()
-		if f.err == nil {
-			c.Put(key, f.val)
-		}
-		c.mu.Lock()
-		delete(c.flights, key)
-		c.mu.Unlock()
-		close(f.done)
+		// The flight must be cleaned up even when compute panics — otherwise
+		// the entry leaks and every future caller of the key blocks forever
+		// on a done channel that never closes. The cleanup is deferred, the
+		// panic itself propagates to this caller, and waiters observe an
+		// error instead of the leader's result.
+		func() {
+			completed := false
+			defer func() {
+				if !completed && f.err == nil {
+					f.err = fmt.Errorf("memo: computing entry for key %s panicked", key)
+				}
+				c.mu.Lock()
+				delete(c.flights, key)
+				c.mu.Unlock()
+				close(f.done)
+			}()
+			f.val, f.err = compute()
+			completed = true
+			if f.err == nil {
+				c.Put(key, f.val)
+			}
+		}()
 		if f.err != nil {
 			return nil, Computed, f.err
 		}
@@ -232,25 +294,37 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 	}
 }
 
-// memGetLocked returns the memory-tier entry and marks it most recently used.
+// clone copies cached bytes so the memory tier and its callers never share a
+// backing array: a caller mutating a returned slice (or a slice it previously
+// stored) must not corrupt later hits the way it would with aliasing, which
+// the disk tier never suffered from.
+func clone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// memGetLocked returns a copy of the memory-tier entry and marks it most
+// recently used.
 func (c *Cache) memGetLocked(key string) ([]byte, bool) {
 	el, ok := c.mem[key]
 	if !ok {
 		return nil, false
 	}
 	c.lru.MoveToFront(el)
-	return el.Value.(*memEntry).val, true
+	return clone(el.Value.(*memEntry).val), true
 }
 
-// memPutLocked inserts or refreshes a memory-tier entry, evicting from the
-// LRU tail past capacity.
+// memPutLocked inserts or refreshes a memory-tier entry (storing its own
+// copy of val), evicting from the LRU tail past capacity.
 func (c *Cache) memPutLocked(key string, val []byte) {
 	if el, ok := c.mem[key]; ok {
-		el.Value.(*memEntry).val = val
+		el.Value.(*memEntry).val = clone(val)
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.mem[key] = c.lru.PushFront(&memEntry{key: key, val: val})
+	c.mem[key] = c.lru.PushFront(&memEntry{key: key, val: clone(val)})
 	for c.lru.Len() > c.memEntries {
 		tail := c.lru.Back()
 		c.lru.Remove(tail)

@@ -243,6 +243,128 @@ func TestCacheCorruptDiskEntry(t *testing.T) {
 	}
 }
 
+// TestCachePanickingComputeReleasesFlight: a compute that panics must not
+// leak its flight entry — waiters unblock with an error and the key stays
+// usable for the next caller.
+func TestCachePanickingComputeReleasesFlight(t *testing.T) {
+	c, err := New("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	leaderPanicked := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanicked <- recover() }()
+		c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+			<-release
+			panic("compute exploded")
+		})
+	}()
+	for c.Stats().Misses == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// A waiter joins the doomed flight before the panic fires.
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+			t.Error("waiter must not compute while the flight is open")
+			return nil, nil
+		})
+		waiterDone <- err
+	}()
+	for c.Stats().Shared == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	if r := <-leaderPanicked; r == nil {
+		t.Fatal("panic did not propagate to the leader's caller")
+	}
+	select {
+	case err := <-waiterDone:
+		if err == nil {
+			t.Fatal("waiter of a panicked flight returned no error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter still blocked: panicked flight leaked")
+	}
+
+	// The key must be fully usable again.
+	b, prov, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+		return []byte(`{"ok":true}`), nil
+	})
+	if err != nil || prov != Computed || string(b) != `{"ok":true}` {
+		t.Fatalf("key unusable after panicked flight: (%q, %v, %v)", b, prov, err)
+	}
+}
+
+// TestCacheReturnedSlicesIsolated: mutating a slice returned by any read
+// path — or one previously handed to Put — must not corrupt later hits.
+func TestCacheReturnedSlicesIsolated(t *testing.T) {
+	c, err := New(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"v":1}`
+	stored := []byte(want)
+	c.Put("k", stored)
+	stored[0] = 'X' // caller scribbles on the slice it stored
+
+	got, prov, ok := c.Lookup("k")
+	if !ok || prov != FromMemory || string(got) != want {
+		t.Fatalf("after store-side mutation: (%q, %v, %v), want %q", got, prov, ok, want)
+	}
+	got[0] = 'Y' // caller scribbles on the slice it was handed
+	if got2, _, ok := c.Lookup("k"); !ok || string(got2) != want {
+		t.Fatalf("after hit-side mutation: %q, want %q", got2, want)
+	}
+	if got3, _, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+		t.Error("hit must not compute")
+		return nil, nil
+	}); err != nil || string(got3) != want {
+		t.Fatalf("GetOrCompute after mutations: (%q, %v), want %q", got3, err, want)
+	}
+}
+
+// TestCacheStaleTempSweep: New removes temp files orphaned by a crashed
+// diskPut, but keeps a concurrent writer's fresh temp file and every real
+// entry.
+func TestCacheStaleTempSweep(t *testing.T) {
+	dir := t.TempDir()
+	c, err := New(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("deadbeef", []byte(`{"v":1}`))
+
+	fan := filepath.Join(dir, "de")
+	stale := filepath.Join(fan, ".deadbeef.tmp123456")
+	fresh := filepath.Join(fan, ".cafef00d.tmp654321")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := New(dir, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived the sweep: %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp file was swept: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(fan, "deadbeef.json")); err != nil {
+		t.Fatalf("real entry was swept: %v", err)
+	}
+}
+
 // TestCacheConcurrentDistinctKeys hammers the cache with distinct keys to
 // exercise LRU eviction and disk writes under the race detector.
 func TestCacheConcurrentDistinctKeys(t *testing.T) {

@@ -31,7 +31,7 @@ import (
 // (a golden-corpus diff): entries written under an old version must never be
 // returned for a new one. The version string is hashed into every key, so a
 // bump invalidates the whole store without touching it.
-const Version = "sunfloor3d-memo/v1"
+const Version = "sunfloor3d-memo/v2"
 
 // executionKnobs classifies every field reachable from Key's parameters that
 // the canonical encoder deliberately does NOT hash, keyed by its dotted path
@@ -158,6 +158,27 @@ func Key(g *model.CommGraph, opt synth.Options) string {
 		e.f64(s.BurstFactor)
 		e.f64(s.MeanBurstCycles)
 		e.f64(s.HotspotFactor)
+	}
+
+	// Section 5: the exploration space. The axes define the enumerated
+	// points and NoPrune switches between stubbed and fully evaluated
+	// dominated regions, so both shape the serialised Result. The
+	// checkpoint/shard hooks are execution plumbing (a resumed or merged run
+	// is byte-identical to an uninterrupted one) and stay out, which is also
+	// what lets every shard of one exploration share one fingerprint.
+	e.str("space")
+	e.bool(opt.Space != nil)
+	if opt.Space != nil {
+		s := opt.Space
+		e.bool(s.NoPrune)
+		e.i64(int64(len(s.Axes)))
+		for _, a := range s.Axes {
+			e.str(a.Name)
+			e.i64(int64(len(a.Values)))
+			for _, v := range a.Values {
+				e.f64(v)
+			}
+		}
 	}
 
 	return hex.EncodeToString(h.Sum(nil))

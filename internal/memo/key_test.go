@@ -112,12 +112,41 @@ func TestKeyCoversResultAffectingFields(t *testing.T) {
 		"require_latency":   func(o *synth.Options) { o.RequireLatencyMet = true },
 		"library_link_bits": func(o *synth.Options) { o.Lib.LinkWidthBits = 64 },
 		"library_sw_power":  func(o *synth.Options) { o.Lib.SwitchBasePowerMW *= 2 },
+		"space_present": func(o *synth.Options) {
+			o.Space = &synth.Space{Axes: []synth.Axis{{Name: synth.AxisFreqMHz, Values: []float64{400}}}}
+		},
+		"space_no_prune": func(o *synth.Options) {
+			o.Space = &synth.Space{NoPrune: true, Axes: []synth.Axis{{Name: synth.AxisFreqMHz, Values: []float64{400}}}}
+		},
+		"space_axis_name": func(o *synth.Options) {
+			o.Space = &synth.Space{Axes: []synth.Axis{{Name: synth.AxisSwitchCount, Values: []float64{400}}}}
+		},
+		"space_axis_value": func(o *synth.Options) {
+			o.Space = &synth.Space{Axes: []synth.Axis{{Name: synth.AxisFreqMHz, Values: []float64{600}}}}
+		},
 	}
 	for name, mutate := range mutations {
 		opt := base
 		mutate(&opt)
 		if k := Key(g, opt); k == ref {
 			t.Errorf("mutating %s did not change the key", name)
+		}
+	}
+
+	// The space variants must also differ pairwise, not just from the
+	// space-less reference: presence, NoPrune, axis name and axis values all
+	// feed the key.
+	spaceKeys := map[string]string{}
+	for _, name := range []string{"space_present", "space_no_prune", "space_axis_name", "space_axis_value"} {
+		opt := base
+		mutations[name](&opt)
+		spaceKeys[name] = Key(g, opt)
+	}
+	for a, ka := range spaceKeys {
+		for b, kb := range spaceKeys {
+			if a < b && ka == kb {
+				t.Errorf("%s and %s share a key", a, b)
+			}
 		}
 	}
 

@@ -1,0 +1,35 @@
+package noclib
+
+// PowerFloorMW returns an analytic lower bound on the total NoC power of any
+// complete topology the synthesis engine can produce with at least
+// `switches` switches for a design with `cores` cores and
+// `totalTrafficMBps` of aggregate flow bandwidth, at freqMHz. It is the
+// branch-and-bound bound of the design-space explorer: build-independent, so
+// it holds for every partitioning, theta retry and Phase-2 fallback alike.
+//
+// The bound keeps only terms every such topology must pay:
+//
+//   - per-switch base power for the requested switch count (the router can
+//     only add switches, never remove them);
+//   - port power for max(cores, switches) input and output ports — every
+//     attached core contributes one input and one output port at its switch,
+//     and SwitchPowerMW clamps every empty port dimension to one;
+//   - switch traffic power for the aggregate bandwidth once — every routed
+//     flow traverses at least one switch;
+//   - network-interface power for every core.
+//
+// Link power (wire and vertical) is dropped entirely. The bound is monotone
+// nondecreasing in `switches`, which is what lets the explorer prune whole
+// switch-count suffixes.
+func (l Library) PowerFloorMW(cores, switches int, freqMHz, totalTrafficMBps float64) float64 {
+	if switches < 1 {
+		switches = 1
+	}
+	ports := cores
+	if switches > ports {
+		ports = switches
+	}
+	static := float64(switches)*l.SwitchBasePowerMW + float64(2*ports)*l.SwitchPortPowerMW
+	dynamic := l.SwitchTrafficPowerMWPerGBps * totalTrafficMBps / 1000.0
+	return static*l.freqScale(freqMHz) + dynamic + float64(cores)*l.NIPowerMWAt(freqMHz)
+}

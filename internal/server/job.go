@@ -37,6 +37,9 @@ type ProgressEvent struct {
 	FreqMHz     float64 `json:"freq_mhz,omitempty"`
 	SwitchCount int     `json:"switch_count,omitempty"`
 	Valid       bool    `json:"valid,omitempty"`
+	// Pruned marks explorer stubs that were skipped by exact pruning instead
+	// of being evaluated ("progress" only).
+	Pruned bool `json:"pruned,omitempty"`
 	// Status and the optional fields below are set on the terminal event.
 	Status JobStatus       `json:"status,omitempty"`
 	Cache  memo.Provenance `json:"cache,omitempty"`

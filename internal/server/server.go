@@ -204,6 +204,7 @@ func (s *Server) run(q queued) {
 				FreqMHz:     ev.Point.FreqMHz,
 				SwitchCount: ev.Point.SwitchCount,
 				Valid:       ev.Point.Valid,
+				Pruned:      ev.Point.Pruned,
 			})
 		}))
 		res, err := sunfloor3d.Synthesize(s.baseCtx, q.design, opts...)
@@ -245,6 +246,22 @@ type RequestOptions struct {
 	RequireLatencyMet   *bool     `json:"require_latency_met,omitempty"`
 	Weight              *int      `json:"weight,omitempty"`
 	Parallelism         *int      `json:"parallelism,omitempty"`
+	// Space switches the request from the classic frequency sweep to the
+	// N-dimensional design-space explorer (sunfloor3d.WithSpace). Checkpoint
+	// files and shards are per-process concerns and are not exposed here.
+	Space *SpaceRequest `json:"space,omitempty"`
+}
+
+// SpaceRequest mirrors sunfloor3d.Space in the JSON request body.
+type SpaceRequest struct {
+	Axes    []AxisRequest `json:"axes"`
+	NoPrune bool          `json:"no_prune,omitempty"`
+}
+
+// AxisRequest mirrors sunfloor3d.Axis: one named exploration dimension.
+type AxisRequest struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
 }
 
 // maxRequestBody bounds the accepted request size (specs are text; even
@@ -361,6 +378,13 @@ func (s *Server) parseRequest(req *SynthesizeRequest) (*sunfloor3d.Design, []sun
 	}
 	if o.Parallelism != nil {
 		opts = append(opts, sunfloor3d.WithParallelism(*o.Parallelism))
+	}
+	if o.Space != nil {
+		sp := sunfloor3d.Space{NoPrune: o.Space.NoPrune}
+		for _, a := range o.Space.Axes {
+			sp.Axes = append(sp.Axes, sunfloor3d.Axis{Name: a.Name, Values: a.Values})
+		}
+		opts = append(opts, sunfloor3d.WithSpace(sp))
 	}
 	return design, opts, nil
 }

@@ -1,0 +1,281 @@
+package synth
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/topology"
+)
+
+// exploreSpace runs the N-dimensional design-space explorer: the cross
+// product of Options.Space's axes, enumerated as (frequency, vcs, link
+// width) cells whose interior is the switch-count sweep of the classic
+// engine. Cells are the unit of pruning, checkpointing and sharding.
+//
+// Unless Space.NoPrune is set, two exact pruning rules apply:
+//
+//   - Duplicate cells. VC count and link width influence no
+//     result-affecting metric: validity, power and latency are computed
+//     before (and independently of) simulation, the simulator parameterises
+//     VCs/flit width but reports its statistics outside the serialised
+//     result, and the link width only reaches the JSON through the TSV-macro
+//     area term, which never enters the objective or the Pareto front. So
+//     within one frequency only the first (vcs, lw) combination — the probe
+//     cell — is evaluated; every other cell would reproduce the probe's
+//     points at higher indices, where neither ParetoIndices (lowest-index
+//     representative per (power, latency)) nor pickBest (strict improvement
+//     only) can ever select them. Those cells become stubs.
+//
+//   - Branch and bound over switch counts. Cell 0 — the first probe, which
+//     holds the lowest-indexed points of the whole space and is therefore
+//     evaluated by every shard — supplies witness points. A switch count k
+//     at frequency f is pruned when some valid witness sits at or below both
+//     the analytic latency floor LatencyFloorCycles(f) and the analytic
+//     power floor PowerFloorMW(f, k). Both floors hold for every topology
+//     the engine can build at (f, k) regardless of partitioning, theta
+//     retries or the Phase-2 fallback, so the skipped point is dominated (or
+//     exactly duplicated) by an earlier-indexed witness and can reach
+//     neither the front nor the best point. The power floor is monotone in
+//     k, so pruning typically removes whole switch-count suffixes.
+//
+// The explorer never applies the LPOnBest refinement: refinement mutates the
+// winning point's metrics after the sweep, which would break the byte-exact
+// equivalence between computed, restored and sharded cells that
+// checkpointing relies on. Callers wanting refined switch positions re-run
+// the winning cell through the classic engine.
+func exploreSpace(ctx context.Context, g *model.CommGraph, opt Options, cache *partitionCache, p *pool) (*Result, error) {
+	sp := opt.Space
+	cells := sp.cells(opt)
+	counts := sp.intValues(AxisSwitchCount)
+	for _, c := range counts {
+		if c > g.NumCores() {
+			return nil, fmt.Errorf("synth: axis %s value %d exceeds the design's %d cores",
+				AxisSwitchCount, c, g.NumCores())
+		}
+	}
+	prune := !sp.NoPrune
+	hooks := opt.explore
+	owns := func(ci int) bool { return hooks.Own == nil || hooks.Own(ci) }
+
+	perCell := make([][]DesignPoint, len(cells))
+
+	// emitAll surfaces points that did not run through forEach (restored,
+	// pruned-stub and skipped-stub cells) to the progress stream.
+	emitAll := func(pts []DesignPoint) {
+		p.addTotal(len(pts))
+		for _, dp := range pts {
+			p.emit(dp)
+		}
+	}
+	// finish records a computed cell and hands it to the checkpoint hook.
+	// Done calls are serialised across the concurrently-finishing cells.
+	var doneMu sync.Mutex
+	finish := func(ci int, pts []DesignPoint) {
+		perCell[ci] = pts
+		if hooks.Done != nil {
+			doneMu.Lock()
+			hooks.Done(ci, pts)
+			doneMu.Unlock()
+		}
+	}
+	restore := func(ci int) bool {
+		if hooks.Restore == nil {
+			return false
+		}
+		pts, ok := hooks.Restore(ci)
+		if !ok {
+			return false
+		}
+		perCell[ci] = pts
+		emitAll(pts)
+		return true
+	}
+	compute := func(ci int, pruneFn func(int) string) error {
+		co := cellOptions(opt, cells[ci], counts, pruneFn)
+		pts, err := synthesizeAtFrequency(g, co, cells[ci].freq, cache, p)
+		if err != nil {
+			return err
+		}
+		finish(ci, pts)
+		return nil
+	}
+	// cellShape returns the point skeleton of a cell — one entry per point
+	// the full sweep would produce, in order — without building anything.
+	cellShape := func(freq float64) []DesignPoint {
+		if opt.Phase == Phase2Only {
+			_, _, maxExtra := phase2Plan(opt, freq, cache)
+			return make([]DesignPoint, maxExtra+1)
+		}
+		pts := make([]DesignPoint, g.NumCores())
+		if counts != nil {
+			pts = make([]DesignPoint, len(counts))
+		}
+		for i := range pts {
+			if counts != nil {
+				pts[i].SwitchCount = counts[i]
+			} else {
+				pts[i].SwitchCount = i + 1
+			}
+		}
+		return pts
+	}
+	stubCell := func(ci int, pruned bool, reason string) {
+		pts := cellShape(cells[ci].freq)
+		for i := range pts {
+			pts[i].FreqMHz = cells[ci].freq
+			pts[i].Pruned = pruned
+			pts[i].FailReason = reason
+		}
+		perCell[ci] = pts
+		emitAll(pts)
+	}
+
+	// Cell 0 is the witness source of the branch-and-bound rule, so with
+	// pruning enabled every run (every shard) materialises it, owned or not.
+	if prune {
+		if !restore(0) {
+			if err := compute(0, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Branch-and-bound floors, from the cell-0 witnesses. minPAt returns the
+	// lowest witness power at or below the latency floor of the given
+	// frequency (+Inf when no witness qualifies, disabling the rule there).
+	var totalBW float64
+	var witnesses []DesignPoint
+	if prune {
+		for _, f := range g.Flows {
+			totalBW += f.BandwidthMBps
+		}
+		for _, w := range perCell[0] {
+			if w.Valid {
+				witnesses = append(witnesses, w)
+			}
+		}
+	}
+	minPAt := func(freq float64) float64 {
+		latFloor := topology.LatencyFloorCycles(g, opt.Lib, freq)
+		minP := math.Inf(1)
+		for _, w := range witnesses {
+			if w.Metrics.AvgLatencyCycles <= latFloor && w.Metrics.Power.TotalMW() < minP {
+				minP = w.Metrics.Power.TotalMW()
+			}
+		}
+		return minP
+	}
+	pruneFor := func(ci int) func(int) string {
+		freq := cells[ci].freq
+		minP := minPAt(freq)
+		if math.IsInf(minP, 1) {
+			return nil
+		}
+		latFloor := topology.LatencyFloorCycles(g, opt.Lib, freq)
+		return func(k int) string {
+			plb := opt.Lib.PowerFloorMW(g.NumCores(), k, freq, totalBW)
+			if plb >= minP {
+				return fmt.Sprintf("pruned: power floor %.4g mW at %d switches cannot beat %.4g mW at the %.4g-cycle latency floor (cell 0)",
+					plb, k, minP, latFloor)
+			}
+			return ""
+		}
+	}
+
+	// run materialises one cell: restore beats everything (a merged
+	// checkpoint may hold cells this shard does not own), unowned cells
+	// become skipped stubs, duplicate cells become pruned stubs, and what
+	// remains is evaluated for real (probes of later frequencies with the
+	// branch-and-bound rule active).
+	run := func(ci int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if perCell[ci] != nil { // cell 0, already materialised above
+			return nil
+		}
+		if restore(ci) {
+			return nil
+		}
+		if !owns(ci) {
+			stubCell(ci, false, fmt.Sprintf("skipped: cell %d is owned by another shard", ci))
+			return nil
+		}
+		if prune && !cells[ci].probe {
+			stubCell(ci, true, fmt.Sprintf("pruned: duplicate of cell %d (vcs/link width change no result-affecting metric)", probeCellIndex(cells, ci)))
+			return nil
+		}
+		var pruneFn func(int) string
+		if prune && ci > 0 {
+			pruneFn = pruneFor(ci)
+		}
+		return compute(ci, pruneFn)
+	}
+
+	errs := make([]error, len(cells))
+	if p.serial {
+		for ci := range cells {
+			if err := run(ci); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for ci := range cells {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				errs[ci] = run(ci)
+			}(ci)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	res := &Result{}
+	for _, pts := range perCell {
+		res.Points = append(res.Points, pts...)
+	}
+	res.Best = pickBest(res.Points, opt)
+	res.Cache = cache.stats()
+	return res, nil
+}
+
+// probeCellIndex returns the index of the probe cell sharing cell ci's
+// frequency.
+func probeCellIndex(cells []cellSpec, ci int) int {
+	for j := ci; j >= 0; j-- {
+		if cells[j].freqIdx == cells[ci].freqIdx && cells[j].probe {
+			return j
+		}
+	}
+	return 0
+}
+
+// cellOptions derives the classic single-frequency options of one cell: the
+// cell's frequency, its VC/link-width overrides, and the explorer's
+// switch-count restriction and branch-and-bound hook.
+func cellOptions(opt Options, c cellSpec, counts []int, pruneFn func(int) string) Options {
+	co := opt
+	co.Space = nil
+	co.explore = ExplorationHooks{}
+	co.FrequenciesMHz = []float64{c.freq}
+	if c.vcs > 0 {
+		scfg := *opt.Sim
+		scfg.VCs = c.vcs
+		co.Sim = &scfg
+	}
+	if c.lw > 0 {
+		co.Lib.LinkWidthBits = c.lw
+	}
+	co.explCounts = counts
+	co.explPrune = pruneFn
+	return co
+}

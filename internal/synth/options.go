@@ -138,6 +138,30 @@ type Options struct {
 	// the point's evaluation and is deterministic for a fixed config, so it
 	// does not perturb the ordering or identity of the returned points.
 	Sim *sim.Config
+	// Space, when non-nil, replaces the classic frequency x switch-count
+	// sweep with the N-dimensional design-space explorer: the cross product
+	// of the space's axes is enumerated in a deterministic order, provably
+	// dominated regions are pruned before partitioning and routing (unless
+	// Space.NoPrune), and every point — evaluated or pruned — appears in
+	// Result.Points. A space with a freq_mhz axis overrides FrequenciesMHz.
+	// Explorer runs never apply the LPOnBest refinement (re-run the winning
+	// cell through a classic sweep for refined switch positions).
+	Space *Space
+
+	// explore holds the checkpoint/shard hooks installed by
+	// SetExplorationHooks. Like Progress, the hooks are execution plumbing
+	// with no influence on what evaluated cells contain, so they are
+	// excluded from the cache fingerprint.
+	explore ExplorationHooks
+	// explCounts restricts the Phase-1 switch-count sweep to the listed
+	// counts (nil = the classic 1..NumCores). Set by the explorer on the
+	// per-cell option copies it hands to synthesizeAtFrequency.
+	explCounts []int
+	// explPrune, when non-nil, is consulted before building any Phase-1
+	// point: a non-empty return is the prune reason and the point becomes a
+	// stub without being partitioned, routed or evaluated. Set by the
+	// explorer (branch-and-bound rule) on per-cell option copies.
+	explPrune func(switches int) string
 }
 
 // DefaultOptions returns the options used throughout the paper's experiments:
@@ -187,6 +211,11 @@ func (o Options) Validate() error {
 	}
 	if o.Sim != nil {
 		if err := o.Sim.Validate(); err != nil {
+			return err
+		}
+	}
+	if o.Space != nil {
+		if err := o.Space.validate(o); err != nil {
 			return err
 		}
 	}

@@ -83,6 +83,16 @@ func (p *pool) close() {
 	}
 }
 
+// addTotal grows the scheduled-point count without running an evaluation.
+// The explorer uses it to account for pruned, restored and shard-skipped
+// points, which are then surfaced through emit like evaluated ones so
+// progress consumers see every point and every pruning decision.
+func (p *pool) addTotal(n int) {
+	p.mu.Lock()
+	p.total += n
+	p.mu.Unlock()
+}
+
 // emit records one finished point and forwards it to the progress callback.
 func (p *pool) emit(dp DesignPoint) {
 	p.mu.Lock()

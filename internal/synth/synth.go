@@ -34,7 +34,14 @@ type DesignPoint struct {
 	Theta float64
 	// Valid reports whether the point meets all constraints.
 	Valid bool
-	// FailReason explains why an invalid point was rejected.
+	// Pruned reports that the design-space explorer proved the point cannot
+	// beat an already-explored point and skipped building it: the point is a
+	// stub (Valid false, Phase 0, no Topology) whose FailReason names the
+	// pruning decision. Pruning is exact — a pruned run's Pareto front and
+	// best point are byte-identical to the exhaustive run's.
+	Pruned bool
+	// FailReason explains why an invalid point was rejected (or, for Pruned
+	// and shard-skipped stubs, why it was not built).
 	FailReason string
 	// Route reports what the path-computation step did for this point
 	// (deterministic given the topology, so identical between serial,
@@ -166,6 +173,9 @@ func SynthesizeContext(ctx context.Context, g *model.CommGraph, opt Options) (*R
 	// and never leaks a goroutine or an evaluation slot.
 	defer p.close()
 	cache := newPartitionCache(g, opt.Partition, !opt.DisablePartitionCache)
+	if opt.Space != nil {
+		return exploreSpace(ctx, g, opt, cache, p)
+	}
 	perFreq := make([][]DesignPoint, len(opt.FrequenciesMHz))
 	errs := make([]error, len(opt.FrequenciesMHz))
 	if p.serial {
@@ -297,12 +307,37 @@ func synthesizeAtFrequency(g *model.CommGraph, opt Options, freq float64, cache 
 // remain unmet after the theta sweep are retried with the layer-by-layer
 // method.
 func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 bool, cache *partitionCache, p *pool) ([]DesignPoint, error) {
+	// The explorer restricts the swept switch counts to an explicit list;
+	// the classic sweep covers 1..NumCores. countOf maps a sweep slot to its
+	// switch count, slotOf inverts it for the retry rounds (which track
+	// counts, not slots).
+	counts := opt.explCounts
 	n := g.NumCores()
+	if counts != nil {
+		n = len(counts)
+	}
+	countOf := func(slot int) int {
+		if counts == nil {
+			return slot + 1
+		}
+		return counts[slot]
+	}
+	slotOf := func(count int) int {
+		if counts == nil {
+			return count - 1
+		}
+		for s, c := range counts {
+			if c == count {
+				return s
+			}
+		}
+		return -1 // unreachable: retries only hold swept counts
+	}
 	pg := cache.pg(0)
 	points := make([]DesignPoint, n)
 	err := p.forEach(n,
 		func(i int) DesignPoint {
-			return timed(func() DesignPoint { return buildPhase1Point(g, opt, freq, cache, pg, i+1, 0) })
+			return timed(func() DesignPoint { return buildPhase1Point(g, opt, freq, cache, pg, countOf(i), 0) })
 		},
 		func(i int, dp DesignPoint) { points[i] = dp })
 	if err != nil {
@@ -310,8 +345,11 @@ func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 b
 	}
 	var unmet []int
 	for i := range points {
-		if !points[i].Valid {
-			unmet = append(unmet, i+1)
+		// Pruned stubs are proven unable to reach the front or the best
+		// point, so they are never retried by theta rescaling or the Phase-2
+		// fallback either.
+		if !points[i].Valid && !points[i].Pruned {
+			unmet = append(unmet, countOf(i))
 		}
 	}
 
@@ -334,7 +372,7 @@ func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 b
 			var still []int
 			for j, dp := range retried {
 				if dp.Valid {
-					points[unmet[j]-1] = dp
+					points[slotOf(unmet[j])] = dp
 				} else {
 					still = append(still, unmet[j])
 				}
@@ -353,7 +391,7 @@ func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 b
 			// Find a valid Phase-2 point with a comparable total switch count.
 			for _, dp := range p2 {
 				if dp.Valid && dp.SwitchCount == i {
-					points[i-1] = dp
+					points[slotOf(i)] = dp
 					break
 				}
 			}
@@ -366,6 +404,15 @@ func phase1Sweep(g *model.CommGraph, opt Options, freq float64, fallbackPhase2 b
 // given switch count, fetching the core partition of pg (the PG for theta 0,
 // the theta-scaled SPG otherwise) from the sweep-wide cache.
 func buildPhase1Point(g *model.CommGraph, opt Options, freq float64, cache *partitionCache, pg *graph.Graph, switches int, theta float64) DesignPoint {
+	// Branch and bound (explorer only): the bound is build-independent — a
+	// function of the frequency and switch count alone — so a count pruned
+	// here is pruned identically on the initial sweep, every theta retry and
+	// the Phase-2 fallback, and phase1Sweep never retries it.
+	if opt.explPrune != nil {
+		if reason := opt.explPrune(switches); reason != "" {
+			return DesignPoint{FreqMHz: freq, SwitchCount: switches, Pruned: true, FailReason: reason}
+		}
+	}
 	dp := DesignPoint{FreqMHz: freq, SwitchCount: switches, Phase: 1, Theta: theta}
 	assign := cache.coreAssignment(pg, theta, switches)
 	blocks := graph.Blocks(assign, switches)
@@ -412,12 +459,29 @@ func buildPhase1Point(g *model.CommGraph, opt Options, freq float64, cache *part
 // (number of extra switches per layer) is an independent design point
 // evaluated on the worker pool.
 func phase2Sweep(g *model.CommGraph, opt Options, freq float64, cache *partitionCache, p *pool) ([]DesignPoint, error) {
-	lpgs := cache.layerGraphs()
+	lpgs, minPerLayer, maxExtra := phase2Plan(opt, freq, cache)
+	points := make([]DesignPoint, maxExtra+1)
+	err := p.forEach(maxExtra+1,
+		func(i int) DesignPoint {
+			return timed(func() DesignPoint { return buildPhase2Point(g, opt, freq, cache, lpgs, minPerLayer, i) })
+		},
+		func(i int, dp DesignPoint) { points[i] = dp })
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// phase2Plan computes the Phase-2 sweep prologue (steps 2-4 of Algorithm 2):
+// the per-layer graphs, the minimum switches per layer, and the number of
+// extra-switch steps to sweep. It is shared by phase2Sweep and by the
+// explorer, which needs the sweep's point count (maxExtra+1) to shape the
+// stubs of pruned and shard-skipped Phase-2 cells without building anything.
+func phase2Plan(opt Options, freq float64, cache *partitionCache) (lpgs []partition.LPG, minPerLayer []int, maxExtra int) {
+	lpgs = cache.layerGraphs()
 	maxSwSize := opt.Lib.MaxSwitchSize(freq)
 
-	// Minimum switches per layer (steps 2-4).
-	minPerLayer := make([]int, len(lpgs))
-	maxExtra := 0
+	minPerLayer = make([]int, len(lpgs))
 	for j, l := range lpgs {
 		n := len(l.Vertices)
 		if n == 0 {
@@ -432,17 +496,7 @@ func phase2Sweep(g *model.CommGraph, opt Options, freq float64, cache *partition
 	if opt.MaxSwitchesPerLayer > 0 && maxExtra > opt.MaxSwitchesPerLayer {
 		maxExtra = opt.MaxSwitchesPerLayer
 	}
-
-	points := make([]DesignPoint, maxExtra+1)
-	err := p.forEach(maxExtra+1,
-		func(i int) DesignPoint {
-			return timed(func() DesignPoint { return buildPhase2Point(g, opt, freq, cache, lpgs, minPerLayer, i) })
-		},
-		func(i int, dp DesignPoint) { points[i] = dp })
-	if err != nil {
-		return nil, err
-	}
-	return points, nil
+	return lpgs, minPerLayer, maxExtra
 }
 
 // buildPhase2Point builds and evaluates the Phase-2 design point with `extra`

@@ -1,0 +1,36 @@
+package topology
+
+import (
+	"sunfloor3d/internal/geom"
+	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/noclib"
+)
+
+// LatencyFloorCycles returns an analytic lower bound on the average zero-load
+// latency (Metrics.AvgLatencyCycles) of any complete topology for the design
+// at freqMHz, independent of how cores are partitioned, where switches are
+// placed and how flows are routed. It is the branch-and-bound bound of the
+// design-space explorer.
+//
+// Per flow, FlowLatencyCycles charges one cycle per traversed switch plus
+// LinkPipelineStages for every planar link segment. A route with s switches
+// has s+1 segments whose planar lengths sum to at least the direct Manhattan
+// distance D between the core centres (triangle inequality), so the total is
+// at least (s-1) + D/reach >= max(1, LinkPipelineStages(D)) by integrality.
+// The floor averages that per-flow bound over all flows, matching how
+// AvgLatencyCycles averages over all (routed) flows on valid points.
+func LatencyFloorCycles(g *model.CommGraph, lib noclib.Library, freqMHz float64) float64 {
+	if g.NumFlows() == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range g.Flows {
+		d := geom.Manhattan(g.Cores[f.Src].Center(), g.Cores[f.Dst].Center())
+		lf := float64(lib.LinkPipelineStages(d, freqMHz))
+		if lf < 1 {
+			lf = 1
+		}
+		sum += lf
+	}
+	return sum / float64(g.NumFlows())
+}

@@ -66,10 +66,55 @@ type Process = noclib.Process
 // (Fig. 1).
 func StandardProcesses() []Process { return noclib.StandardProcesses() }
 
+// Axis is one dimension of an exploration Space: a named parameter and the
+// ordered values to sweep (see the Axis* constants).
+type Axis = synth.Axis
+
+// Space is an N-dimensional design space for the explorer (WithSpace): the
+// cross product of its axes, enumerated deterministically, with exact
+// dominated-region pruning unless NoPrune is set.
+type Space = synth.Space
+
+// Axis names accepted by Space.
+const (
+	// AxisFreqMHz sweeps the NoC operating frequency (replaces
+	// WithFrequenciesMHz as the frequency dimension when present).
+	AxisFreqMHz = synth.AxisFreqMHz
+	// AxisSwitchCount restricts the switch-count sweep to the listed counts.
+	AxisSwitchCount = synth.AxisSwitchCount
+	// AxisVCs sweeps the simulator virtual-channel count (needs
+	// WithSimulation).
+	AxisVCs = synth.AxisVCs
+	// AxisLinkWidthBits sweeps the library link width.
+	AxisLinkWidthBits = synth.AxisLinkWidthBits
+)
+
 // config collects the effect of the functional options of a run.
 type config struct {
-	opt      synth.Options
-	progress func(Event)
+	opt        synth.Options
+	progress   func(Event)
+	checkpoint string
+	shardIndex int
+	shardCount int
+}
+
+// validate checks the cross-option constraints the synth layer cannot see.
+func (c *config) validate() error {
+	if err := c.opt.Validate(); err != nil {
+		return err
+	}
+	if c.shardCount > 0 {
+		if c.opt.Space == nil {
+			return fmt.Errorf("sunfloor3d: WithShard requires WithSpace")
+		}
+		if c.shardIndex < 0 || c.shardIndex >= c.shardCount {
+			return fmt.Errorf("sunfloor3d: shard index %d out of range [0, %d)", c.shardIndex, c.shardCount)
+		}
+	}
+	if c.checkpoint != "" && c.opt.Space == nil {
+		return fmt.Errorf("sunfloor3d: WithCheckpoint requires WithSpace")
+	}
+	return nil
 }
 
 func defaultConfig() config {
@@ -215,6 +260,57 @@ func WithScheduler(s *Scheduler) Option {
 // proportion to its weight. Without WithScheduler the weight is ignored.
 func WithFairShareWeight(w int) Option {
 	return func(c *config) { c.opt.Weight = w }
+}
+
+// WithSpace replaces the classic frequency x switch-count sweep with the
+// N-dimensional design-space explorer over the given space. Points are
+// enumerated in a deterministic order (frequency, then VC count, then link
+// width, with the switch-count sweep innermost); provably dominated regions
+// are pruned before partitioning and routing unless Space.NoPrune is set,
+// and every pruned point appears in Result.Points as a stub with
+// DesignPoint.Pruned and a FailReason naming the decision. Pruning is
+// exact: the Pareto front and the best point are byte-identical to the
+// brute-force enumeration of the same space.
+//
+// Explorer runs skip the LPOnBest refinement (its post-sweep mutation of
+// the winning point would break the byte-exact cell equivalence that
+// checkpointing and sharding rely on); re-run the winning configuration
+// through a classic sweep when refined switch positions are needed.
+func WithSpace(s Space) Option {
+	return func(c *config) {
+		sc := Space{Axes: make([]Axis, len(s.Axes)), NoPrune: s.NoPrune}
+		for i, a := range s.Axes {
+			sc.Axes[i] = Axis{Name: a.Name, Values: append([]float64(nil), a.Values...)}
+		}
+		c.opt.Space = &sc
+	}
+}
+
+// WithCheckpoint makes an explorer run resumable: every finished exploration
+// cell is appended to the JSON-lines file at path (one atomic line per
+// cell), keyed by the request's Fingerprint, and a later run with the same
+// design, options and checkpoint restores the finished cells instead of
+// recomputing them. A resumed run returns a Result byte-identical to an
+// uninterrupted one. Checkpoint files of different shards of the same
+// request can be concatenated and restored together, which makes shard
+// merges exact. Resuming with a checkpoint written by a different request
+// fails rather than mixing results. Requires WithSpace.
+func WithCheckpoint(path string) Option {
+	return func(c *config) { c.checkpoint = path }
+}
+
+// WithShard(i, n) makes the run evaluate only the exploration cells c with
+// c % n == i (plus the witness cell 0 that pruning needs everywhere);
+// all other cells appear in the result as skipped stubs. Running every
+// shard 0..n-1 with per-shard checkpoints and then re-running unsharded
+// against the concatenated checkpoint yields the exact unsharded Result.
+// A sharded run's Result is partial — do not cache it under the request
+// fingerprint. Requires WithSpace.
+func WithShard(index, count int) Option {
+	return func(c *config) {
+		c.shardIndex = index
+		c.shardCount = count
+	}
 }
 
 // WithSimulation runs the flit-level traffic simulator on every valid design

@@ -31,6 +31,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"testing"
 
@@ -241,5 +242,144 @@ func checkWorkload(t *testing.T, spec GenSpec, i int) {
 		if !bytes.Equal(first, j2) {
 			t.Error("regenerated workload synthesizes to different bytes")
 		}
+	}
+}
+
+// TestExplorerProperties extends the harness to the N-dimensional explorer:
+// over generated workloads of every shape it asserts that
+//
+//   - pruned exploration is exact: the Pareto front and best point match the
+//     brute-force (NoPrune) enumeration byte for byte;
+//   - an exploration interrupted mid-run (context cancel) and resumed from
+//     its checkpoint is byte-identical to an uninterrupted run;
+//   - sharding the space n ways and merging the shard checkpoints (plain
+//     concatenation) reproduces the unsharded bytes exactly.
+//
+// The explorer evaluates each workload several times (baseline, brute,
+// interrupt, resume, shards, merge), so the harness visits a quarter of the
+// usual workload count.
+func TestExplorerProperties(t *testing.T) {
+	n := (propertyN(t) + 3) / 4
+	for _, shape := range workload.Shapes() {
+		shape := shape
+		t.Run(shape.String(), func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < n; i++ {
+				i := i
+				t.Run(fmt.Sprintf("w%02d", i), func(t *testing.T) {
+					t.Parallel()
+					checkExplorerWorkload(t, propertySpec(shape, i), i)
+				})
+			}
+		})
+	}
+}
+
+func checkExplorerWorkload(t *testing.T, spec GenSpec, i int) {
+	bench, err := GenerateBenchmark(spec)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	design := bench.Graph3D
+	sp := Space{Axes: []Axis{
+		{Name: AxisFreqMHz, Values: []float64{400, 600}},
+		{Name: AxisLinkWidthBits, Values: []float64{16, 32, 64}},
+	}}
+	ctx := context.Background()
+
+	baseline, err := Synthesize(ctx, design, WithSpace(sp))
+	if err != nil {
+		t.Fatalf("explore %s: %v", bench.Name, err)
+	}
+	baseJSON, err := baseline.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactness against brute force.
+	brute := sp
+	brute.NoPrune = true
+	exhaustive, err := Synthesize(ctx, design, WithSpace(brute))
+	if err != nil {
+		t.Fatalf("brute-force explore: %v", err)
+	}
+	pf, err := json.Marshal(baseline.ParetoFront())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := json.Marshal(exhaustive.ParetoFront())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pf, bf) {
+		t.Error("pruned Pareto front differs from brute force")
+	}
+	pb, err := json.Marshal(baseline.Best())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := json.Marshal(exhaustive.Best())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pb, bb) {
+		t.Error("pruned best point differs from brute force")
+	}
+
+	dir := t.TempDir()
+
+	// Interrupt mid-run, then resume from the checkpoint.
+	ckpt := filepath.Join(dir, "resume.ckpt")
+	cctx, cancel := context.WithCancel(ctx)
+	events, stopAfter := 0, 2+i%5
+	_, _ = Synthesize(cctx, design, WithSpace(sp), WithCheckpoint(ckpt),
+		WithProgress(func(Event) {
+			events++
+			if events == stopAfter {
+				cancel()
+			}
+		}))
+	cancel()
+	resumed, err := Synthesize(ctx, design, WithSpace(sp), WithCheckpoint(ckpt))
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	rj, err := resumed.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baseJSON, rj) {
+		t.Error("resumed exploration differs from uninterrupted run")
+	}
+
+	// Shard n ways, merge the checkpoints, restore the merged file.
+	shards := 2 + i%3
+	var merged []byte
+	for s := 0; s < shards; s++ {
+		sckpt := filepath.Join(dir, fmt.Sprintf("shard%d.ckpt", s))
+		if _, err := Synthesize(ctx, design, WithSpace(sp),
+			WithShard(s, shards), WithCheckpoint(sckpt)); err != nil {
+			t.Fatalf("shard %d/%d: %v", s, shards, err)
+		}
+		data, err := os.ReadFile(sckpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged = append(merged, data...)
+	}
+	mpath := filepath.Join(dir, "merged.ckpt")
+	if err := os.WriteFile(mpath, merged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mres, err := Synthesize(ctx, design, WithSpace(sp), WithCheckpoint(mpath))
+	if err != nil {
+		t.Fatalf("merged restore: %v", err)
+	}
+	mj, err := mres.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(baseJSON, mj) {
+		t.Errorf("%d-way shard merge differs from unsharded run", shards)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"sunfloor3d/internal/route"
 	"sunfloor3d/internal/synth"
 	"sunfloor3d/internal/topology"
 )
@@ -104,7 +105,13 @@ type DesignPoint struct {
 	Theta float64 `json:"theta,omitempty"`
 	// Valid reports whether the point meets all constraints.
 	Valid bool `json:"valid"`
-	// FailReason explains why an invalid point was rejected.
+	// Pruned reports that the design-space explorer proved the point cannot
+	// beat an already-explored point and skipped building it; FailReason
+	// names the pruning decision. Pruning is exact: a pruned run's Pareto
+	// front and best point are byte-identical to the brute-force run's.
+	Pruned bool `json:"pruned,omitempty"`
+	// FailReason explains why an invalid point was rejected (or why a
+	// pruned or shard-skipped stub was not built).
 	FailReason string `json:"fail_reason,omitempty"`
 	// Metrics is the evaluation of the point's topology.
 	Metrics Metrics `json:"metrics"`
@@ -135,6 +142,7 @@ func pointFromInternal(dp synth.DesignPoint) DesignPoint {
 		Phase:       dp.Phase,
 		Theta:       dp.Theta,
 		Valid:       dp.Valid,
+		Pruned:      dp.Pruned,
 		FailReason:  dp.FailReason,
 		Metrics:     metricsFromInternal(dp.Metrics),
 		Route: RouteStats{
@@ -148,6 +156,50 @@ func pointFromInternal(dp synth.DesignPoint) DesignPoint {
 		SimElapsed: dp.SimElapsed,
 		topo:       dp.Topology,
 	}
+}
+
+// internalFromPoint is the inverse of pointFromInternal over the serialised
+// fields: it rebuilds the internal design point a checkpointed public point
+// came from, such that re-serialising it reproduces the original bytes.
+// Execution-only fields (Elapsed, Sim, the live Topology) are gone, exactly
+// like on any point that crossed a JSON boundary; Route.Failed is
+// reconstructed by length only, which is all the serialisation carries.
+func internalFromPoint(p DesignPoint) synth.DesignPoint {
+	dp := synth.DesignPoint{
+		FreqMHz:     p.FreqMHz,
+		SwitchCount: p.SwitchCount,
+		Phase:       p.Phase,
+		Theta:       p.Theta,
+		Valid:       p.Valid,
+		Pruned:      p.Pruned,
+		FailReason:  p.FailReason,
+		Metrics: topology.Metrics{
+			Power: topology.PowerBreakdown{
+				SwitchMW:     p.Metrics.Power.SwitchMW,
+				SwitchLinkMW: p.Metrics.Power.SwitchLinkMW,
+				CoreLinkMW:   p.Metrics.Power.CoreLinkMW,
+				NIMW:         p.Metrics.Power.NIMW,
+			},
+			AvgLatencyCycles:  p.Metrics.AvgLatencyCycles,
+			MaxLatencyCycles:  p.Metrics.MaxLatencyCycles,
+			TotalWireLengthMM: p.Metrics.TotalWireLengthMM,
+			NoCAreaMM2:        p.Metrics.NoCAreaMM2,
+			MaxILL:            p.Metrics.MaxILL,
+			TSVMacros:         p.Metrics.TSVMacros,
+			NumSwitches:       p.Metrics.NumSwitches,
+			LatencyViolations: p.Metrics.LatencyViolations,
+			WireLengthsMM:     append([]float64(nil), p.Metrics.WireLengthsMM...),
+		},
+		Route: route.Result{
+			Routed:           p.Route.Routed,
+			IndirectSwitches: p.Route.IndirectSwitches,
+			DeadlockRetries:  p.Route.DeadlockRetries,
+		},
+	}
+	if p.Route.FailedFlows > 0 {
+		dp.Route.Failed = make([]int, p.Route.FailedFlows)
+	}
+	return dp
 }
 
 // Topology returns the synthesized NoC of this point, or nil when the point
