@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"sunfloor3d/internal/synth"
@@ -31,10 +32,12 @@ type checkpointRecord struct {
 // be concatenated into the file (plain `cat`) and are restored identically,
 // which is what makes shard merges exact.
 type checkpointFile struct {
-	f     *os.File
+	f *os.File
+	// w is the append target: c.f in production, injectable in tests so the
+	// failing-writer path can be exercised without filesystem tricks.
+	w     io.Writer
 	fp    string
 	cells map[int][]synth.DesignPoint
-	err   error
 }
 
 // openCheckpoint loads (or creates) the checkpoint at path for the request
@@ -83,6 +86,7 @@ func openCheckpoint(path, fingerprint string) (*checkpointFile, error) {
 		return nil, fmt.Errorf("sunfloor3d: opening checkpoint %s: %w", path, err)
 	}
 	ck.f = f
+	ck.w = f
 	return ck, nil
 }
 
@@ -93,31 +97,26 @@ func (c *checkpointFile) restore(cell int) ([]synth.DesignPoint, bool) {
 }
 
 // append implements synth.ExplorationHooks.Done: it persists one finished
-// cell as a single appended line. Write errors are remembered and surfaced
-// when the run finishes — a requested checkpoint that cannot be written is
-// an error, not a silent no-op.
-func (c *checkpointFile) append(cell int, pts []synth.DesignPoint) {
-	if c.err != nil {
-		return
-	}
+// cell as a single appended line. A write error is returned immediately and
+// fails the exploration — continuing past it would finish the sweep against a
+// checkpoint that is silently stale, and a later resume would recompute work
+// the caller believed was persisted.
+func (c *checkpointFile) append(cell int, pts []synth.DesignPoint) error {
 	rec := checkpointRecord{V: checkpointVersion, FP: c.fp, Cell: cell, Points: make([]DesignPoint, len(pts))}
 	for i, dp := range pts {
 		rec.Points[i] = pointFromInternal(dp)
 	}
 	data, err := json.Marshal(rec)
 	if err != nil {
-		c.err = err
-		return
+		return fmt.Errorf("sunfloor3d: encoding checkpoint cell %d: %w", cell, err)
 	}
-	if _, err := c.f.Write(append(data, '\n')); err != nil {
-		c.err = err
+	if _, err := c.w.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("sunfloor3d: writing checkpoint cell %d: %w", cell, err)
 	}
+	return nil
 }
 
-// close releases the file handle and reports any write error the run hit.
+// close releases the file handle.
 func (c *checkpointFile) close() error {
-	if err := c.f.Close(); c.err == nil && err != nil {
-		c.err = err
-	}
-	return c.err
+	return c.f.Close()
 }

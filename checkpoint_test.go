@@ -1,0 +1,58 @@
+package sunfloor3d
+
+// Failure-path tests of the checkpoint writer: an append that cannot be
+// persisted must fail the exploration immediately rather than let the run
+// finish against a silently stale checkpoint.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sunfloor3d/internal/synth"
+)
+
+// failingWriter fails every write with a fixed error.
+type failingWriter struct{ err error }
+
+func (w failingWriter) Write(p []byte) (int, error) { return 0, w.err }
+
+func TestCheckpointAppendSurfacesWriteError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ck, err := openCheckpoint(path, "fp-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.close()
+
+	// A healthy writer persists the cell and reports no error.
+	if err := ck.append(0, []synth.DesignPoint{{SwitchCount: 2, Valid: true}}); err != nil {
+		t.Fatalf("append to healthy writer: %v", err)
+	}
+
+	// A failing writer surfaces the error to the caller on the spot.
+	sinkErr := errors.New("sink full")
+	ck.w = failingWriter{err: sinkErr}
+	err = ck.append(1, []synth.DesignPoint{{SwitchCount: 3}})
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("append error = %v, want wrapped %v", err, sinkErr)
+	}
+	if !strings.Contains(err.Error(), "cell 1") {
+		t.Errorf("append error %q does not name the failed cell", err)
+	}
+
+	// The healthy write made it to disk; the failed one did not.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimRight(string(data), "\n"), "\n") + 1
+	if lines != 1 {
+		t.Errorf("checkpoint holds %d lines, want exactly the one healthy append", lines)
+	}
+	if !strings.Contains(string(data), `"cell":0`) {
+		t.Errorf("checkpoint %q does not hold cell 0", data)
+	}
+}

@@ -82,6 +82,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"sunfloor3d"
 	"sunfloor3d/internal/memo"
@@ -118,6 +119,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		doFloor  = fs.Bool("floorplan", true, "insert the NoC components into the floorplan")
 		asJSON   = fs.Bool("json", false, "print the structured result as JSON on stdout instead of the text summary")
 		progress = fs.Bool("progress", false, "report each evaluated design point on stderr")
+
+		withFaults  = fs.Bool("faults", false, "replay deterministic link-fault plans against every valid design point and attach the survivability report")
+		faultPlans  = fs.Int("fault-plans", 16, "random fault plans per design point (exhaustive single-fault enumeration takes over on small designs)")
+		faultsPer   = fs.Int("faults-per-plan", 1, "links failing together in each random fault plan")
+		faultSeed   = fs.Int64("fault-seed", 1, "seed of the weighted fault-plan sampling")
+		spares      = fs.Bool("spares", false, "provision spare TSVs/wires sized for -yield-target on -process")
+		yieldTarget = fs.Float64("yield-target", 0.99, "functional-yield target of -spares, in (0, 1)")
+		procName    = fs.String("process", "wafer-level-A", "manufacturing process of -spares: wafer-level-A, wafer-level-B or die-to-wafer")
 
 		simulate   = fs.Bool("simulate", false, "run the flit-level traffic simulator on every valid design point")
 		simCycles  = fs.Int("sim-cycles", 0, "simulation injection horizon in cycles (0 = default)")
@@ -224,6 +233,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		opts = append(opts, sunfloor3d.WithShard(idx, cnt))
 	}
+	if *spares {
+		proc, err := sunfloor3d.ProcessByName(*procName)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, sunfloor3d.WithSparing(proc, *yieldTarget))
+	}
+	if *withFaults {
+		fc := sunfloor3d.DefaultFaultModelConfig()
+		fc.Plans = *faultPlans
+		fc.FaultsPerPlan = *faultsPer
+		fc.Seed = *faultSeed
+		opts = append(opts, sunfloor3d.WithFaultModel(fc))
+	}
 	if *simulate {
 		profile, err := sunfloor3d.ParseSimProfile(*simProfile)
 		if err != nil {
@@ -261,6 +284,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			sweep, *maxILL, *phase, *alpha, *powerW, *latencyW, *jobs, axes, *noPrune)
 		if err != nil {
 			return err
+		}
+		if *spares {
+			req.Options.Sparing = &server.SparingRequest{Process: *procName, TargetYield: *yieldTarget}
+		}
+		if *withFaults {
+			req.Options.Fault = &server.FaultRequest{Plans: faultPlans, FaultsPerPlan: faultsPer, Seed: faultSeed}
 		}
 		return runViaServer(ctx, *serverURL, req, *outDir, *asJSON, *progress, stdout, stderr)
 	}
@@ -575,7 +604,7 @@ func runViaServer(ctx context.Context, baseURL string, req server.SynthesizeRequ
 		prov, key string
 	)
 	if !progress {
-		resp, err := postJSON(ctx, base+"/v1/synthesize?wait=1", body)
+		resp, err := postJSON(ctx, base+"/v1/synthesize?wait=1", body, 0)
 		if err != nil {
 			return err
 		}
@@ -588,7 +617,7 @@ func runViaServer(ctx context.Context, baseURL string, req server.SynthesizeRequ
 			return err
 		}
 	} else {
-		resp, err := postJSON(ctx, base+"/v1/synthesize", body)
+		resp, err := postJSON(ctx, base+"/v1/synthesize", body, submitTimeout)
 		if err != nil {
 			return err
 		}
@@ -606,7 +635,7 @@ func runViaServer(ctx context.Context, baseURL string, req server.SynthesizeRequ
 		if err := relayStream(ctx, base+"/v1/jobs/"+view.ID+"/stream", stderr); err != nil {
 			return err
 		}
-		rr, err := getURL(ctx, base+"/v1/jobs/"+view.ID+"/result")
+		rr, err := getURL(ctx, base+"/v1/jobs/"+view.ID+"/result", resultTimeout)
 		if err != nil {
 			return err
 		}
@@ -632,7 +661,7 @@ func runViaServer(ctx context.Context, baseURL string, req server.SynthesizeRequ
 // relayStream copies the daemon's progress events to stderr in the CLI's
 // -progress line format, returning an error when the job failed.
 func relayStream(ctx context.Context, url string, stderr io.Writer) error {
-	resp, err := getURL(ctx, url)
+	resp, err := getURL(ctx, url, 0)
 	if err != nil {
 		return err
 	}
@@ -701,23 +730,78 @@ func writeRestoredOutputs(outDir string, res *sunfloor3d.Result, resBytes []byte
 	return nil
 }
 
-// postJSON issues a POST with a JSON body.
-func postJSON(ctx context.Context, url string, body []byte) (*http.Response, error) {
-	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return nil, err
+// Transient-failure policy of the -server client. Every request runs under
+// its own per-attempt timeout (0 = unbounded, reserved for the long-lived
+// progress stream and the synchronous wait call, whose durations are the
+// synthesis itself); connection-level errors and 5xx responses are retried
+// with a deterministic, jitterless exponential backoff — the daemon is
+// content-addressed and single-flight, so resubmitting an identical request
+// is idempotent. 4xx responses, malformed bodies and context cancellation
+// surface immediately.
+const (
+	serverAttempts     = 4
+	serverRetryBackoff = 250 * time.Millisecond
+	submitTimeout      = 30 * time.Second
+	resultTimeout      = 2 * time.Minute
+)
+
+// doServerRequest issues one HTTP exchange against the daemon under the
+// client's retry policy. The returned response has a non-5xx status; the
+// caller owns its body.
+func doServerRequest(ctx context.Context, method, url string, body []byte, timeout time.Duration) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < serverAttempts; attempt++ {
+		if attempt > 0 {
+			// 250ms, 500ms, 1s — fixed schedule, no jitter: reproducible
+			// client behaviour beats thundering-herd protection for a
+			// single-user CLI.
+			delay := serverRetryBackoff << (attempt - 1)
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		hr, err := http.NewRequestWithContext(ctx, method, url, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			hr.Header.Set("Content-Type", "application/json")
+		}
+		client := &http.Client{Timeout: timeout}
+		resp, err := client.Do(hr)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err // connection refused/reset, per-attempt timeout: transient
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = serverError(resp)
+			resp.Body.Close()
+			continue
+		}
+		return resp, nil
 	}
-	hr.Header.Set("Content-Type", "application/json")
-	return http.DefaultClient.Do(hr)
+	return nil, fmt.Errorf("server: giving up after %d attempts: %w", serverAttempts, lastErr)
 }
 
-// getURL issues a GET.
-func getURL(ctx context.Context, url string) (*http.Response, error) {
-	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, err
-	}
-	return http.DefaultClient.Do(hr)
+// postJSON issues a POST with a JSON body under the retry policy.
+func postJSON(ctx context.Context, url string, body []byte, timeout time.Duration) (*http.Response, error) {
+	return doServerRequest(ctx, http.MethodPost, url, body, timeout)
+}
+
+// getURL issues a GET under the retry policy.
+func getURL(ctx context.Context, url string, timeout time.Duration) (*http.Response, error) {
+	return doServerRequest(ctx, http.MethodGet, url, nil, timeout)
 }
 
 // serverError turns a non-success daemon response into an error, surfacing

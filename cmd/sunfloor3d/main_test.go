@@ -10,10 +10,12 @@ import (
 	"bytes"
 	"context"
 	"flag"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -276,6 +278,109 @@ func TestCLICheckpointResume(t *testing.T) {
 
 // TestCLIServerMode: -server submits to a daemon and writes the same
 // structured result as a local run; -progress relays the daemon's stream.
+// TestServerClientRetryPolicy drives doServerRequest against scripted
+// daemons: 5xx and connection failures are retried up to serverAttempts
+// times with the fixed backoff schedule, 4xx surfaces immediately without a
+// retry, and cancellation interrupts the backoff wait.
+func TestServerClientRetryPolicy(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("recovers after transient 5xx", func(t *testing.T) {
+		var hits int32
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if atomic.AddInt32(&hits, 1) <= 2 {
+				http.Error(w, `{"error":"busy"}`, http.StatusServiceUnavailable)
+				return
+			}
+			w.Write([]byte("ok"))
+		}))
+		defer ts.Close()
+		resp, err := getURL(ctx, ts.URL, time.Second)
+		if err != nil {
+			t.Fatalf("request failed despite recovery: %v", err)
+		}
+		resp.Body.Close()
+		if got := atomic.LoadInt32(&hits); got != 3 {
+			t.Errorf("server hit %d times, want 3 (2 failures + 1 success)", got)
+		}
+	})
+
+	t.Run("gives up after bounded attempts", func(t *testing.T) {
+		var hits int32
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			atomic.AddInt32(&hits, 1)
+			http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+		}))
+		defer ts.Close()
+		_, err := getURL(ctx, ts.URL, time.Second)
+		if err == nil {
+			t.Fatal("permanently failing server did not error")
+		}
+		if !strings.Contains(err.Error(), "giving up after 4 attempts") {
+			t.Errorf("error %q does not report the attempt budget", err)
+		}
+		if got := atomic.LoadInt32(&hits); got != serverAttempts {
+			t.Errorf("server hit %d times, want %d", got, serverAttempts)
+		}
+	})
+
+	t.Run("4xx surfaces without retry", func(t *testing.T) {
+		var hits int32
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			atomic.AddInt32(&hits, 1)
+			http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+		}))
+		defer ts.Close()
+		resp, err := getURL(ctx, ts.URL, time.Second)
+		if err != nil {
+			t.Fatalf("4xx must be returned to the caller, got transport error %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("status %d, want 400", resp.StatusCode)
+		}
+		if got := atomic.LoadInt32(&hits); got != 1 {
+			t.Errorf("server hit %d times, want exactly 1 (no retry on 4xx)", got)
+		}
+	})
+
+	t.Run("cancellation interrupts the backoff", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+		}))
+		defer ts.Close()
+		cctx, cancel := context.WithCancel(ctx)
+		go func() {
+			time.Sleep(50 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		_, err := getURL(cctx, ts.URL, time.Second)
+		if err == nil {
+			t.Fatal("cancelled request returned no error")
+		}
+		// The full backoff schedule is 1.75s; cancellation must cut it short.
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Errorf("cancellation took %v to surface", elapsed)
+		}
+	})
+
+	t.Run("connection errors are retried", func(t *testing.T) {
+		// A closed listener: every attempt fails at the dial, so the client
+		// must walk the whole schedule and report the last dial error.
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+		url := ts.URL
+		ts.Close()
+		_, err := getURL(ctx, url, 200*time.Millisecond)
+		if err == nil {
+			t.Fatal("unreachable server did not error")
+		}
+		if !strings.Contains(err.Error(), "giving up after 4 attempts") {
+			t.Errorf("error %q does not report the attempt budget", err)
+		}
+	})
+}
+
 func TestCLIServerMode(t *testing.T) {
 	s, err := server.New(server.Config{})
 	if err != nil {

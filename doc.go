@@ -192,6 +192,46 @@
 // ("go test -bench=ServerThroughput -benchtime=1x") records cold-vs-warm
 // request latency and concurrent warm throughput to BENCH_PR6.json.
 //
+// # Fault-aware synthesis and sparing
+//
+// WithSparing(process, targetYield) provisions spare TSVs on vertical
+// inter-switch links and spare wires on planar ones, sized so the
+// fabricated link set reaches the functional-yield target on the given
+// manufacturing process (ProcessByName / StandardProcesses); the extra TSV
+// count is reported in Metrics.SpareTSVMacros. WithFaultModel(cfg) replays
+// deterministic link-fault plans against every valid design point — the
+// exhaustive single-fault enumeration on small designs, a
+// seed-deterministic failure-probability-weighted random sample otherwise —
+// and attaches the verdict to DesignPoint.Survivability (serialised under
+// "survivability"). Every plan ends absorbed (a spare masked each fault),
+// repaired (stranded flows re-routed over the surviving links by
+// internal/route.RepairRoutes, with the repaired route set re-validated
+// for connectivity, capacity and channel-dependency-graph acyclicity) or
+// certified dead (some flow provably has no surviving path):
+//
+//	proc, _ := sunfloor3d.ProcessByName("wafer-level-A")
+//	res, err := sunfloor3d.Synthesize(ctx, design,
+//		sunfloor3d.WithSparing(proc, 0.99),
+//		sunfloor3d.WithFaultModel(sunfloor3d.DefaultFaultModelConfig()))
+//	...
+//	rep := res.Best().Survivability
+//	// e.g. rep.Plans=3 (exhaustive), rep.Absorbed=1, rep.Repaired=1,
+//	// rep.Dead=1, rep.ReroutedFlows=1, rep.WorstLatencyInflation=1.18:
+//	// one fault masked by a spare, one survived by re-routing a single
+//	// flow at an 18% zero-load latency cost, one link a single point of
+//	// failure. Survived/Plans < 1 with sparing on means the yield target
+//	// or the topology needs revisiting.
+//
+// Combined with WithSimulation, every non-absorbed plan is cross-validated
+// in the flit simulator: the fault is injected into the unrepaired topology
+// at cfg.FaultCycle (SimDetected counts watchdog flags) and the repaired
+// topology must complete a clean run (SimDeadlocks stays 0). The replay is
+// fully deterministic — plans, spare sizing, repairs and reports are
+// byte-identical across serial, parallel, cached and uncached runs
+// (TestFaultProperties asserts this over generated workloads of every
+// shape), and the cache fingerprint covers both options, so fault-aware
+// and plain results never alias.
+//
 // # Determinism contract and static enforcement
 //
 // Everything above assumes one contract: a Result is a pure function of the
@@ -218,6 +258,7 @@
 //   - internal/topology   — the NoC topology data structure and its evaluation
 //   - internal/route      — deadlock-free path computation under 3-D constraints
 //   - internal/sim        — deterministic flit-level wormhole traffic simulator
+//   - internal/fault      — fault plans, spare sizing and the survivability replay
 //   - internal/place      — switch-position LP and floorplan insertion
 //   - internal/floorplan  — SA sequence-pair floorplanner (Parquet substitute)
 //   - internal/mesh       — optimized-mesh baseline

@@ -71,11 +71,11 @@ func (e *Engine) Synthesize(ctx context.Context, d *Design) (*Result, error) {
 	res, err := synth.SynthesizeContext(ctx, d, opt)
 	if ck != nil {
 		// Cells checkpointed before a failure (including cancellation) are
-		// kept — that is the point of resumability — but a checkpoint that
-		// could not be written must fail the run rather than silently
-		// produce an unresumable file.
+		// kept — that is the point of resumability. Append errors already
+		// failed the run through the Done hook; close only has the file
+		// handle left to report.
 		if cerr := ck.close(); cerr != nil && err == nil {
-			return nil, fmt.Errorf("sunfloor3d: writing checkpoint: %w", cerr)
+			return nil, fmt.Errorf("sunfloor3d: closing checkpoint: %w", cerr)
 		}
 	}
 	if err != nil {

@@ -1,0 +1,105 @@
+package sunfloor3d_test
+
+// Facade-level tests of the fault-aware options: WithSparing and
+// WithFaultModel attach a survivability report to every valid point, the
+// report survives JSON round trips and shows up in Report(), and invalid
+// configurations are rejected at engine construction.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sunfloor3d"
+)
+
+func TestSynthesizeWithFaultModel(t *testing.T) {
+	d := apiDesign(t)
+	proc, err := sunfloor3d.ProcessByName("wafer-level-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := sunfloor3d.DefaultFaultModelConfig()
+	fc.Plans = 4
+	res, err := sunfloor3d.Synthesize(context.Background(), d,
+		sunfloor3d.WithSparing(proc, 0.99),
+		sunfloor3d.WithFaultModel(fc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res.Best()
+	if best == nil {
+		t.Fatal("no valid design point")
+	}
+	rep := best.Survivability
+	if rep == nil {
+		t.Fatal("best point carries no survivability report")
+	}
+	if rep.Survived+rep.Dead != rep.Plans {
+		t.Errorf("survived %d + dead %d != plans %d", rep.Survived, rep.Dead, rep.Plans)
+	}
+	for pi := range res.Points {
+		p := &res.Points[pi]
+		if p.Valid && p.Survivability == nil {
+			t.Errorf("valid point %d carries no survivability report", pi)
+		}
+	}
+
+	// The report is part of the serialised Result and round-trips.
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"survivability"`)) {
+		t.Error("survivability missing from the result JSON")
+	}
+	var restored sunfloor3d.Result
+	if err := json.Unmarshal(raw, &restored); err != nil {
+		t.Fatal(err)
+	}
+	again, err := json.Marshal(&restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, again) {
+		t.Error("fault-aware result JSON does not round-trip byte-identically")
+	}
+
+	// The human-readable report names the fault outcome.
+	text := best.Report()
+	for _, want := range []string{"fault_plans", "fault_survived_fraction"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Report() lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFaultOptionValidation(t *testing.T) {
+	proc, err := sunfloor3d.ProcessByName("wafer-level-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opt  sunfloor3d.Option
+	}{
+		{"target yield 0", sunfloor3d.WithSparing(proc, 0)},
+		{"target yield 1", sunfloor3d.WithSparing(proc, 1)},
+		{"zero-valued process", sunfloor3d.WithSparing(sunfloor3d.Process{}, 0.99)},
+		{"empty fault model", sunfloor3d.WithFaultModel(sunfloor3d.FaultModelConfig{})},
+		{"negative fault cycle", sunfloor3d.WithFaultModel(sunfloor3d.FaultModelConfig{
+			Plans: 4, FaultsPerPlan: 1, FaultCycle: -1,
+		})},
+	}
+	for _, tc := range cases {
+		if _, err := sunfloor3d.NewEngine(tc.opt); err == nil {
+			t.Errorf("%s: engine accepted an invalid configuration", tc.name)
+		}
+	}
+
+	if _, err := sunfloor3d.ProcessByName("no-such-process"); err == nil {
+		t.Error("unknown process name accepted")
+	}
+}

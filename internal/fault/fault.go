@@ -1,0 +1,188 @@
+// Package fault implements the fault-aware side of the synthesis flow:
+// deterministic fault-plan generation over the fabricated inter-switch links,
+// spare-TSV/link sizing from a manufacturing process and a target yield, and
+// the replay harness that verifies graceful degradation — every injected
+// fault plan must end either fully absorbed by spares, repaired into a
+// deadlock-free re-routed topology, or certified dead (some flow provably has
+// no surviving path).
+//
+// Everything in this package is seed-deterministic: equal (topology, config,
+// seed) inputs produce byte-identical plans and byte-identical survivability
+// reports, which is what lets the property harness compare serial and
+// parallel synthesis runs flit for flit and byte for byte.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sunfloor3d/internal/noclib"
+	"sunfloor3d/internal/topology"
+)
+
+// Site is a fabricated directed inter-switch link that can fail. Vertical
+// sites carry one TSV per crossed layer boundary; planar sites are on-layer
+// wires.
+type Site struct {
+	// From and To are the switch IDs of the directed link.
+	From, To int
+	// Boundaries is the number of layer boundaries the link crosses
+	// (0 = planar link).
+	Boundaries int
+}
+
+// Vertical reports whether the site crosses at least one layer boundary and
+// therefore uses TSVs.
+func (s Site) Vertical() bool { return s.Boundaries > 0 }
+
+// Fault identifies one failed directed inter-switch link.
+type Fault struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Plan is one manufacturing-fault scenario: the set of links that fail
+// together.
+type Plan struct {
+	Faults []Fault `json:"faults"`
+}
+
+// Sites returns the failure sites of the topology: every directed
+// switch-to-switch link implied by the committed routes, in the deterministic
+// ascending (From, To) order of Topology.SwitchLinks.
+func Sites(t *topology.Topology) []Site {
+	links := t.SwitchLinks()
+	sites := make([]Site, 0, len(links))
+	for _, l := range links {
+		d := t.Switches[l.From].Layer - t.Switches[l.To].Layer
+		if d < 0 {
+			d = -d
+		}
+		sites = append(sites, Site{From: l.From, To: l.To, Boundaries: d})
+	}
+	return sites
+}
+
+// SingleFaultPlans enumerates every single-link fault plan, one per site, in
+// site order. For small designs this is the exhaustive fault universe.
+func SingleFaultPlans(t *topology.Topology) []Plan {
+	sites := Sites(t)
+	plans := make([]Plan, len(sites))
+	for i, s := range sites {
+		plans[i] = Plan{Faults: []Fault{{From: s.From, To: s.To}}}
+	}
+	return plans
+}
+
+// siteWeight is the relative failure probability of a site on the process: a
+// vertical link fails when any of its TSVs fails, a planar wire fails as a
+// unit at a twentieth of the per-TSV rate (wires need no through-silicon
+// etch, so manufacturing defects are far rarer).
+func siteWeight(s Site, proc noclib.Process) float64 {
+	p := proc.TSVFailureRate
+	if s.Vertical() {
+		surv := 1.0
+		for i := 0; i < s.Boundaries; i++ {
+			surv *= 1 - p
+		}
+		return 1 - surv
+	}
+	return p / planarRateDivisor
+}
+
+// planarRateDivisor scales the per-TSV failure rate down to the failure rate
+// of a planar wire.
+const planarRateDivisor = 20
+
+// RandomPlans draws n fault plans of faultsPerPlan distinct links each,
+// weighting every site by its failure probability on the process, so the
+// plans follow the physical fault distribution instead of a uniform one.
+// The sampling is fully determined by the seed: equal inputs return
+// byte-identical plans.
+func RandomPlans(t *topology.Topology, n, faultsPerPlan int, seed int64, proc noclib.Process) []Plan {
+	sites := Sites(t)
+	if len(sites) == 0 || n <= 0 || faultsPerPlan <= 0 {
+		return nil
+	}
+	if faultsPerPlan > len(sites) {
+		faultsPerPlan = len(sites)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	plans := make([]Plan, n)
+	weights := make([]float64, len(sites))
+	for i := range plans {
+		// Weighted sampling without replacement over a fresh weight vector.
+		for j, s := range sites {
+			weights[j] = siteWeight(s, proc)
+		}
+		faults := make([]Fault, 0, faultsPerPlan)
+		for len(faults) < faultsPerPlan {
+			total := 0.0
+			for _, w := range weights {
+				total += w
+			}
+			r := rng.Float64() * total
+			pick := len(sites) - 1
+			acc := 0.0
+			for j, w := range weights {
+				acc += w
+				if r < acc && w > 0 {
+					pick = j
+					break
+				}
+			}
+			faults = append(faults, Fault{From: sites[pick].From, To: sites[pick].To})
+			weights[pick] = 0
+		}
+		plans[i] = Plan{Faults: faults}
+	}
+	return plans
+}
+
+// ModelConfig configures the fault-injection replay attached to a synthesis
+// run.
+type ModelConfig struct {
+	// Plans is the number of random fault plans replayed against every valid
+	// design point (ignored when the exhaustive enumeration applies).
+	Plans int
+	// FaultsPerPlan is the number of distinct links that fail together in
+	// each random plan.
+	FaultsPerPlan int
+	// Seed drives the weighted fault-site sampling. Equal seeds give
+	// byte-identical plans and reports.
+	Seed int64
+	// ExhaustiveMax switches to the exhaustive single-fault enumeration
+	// whenever the design has at most this many fault sites (0 disables the
+	// exhaustive path).
+	ExhaustiveMax int
+	// FaultCycle is the simulated cycle at which the plan's links die when
+	// the replay cross-validates a fault dynamically (0 = dead from reset).
+	FaultCycle int
+}
+
+// DefaultModelConfig returns the replay configuration used by the CLI when
+// -faults is given without further tuning: 16 single-fault random plans, with
+// exhaustive enumeration taking over on designs of up to 24 fault sites.
+func DefaultModelConfig() ModelConfig {
+	return ModelConfig{Plans: 16, FaultsPerPlan: 1, Seed: 1, ExhaustiveMax: 24}
+}
+
+// Validate checks the configuration values.
+func (c ModelConfig) Validate() error {
+	checks := []struct {
+		ok  bool
+		msg string
+	}{
+		{c.Plans > 0 || c.ExhaustiveMax > 0, "fault: Plans must be positive (or ExhaustiveMax set)"},
+		{c.Plans >= 0, "fault: Plans must be non-negative"},
+		{c.FaultsPerPlan > 0, "fault: FaultsPerPlan must be positive"},
+		{c.ExhaustiveMax >= 0, "fault: ExhaustiveMax must be non-negative"},
+		{c.FaultCycle >= 0, "fault: FaultCycle must be non-negative"},
+	}
+	for _, ch := range checks {
+		if !ch.ok {
+			return fmt.Errorf("%s", ch.msg)
+		}
+	}
+	return nil
+}

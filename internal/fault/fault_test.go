@@ -1,0 +1,388 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/noclib"
+	"sunfloor3d/internal/route"
+	"sunfloor3d/internal/sim"
+	"sunfloor3d/internal/topology"
+)
+
+// triangle builds the canonical 3-core, 3-switch repair fixture: flows
+// 0 (s0->s1), 1 (s0->s2) and 2 (s2->s1). Killing s0->s1 is repairable via
+// the detour s0->s2->s1; killing either other link is certified dead. With
+// layers=2, c2/s2 sit on layer 1, making s0->s2 and s2->s1 vertical sites.
+func triangle(t *testing.T, layers int) *topology.Topology {
+	t.Helper()
+	l2 := 0
+	if layers > 1 {
+		l2 = 1
+	}
+	cores := []model.Core{
+		{Name: "c0", Width: 1, Height: 1, X: 0, Y: 0, Layer: 0},
+		{Name: "c1", Width: 1, Height: 1, X: 2, Y: 0, Layer: 0},
+		{Name: "c2", Width: 1, Height: 1, X: 1, Y: 2, Layer: l2},
+	}
+	flows := []model.Flow{
+		{Src: 0, Dst: 1, BandwidthMBps: 300},
+		{Src: 0, Dst: 2, BandwidthMBps: 200},
+		{Src: 2, Dst: 1, BandwidthMBps: 100},
+	}
+	g, err := model.NewCommGraph(cores, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := topology.New(g, noclib.DefaultLibrary(), 400)
+	s0, s1, s2 := top.AddSwitch(0), top.AddSwitch(0), top.AddSwitch(l2)
+	top.AttachCore(0, s0)
+	top.AttachCore(1, s1)
+	top.AttachCore(2, s2)
+	top.EstimateSwitchPositions()
+	top.SetRoute(0, []int{s0, s1})
+	top.SetRoute(1, []int{s0, s2})
+	top.SetRoute(2, []int{s2, s1})
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+// highRateProcess fails often enough that every site needs at least one
+// spare at a 0.999 target.
+func highRateProcess() noclib.Process {
+	return noclib.Process{Name: "test-lossy", BaseYield: 0.98, TSVFailureRate: 0.05, KneeTSVs: 400}
+}
+
+func TestSitesOrderAndBoundaries(t *testing.T) {
+	top := triangle(t, 2)
+	sites := Sites(top)
+	want := []Site{
+		{From: 0, To: 1, Boundaries: 0},
+		{From: 0, To: 2, Boundaries: 1},
+		{From: 2, To: 1, Boundaries: 1},
+	}
+	if !reflect.DeepEqual(sites, want) {
+		t.Fatalf("Sites = %+v, want %+v", sites, want)
+	}
+	if sites[0].Vertical() || !sites[1].Vertical() {
+		t.Error("Vertical() disagrees with Boundaries")
+	}
+}
+
+func TestSingleFaultPlansEnumerateEverySite(t *testing.T) {
+	top := triangle(t, 1)
+	plans := SingleFaultPlans(top)
+	sites := Sites(top)
+	if len(plans) != len(sites) {
+		t.Fatalf("got %d plans for %d sites", len(plans), len(sites))
+	}
+	for i, p := range plans {
+		if len(p.Faults) != 1 || p.Faults[0] != (Fault{From: sites[i].From, To: sites[i].To}) {
+			t.Errorf("plan %d = %+v, want the single fault of site %+v", i, p, sites[i])
+		}
+	}
+}
+
+func TestRandomPlansDeterministicAndWeighted(t *testing.T) {
+	top := triangle(t, 2)
+	proc := noclib.StandardProcesses()[0]
+
+	a := RandomPlans(top, 32, 1, 7, proc)
+	b := RandomPlans(top, 32, 1, 7, proc)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal seeds produced different plans")
+	}
+	if len(a) != 32 {
+		t.Fatalf("got %d plans, want 32", len(a))
+	}
+	c := RandomPlans(top, 32, 1, 8, proc)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical plans")
+	}
+
+	// Vertical sites are ~20x likelier than the planar one, so in 32
+	// single-fault draws the planar link s0->s1 must be the minority.
+	planar := 0
+	for _, p := range a {
+		if p.Faults[0] == (Fault{From: 0, To: 1}) {
+			planar++
+		}
+	}
+	if planar > 8 {
+		t.Errorf("planar site drawn %d/32 times despite a 20x lower weight", planar)
+	}
+
+	// faultsPerPlan caps at the site count, and faults within a plan are
+	// distinct.
+	wide := RandomPlans(top, 4, 10, 1, proc)
+	for i, p := range wide {
+		if len(p.Faults) != 3 {
+			t.Fatalf("plan %d has %d faults, want all 3 sites", i, len(p.Faults))
+		}
+		seen := map[Fault]bool{}
+		for _, f := range p.Faults {
+			if seen[f] {
+				t.Errorf("plan %d repeats fault %+v", i, f)
+			}
+			seen[f] = true
+		}
+	}
+
+	if got := RandomPlans(top, 0, 1, 1, proc); got != nil {
+		t.Errorf("n=0 returned %v", got)
+	}
+}
+
+func TestBuildSparingSizesEverySite(t *testing.T) {
+	top := triangle(t, 2)
+	cfg := SparingConfig{Process: highRateProcess(), TargetYield: 0.999}
+	plan, err := BuildSparing(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Links) != 3 {
+		t.Fatalf("sized %d links, want 3", len(plan.Links))
+	}
+	tsvs, wires := 0, 0
+	sites := Sites(top)
+	for i, l := range plan.Links {
+		if l.From != sites[i].From || l.To != sites[i].To {
+			t.Errorf("link %d = %d->%d, want site order %d->%d", i, l.From, l.To, sites[i].From, sites[i].To)
+		}
+		if sites[i].Vertical() {
+			if l.Spares < 1 {
+				t.Errorf("vertical link %d->%d got no spare at 5%% TSV failure rate", l.From, l.To)
+			}
+			tsvs += l.Spares
+		} else {
+			wires += l.Spares
+		}
+	}
+	if plan.SpareTSVs != tsvs || plan.SpareWires != wires {
+		t.Errorf("totals (%d TSVs, %d wires) disagree with the links (%d, %d)",
+			plan.SpareTSVs, plan.SpareWires, tsvs, wires)
+	}
+	if plan.TotalSpares() != tsvs+wires {
+		t.Errorf("TotalSpares = %d, want %d", plan.TotalSpares(), tsvs+wires)
+	}
+
+	// Deterministic: equal inputs give byte-identical plans.
+	again, err := BuildSparing(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, again) {
+		t.Error("equal inputs produced different sparing plans")
+	}
+
+	// A realistic process at a modest target needs far fewer spares.
+	cheap, err := BuildSparing(top, SparingConfig{Process: noclib.StandardProcesses()[0], TargetYield: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.TotalSpares() > plan.TotalSpares() {
+		t.Errorf("realistic process needs %d spares, more than the lossy process's %d",
+			cheap.TotalSpares(), plan.TotalSpares())
+	}
+}
+
+func TestBuildSparingValidation(t *testing.T) {
+	top := triangle(t, 1)
+	bad := []SparingConfig{
+		{Process: highRateProcess(), TargetYield: 0},
+		{Process: highRateProcess(), TargetYield: 1},
+		{Process: noclib.Process{BaseYield: 0, TSVFailureRate: 0.01}, TargetYield: 0.9},
+		{Process: noclib.Process{BaseYield: 0.9, TSVFailureRate: 0}, TargetYield: 0.9},
+	}
+	for i, cfg := range bad {
+		if _, err := BuildSparing(top, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestLinkSurvivalModel(t *testing.T) {
+	proc := highRateProcess()
+	vert := Site{From: 0, To: 1, Boundaries: 2}
+	// More spares never hurt.
+	prev := 0.0
+	for n := 0; n <= 4; n++ {
+		s := linkSurvival(vert, proc, n)
+		if s < prev {
+			t.Errorf("survival dropped from %v to %v at %d spares", prev, s, n)
+		}
+		if s <= 0 || s > 1 {
+			t.Errorf("survival %v out of range at %d spares", s, n)
+		}
+		prev = s
+	}
+	// Zero spares: all b TSVs must work.
+	want := (1 - proc.TSVFailureRate) * (1 - proc.TSVFailureRate)
+	if got := linkSurvival(vert, proc, 0); !almostEq(got, want, 1e-12) {
+		t.Errorf("vertical survival with 0 spares = %v, want %v", got, want)
+	}
+	// Planar: 1+n redundant wires at the derated rate.
+	planar := Site{From: 1, To: 2, Boundaries: 0}
+	q := proc.TSVFailureRate / planarRateDivisor
+	if got := linkSurvival(planar, proc, 1); !almostEq(got, 1-q*q, 1e-12) {
+		t.Errorf("planar survival with 1 spare = %v, want %v", got, 1-q*q)
+	}
+}
+
+func TestBinomialAtMost(t *testing.T) {
+	if got := binomialAtMost(3, 3, 0.5); got != 1 {
+		t.Errorf("P(X<=n) = %v, want 1", got)
+	}
+	// X ~ Binomial(2, 0.5): P(X<=1) = 0.75.
+	if got := binomialAtMost(2, 1, 0.5); !almostEq(got, 0.75, 1e-12) {
+		t.Errorf("P(X<=1) = %v, want 0.75", got)
+	}
+	if got := binomialAtMost(4, 0, 0.1); !almostEq(got, 0.9*0.9*0.9*0.9, 1e-12) {
+		t.Errorf("P(X=0) = %v", got)
+	}
+}
+
+func TestModelConfigValidate(t *testing.T) {
+	if err := DefaultModelConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []ModelConfig{
+		{Plans: 0, FaultsPerPlan: 1},
+		{Plans: -1, FaultsPerPlan: 1, ExhaustiveMax: 8},
+		{Plans: 4, FaultsPerPlan: 0},
+		{Plans: 4, FaultsPerPlan: 1, ExhaustiveMax: -1},
+		{Plans: 4, FaultsPerPlan: 1, FaultCycle: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestReplayExhaustiveTriangle(t *testing.T) {
+	top := triangle(t, 1)
+	mc := ModelConfig{Plans: 4, FaultsPerPlan: 1, Seed: 1, ExhaustiveMax: 24}
+	rep, err := Replay(top, route.DefaultConfig(), mc, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exhaustive {
+		t.Error("3-site design did not take the exhaustive path")
+	}
+	// s0->s1 repairs via the detour; s0->s2 and s2->s1 are certified dead.
+	if rep.Plans != 3 || rep.Repaired != 1 || rep.Dead != 2 || rep.Absorbed != 0 {
+		t.Fatalf("report = %+v, want 3 plans: 1 repaired, 2 dead", rep)
+	}
+	if rep.Survived != 1 || rep.ReroutedFlows != 1 {
+		t.Errorf("Survived = %d, ReroutedFlows = %d, want 1 and 1", rep.Survived, rep.ReroutedFlows)
+	}
+	if f := rep.SurvivedFraction(); !almostEq(f, 1.0/3, 1e-12) {
+		t.Errorf("SurvivedFraction = %v, want 1/3", f)
+	}
+	// The detour is longer, so the repair inflates latency.
+	if rep.WorstLatencyInflation <= 1 {
+		t.Errorf("WorstLatencyInflation = %v, want > 1 for a detour repair", rep.WorstLatencyInflation)
+	}
+	// The replay never mutates its input.
+	if !reflect.DeepEqual(top.Routes[0].Switches, []int{0, 1}) {
+		t.Errorf("Replay mutated the input topology: %v", top.Routes[0].Switches)
+	}
+
+	// Byte-identical on a second run.
+	again, err := Replay(top, route.DefaultConfig(), mc, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(again)
+	if !bytes.Equal(a, b) {
+		t.Errorf("reports differ across runs:\n%s\n%s", a, b)
+	}
+}
+
+func TestReplaySparesAbsorbEverything(t *testing.T) {
+	top := triangle(t, 2)
+	sp, err := BuildSparing(top, SparingConfig{Process: highRateProcess(), TargetYield: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.TotalSpares() < 3 {
+		t.Fatalf("fixture needs a spare on every site, got %+v", sp)
+	}
+	mc := ModelConfig{Plans: 4, FaultsPerPlan: 1, Seed: 1, ExhaustiveMax: 24}
+	rep, err := Replay(top, route.DefaultConfig(), mc, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Absorbed != rep.Plans || rep.Survived != rep.Plans || rep.Dead != 0 {
+		t.Fatalf("spared design not fully absorbed: %+v", rep)
+	}
+	if rep.SparesUsed != rep.Plans {
+		t.Errorf("SparesUsed = %d, want one per plan", rep.SparesUsed)
+	}
+	if rep.SpareUtilization <= 0 || rep.SpareUtilization > 1 {
+		t.Errorf("SpareUtilization = %v out of range", rep.SpareUtilization)
+	}
+	if rep.SpareTSVs != sp.SpareTSVs || rep.SpareWires != sp.SpareWires {
+		t.Errorf("report spares (%d, %d) disagree with the plan (%d, %d)",
+			rep.SpareTSVs, rep.SpareWires, sp.SpareTSVs, sp.SpareWires)
+	}
+}
+
+func TestReplaySimCrossValidation(t *testing.T) {
+	top := triangle(t, 1)
+	scfg := sim.DefaultConfig()
+	scfg.Cycles = 1000
+	scfg.DrainCycles = 1000
+	mc := ModelConfig{Plans: 4, FaultsPerPlan: 1, Seed: 1, ExhaustiveMax: 24}
+	rep, err := Replay(top, route.DefaultConfig(), mc, nil, &scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SimInjected != rep.Plans {
+		t.Errorf("SimInjected = %d, want every non-absorbed plan (%d)", rep.SimInjected, rep.Plans)
+	}
+	if rep.SimDetected == 0 {
+		t.Error("the watchdog never observed an injected fault")
+	}
+	if rep.SimChecked != rep.Repaired {
+		t.Errorf("SimChecked = %d, want one post-repair run per repaired plan (%d)", rep.SimChecked, rep.Repaired)
+	}
+	// The graceful-degradation contract: the watchdog must never trip on a
+	// repaired topology.
+	if rep.SimDeadlocks != 0 {
+		t.Errorf("SimDeadlocks = %d, want 0", rep.SimDeadlocks)
+	}
+}
+
+func TestReplayRandomPath(t *testing.T) {
+	top := triangle(t, 2)
+	mc := ModelConfig{Plans: 8, FaultsPerPlan: 1, Seed: 3, ExhaustiveMax: 0}
+	rep, err := Replay(top, route.DefaultConfig(), mc, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exhaustive {
+		t.Error("ExhaustiveMax=0 still took the exhaustive path")
+	}
+	if rep.Plans != 8 {
+		t.Errorf("Plans = %d, want 8", rep.Plans)
+	}
+	if rep.Survived+rep.Dead != rep.Plans {
+		t.Errorf("survived %d + dead %d != plans %d", rep.Survived, rep.Dead, rep.Plans)
+	}
+}
+
+func almostEq(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < eps
+}

@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"fmt"
+
+	"sunfloor3d/internal/noclib"
+	"sunfloor3d/internal/route"
+	"sunfloor3d/internal/sim"
+	"sunfloor3d/internal/topology"
+)
+
+// Survivability is the per-design-point fault report: how the topology fared
+// against every replayed fault plan. All fields are plain values with fixed
+// JSON names, so the report serialises byte-identically for equal inputs.
+type Survivability struct {
+	// Plans is the number of fault plans replayed.
+	Plans int `json:"plans"`
+	// Exhaustive reports that the plans enumerate every single-link fault of
+	// the design rather than a random sample.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// Survived counts the plans the design survives: every fault absorbed by
+	// a spare, or all stranded flows re-routed deadlock-free.
+	Survived int `json:"survived"`
+	// Absorbed counts the survived plans in which spares masked every fault
+	// and no re-routing was needed.
+	Absorbed int `json:"absorbed"`
+	// Repaired counts the survived plans that needed re-routing.
+	Repaired int `json:"repaired"`
+	// Dead counts the certified-dead plans: some flow provably has no path
+	// over the surviving links.
+	Dead int `json:"dead"`
+	// ReroutedFlows is the total number of stranded flows re-routed across
+	// all repaired plans.
+	ReroutedFlows int `json:"rerouted_flows,omitempty"`
+	// WorstLatencyInflation is the worst ratio of repaired to baseline
+	// average zero-load latency over the repaired plans (1 when no repair
+	// changed the latency).
+	WorstLatencyInflation float64 `json:"worst_latency_inflation,omitempty"`
+	// SpareTSVs and SpareWires echo the provisioned sparing plan.
+	SpareTSVs  int `json:"spare_tsvs,omitempty"`
+	SpareWires int `json:"spare_wires,omitempty"`
+	// SparesUsed is the total number of faults absorbed by a spare across
+	// all plans.
+	SparesUsed int `json:"spares_used,omitempty"`
+	// SpareUtilization is SparesUsed over the total spare capacity offered
+	// across all plans (Plans x TotalSpares).
+	SpareUtilization float64 `json:"spare_utilization,omitempty"`
+	// SimInjected counts the plans whose faults were additionally injected
+	// into the flit-level simulator on the unrepaired topology; SimDetected
+	// counts how many of those runs the runtime watchdog flagged.
+	SimInjected int `json:"sim_injected,omitempty"`
+	SimDetected int `json:"sim_detected,omitempty"`
+	// SimChecked counts the repaired plans whose re-routed topology was
+	// re-simulated; SimDeadlocks counts watchdog trips among them and must
+	// be zero — the repair contract is that the watchdog never fires
+	// post-repair.
+	SimChecked   int `json:"sim_checked,omitempty"`
+	SimDeadlocks int `json:"sim_deadlocks,omitempty"`
+}
+
+// SurvivedFraction returns the fraction of replayed plans the design
+// survived (0 when no plan ran).
+func (s *Survivability) SurvivedFraction() float64 {
+	if s.Plans == 0 {
+		return 0
+	}
+	return float64(s.Survived) / float64(s.Plans)
+}
+
+// Replay runs the fault harness against a routed, validated topology: it
+// generates the fault plans (exhaustive single-fault enumeration when the
+// design is small enough, weighted random sampling otherwise), lets the
+// sparing plan absorb what it can, repairs the rest with
+// route.RepairRoutes, statically re-validates every repaired route set via
+// the channel-dependency graph, and — when simCfg is non-nil — dynamically
+// cross-validates with the flit simulator: faults are injected into the
+// unrepaired topology at mc.FaultCycle (the watchdog should observe them)
+// and the repaired topology is re-simulated (the watchdog must not trip).
+//
+// t is never mutated; repairs happen on clones. The replay is fully
+// deterministic: equal (topology, configs, sparing plan, seed) inputs return
+// byte-identical reports.
+func Replay(t *topology.Topology, rcfg route.Config, mc ModelConfig, sp *SparingPlan, simCfg *sim.Config) (*Survivability, error) {
+	if err := mc.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Survivability{}
+	if sp != nil {
+		rep.SpareTSVs = sp.SpareTSVs
+		rep.SpareWires = sp.SpareWires
+	}
+	sites := Sites(t)
+	if len(sites) == 0 {
+		// A single-switch design has no inter-switch link to fail.
+		return rep, nil
+	}
+
+	var plans []Plan
+	if mc.ExhaustiveMax > 0 && len(sites) <= mc.ExhaustiveMax {
+		plans = SingleFaultPlans(t)
+		rep.Exhaustive = true
+	} else {
+		proc := noclib.StandardProcesses()[0]
+		if sp != nil {
+			proc = sp.Process
+		}
+		plans = RandomPlans(t, mc.Plans, mc.FaultsPerPlan, mc.Seed, proc)
+	}
+	rep.Plans = len(plans)
+	rep.WorstLatencyInflation = 1
+
+	spares := make(map[[2]int]int)
+	if sp != nil {
+		for _, l := range sp.Links {
+			spares[[2]int{l.From, l.To}] = l.Spares
+		}
+	}
+	baseline := t.Evaluate().AvgLatencyCycles
+
+	for _, plan := range plans {
+		// Spares absorb faults first: a link with at least one provisioned
+		// spare survives the loss of its primary TSV/wire.
+		var dead [][2]int
+		for _, f := range plan.Faults {
+			key := [2]int{f.From, f.To}
+			if spares[key] > 0 {
+				rep.SparesUsed++
+				continue
+			}
+			dead = append(dead, key)
+		}
+		if len(dead) == 0 {
+			rep.Absorbed++
+			rep.Survived++
+			continue
+		}
+
+		if simCfg != nil {
+			// Dynamic fault observation: inject the dead links into the
+			// unrepaired topology and let the watchdog see the stranded
+			// flits starve.
+			cfg := *simCfg
+			cfg.DeadLinks = dead
+			cfg.FaultCycle = mc.FaultCycle
+			st, err := sim.Run(t, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fault: injection simulation: %w", err)
+			}
+			rep.SimInjected++
+			if !st.Healthy() {
+				rep.SimDetected++
+			}
+		}
+
+		clone := t.Clone()
+		rr, err := route.RepairRoutes(clone, rcfg, dead)
+		if err != nil {
+			return nil, err
+		}
+		if len(rr.Unroutable) > 0 {
+			rep.Dead++
+			continue
+		}
+		if !route.DeadlockFree(clone) {
+			return nil, fmt.Errorf("fault: repaired routes have a cyclic channel dependency graph")
+		}
+		rep.ReroutedFlows += rr.Rerouted
+		m := clone.Evaluate()
+		if infl := m.AvgLatencyCycles / baseline; infl > rep.WorstLatencyInflation {
+			rep.WorstLatencyInflation = infl
+		}
+		rep.Repaired++
+		rep.Survived++
+
+		if simCfg != nil {
+			// Graceful-degradation check: the repaired topology must run
+			// clean — no watchdog trip, no livelock.
+			cfg := *simCfg
+			cfg.DeadLinks = nil
+			cfg.FaultCycle = 0
+			st, err := sim.Run(clone, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fault: post-repair simulation: %w", err)
+			}
+			rep.SimChecked++
+			if !st.Healthy() {
+				rep.SimDeadlocks++
+			}
+		}
+	}
+
+	if sp != nil && sp.TotalSpares() > 0 && rep.Plans > 0 {
+		rep.SpareUtilization = float64(rep.SparesUsed) / float64(rep.Plans*sp.TotalSpares())
+	}
+	return rep, nil
+}

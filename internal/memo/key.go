@@ -31,7 +31,7 @@ import (
 // (a golden-corpus diff): entries written under an old version must never be
 // returned for a new one. The version string is hashed into every key, so a
 // bump invalidates the whole store without touching it.
-const Version = "sunfloor3d-memo/v2"
+const Version = "sunfloor3d-memo/v3"
 
 // executionKnobs classifies every field reachable from Key's parameters that
 // the canonical encoder deliberately does NOT hash, keyed by its dotted path
@@ -158,6 +158,12 @@ func Key(g *model.CommGraph, opt synth.Options) string {
 		e.f64(s.BurstFactor)
 		e.f64(s.MeanBurstCycles)
 		e.f64(s.HotspotFactor)
+		e.i64(int64(len(s.DeadLinks)))
+		for _, dl := range s.DeadLinks {
+			e.i64(int64(dl[0]))
+			e.i64(int64(dl[1]))
+		}
+		e.i64(int64(s.FaultCycle))
 	}
 
 	// Section 5: the exploration space. The axes define the enumerated
@@ -179,6 +185,31 @@ func Key(g *model.CommGraph, opt synth.Options) string {
 				e.f64(v)
 			}
 		}
+	}
+
+	// Section 6: the fault model. Sparing changes the spare provisioning
+	// stamped into the serialised metrics and which faults the replay
+	// absorbs; the fault model's plan count, seed and fault cycle shape the
+	// survivability report attached to every valid point. All of it reaches
+	// the serialised Result, so all of it is keyed.
+	e.str("fault")
+	e.bool(opt.Sparing != nil)
+	if opt.Sparing != nil {
+		s := opt.Sparing
+		e.str(s.Process.Name)
+		e.f64(s.Process.BaseYield)
+		e.f64(s.Process.TSVFailureRate)
+		e.i64(int64(s.Process.KneeTSVs))
+		e.f64(s.TargetYield)
+	}
+	e.bool(opt.Fault != nil)
+	if opt.Fault != nil {
+		s := opt.Fault
+		e.i64(int64(s.Plans))
+		e.i64(int64(s.FaultsPerPlan))
+		e.i64(s.Seed)
+		e.i64(int64(s.ExhaustiveMax))
+		e.i64(int64(s.FaultCycle))
 	}
 
 	return hex.EncodeToString(h.Sum(nil))

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"testing"
 
+	"sunfloor3d/internal/fault"
 	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/noclib"
+	"sunfloor3d/internal/sim"
 	"sunfloor3d/internal/synth"
 )
 
@@ -165,6 +168,98 @@ func TestKeyCoversResultAffectingFields(t *testing.T) {
 	g4.Cores[2].Name = "dma2"
 	if Key(g4, base) == ref {
 		t.Error("renaming a core did not change the key")
+	}
+}
+
+// TestKeyCoversFaultFields flips each fault-model, sparing and dead-link
+// input of the v3 key and asserts the key moves — the fields feed
+// DesignPoint.Survivability, which is serialised, so a stale cache entry
+// answering a mutated request would be a wrong answer.
+func TestKeyCoversFaultFields(t *testing.T) {
+	g := testGraph(t)
+	base := synth.DefaultOptions()
+	ref := Key(g, base)
+
+	proc := noclib.StandardProcesses()[0]
+	mutations := map[string]func(*synth.Options){
+		"sparing_present": func(o *synth.Options) {
+			o.Sparing = &fault.SparingConfig{Process: proc, TargetYield: 0.99}
+		},
+		"sparing_target": func(o *synth.Options) {
+			o.Sparing = &fault.SparingConfig{Process: proc, TargetYield: 0.95}
+		},
+		"sparing_process": func(o *synth.Options) {
+			o.Sparing = &fault.SparingConfig{Process: noclib.StandardProcesses()[1], TargetYield: 0.99}
+		},
+		"fault_present": func(o *synth.Options) {
+			fc := fault.DefaultModelConfig()
+			o.Fault = &fc
+		},
+		"fault_plans": func(o *synth.Options) {
+			fc := fault.DefaultModelConfig()
+			fc.Plans = 32
+			o.Fault = &fc
+		},
+		"fault_faults_per_plan": func(o *synth.Options) {
+			fc := fault.DefaultModelConfig()
+			fc.FaultsPerPlan = 2
+			o.Fault = &fc
+		},
+		"fault_seed": func(o *synth.Options) {
+			fc := fault.DefaultModelConfig()
+			fc.Seed = 99
+			o.Fault = &fc
+		},
+		"fault_exhaustive_max": func(o *synth.Options) {
+			fc := fault.DefaultModelConfig()
+			fc.ExhaustiveMax = 0
+			o.Fault = &fc
+		},
+		"fault_cycle": func(o *synth.Options) {
+			fc := fault.DefaultModelConfig()
+			fc.FaultCycle = 100
+			o.Fault = &fc
+		},
+	}
+	keys := map[string]string{}
+	for name, mutate := range mutations {
+		opt := base
+		mutate(&opt)
+		k := Key(g, opt)
+		if k == ref {
+			t.Errorf("mutating %s did not change the key", name)
+		}
+		keys[name] = k
+	}
+	// The variants must also differ pairwise: every field feeds the key on
+	// its own, not just the presence bit.
+	for a, ka := range keys {
+		for b, kb := range keys {
+			if a < b && ka == kb {
+				t.Errorf("%s and %s share a key", a, b)
+			}
+		}
+	}
+
+	// The sim config's dead-link fields are v3 additions too: a cached run
+	// without injected faults must not answer one with them.
+	simBase := sim.DefaultConfig()
+	withSim := base
+	withSim.Sim = &simBase
+	refSim := Key(g, withSim)
+	deadCfg := simBase
+	deadCfg.DeadLinks = [][2]int{{0, 1}}
+	withDead := base
+	withDead.Sim = &deadCfg
+	if k := Key(g, withDead); k == refSim {
+		t.Error("adding sim dead links did not change the key")
+	}
+	cycleCfg := deadCfg
+	cycleCfg.FaultCycle = 200
+	withCycle := base
+	withCycle.Sim = &cycleCfg
+	if Key(g, withCycle) == Key(g, withDead) {
+		t.Error("changing the sim fault cycle did not change the key")
 	}
 }
 

@@ -1,0 +1,64 @@
+package noclib
+
+import "testing"
+
+// TestMaxTSVsForYieldTable pins the documented edge behaviour of the yield
+// inversion: targets above the TSV-free yield are unreachable and give 0, a
+// target sitting exactly at the knee's yield admits at least the knee, and
+// the inversion is consistent with the forward model at every answer.
+func TestMaxTSVsForYieldTable(t *testing.T) {
+	for _, p := range StandardProcesses() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			atKnee := p.Yield(p.KneeTSVs)
+			cases := []struct {
+				name   string
+				target float64
+				// wantZero: the target is unreachable even TSV-free.
+				wantZero bool
+				// wantMin is a lower bound on the returned count.
+				wantMin int
+			}{
+				{name: "above base yield", target: p.BaseYield * 1.01, wantZero: true},
+				{name: "above one", target: 1.1, wantZero: true},
+				{name: "exactly base yield", target: p.Yield(0), wantMin: 0},
+				{name: "at the knee", target: atKnee, wantMin: p.KneeTSVs},
+				{name: "just below the knee", target: atKnee * 0.999, wantMin: p.KneeTSVs},
+				{name: "deep below the knee", target: atKnee * 0.5, wantMin: p.KneeTSVs + 1},
+			}
+			for _, tc := range cases {
+				t.Run(tc.name, func(t *testing.T) {
+					n := p.MaxTSVsForYield(tc.target)
+					if tc.wantZero {
+						if n != 0 {
+							t.Fatalf("MaxTSVsForYield(%g) = %d, want 0 (unreachable target)", tc.target, n)
+						}
+						return
+					}
+					if n < tc.wantMin {
+						t.Fatalf("MaxTSVsForYield(%g) = %d, want at least %d", tc.target, n, tc.wantMin)
+					}
+					// The forward model must agree: n qualifies, n+1 does not.
+					if y := p.Yield(n); y < tc.target {
+						t.Errorf("Yield(%d) = %v misses the target %g the inversion promised", n, y, tc.target)
+					}
+					if y := p.Yield(n + 1); y >= tc.target {
+						t.Errorf("n not maximal: Yield(%d) = %v still meets %g", n+1, y, tc.target)
+					}
+				})
+			}
+
+			// The inversion is antitone in the target: asking for more yield
+			// never admits more TSVs.
+			prev := -1
+			targets := []float64{atKnee * 0.25, atKnee * 0.5, atKnee * 0.9, atKnee, p.Yield(0)}
+			for _, target := range targets {
+				n := p.MaxTSVsForYield(target)
+				if prev >= 0 && n > prev {
+					t.Errorf("target %g admits %d TSVs, more than the lower target before it (%d)", target, n, prev)
+				}
+				prev = n
+			}
+		})
+	}
+}

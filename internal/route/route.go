@@ -108,6 +108,11 @@ type router struct {
 	// softInf is the SOFT_INF penalty of Algorithm 3, fixed for the whole
 	// run (it depends only on the design, library, frequency and weights).
 	softInf float64
+	// allowed, when non-nil, restricts routing to the listed directed arcs.
+	// It is the repair-mode overlay: on a fabricated chip only the links that
+	// were actually built (minus the failed ones) are usable, whatever their
+	// current cost would be. nil (the synthesis case) allows every arc.
+	allowed map[[2]int]bool
 	// cost is the incrementally maintained arc-cost graph (nil when
 	// Config.FullRebuild selects the reference per-flow rebuild).
 	cost *costModel
@@ -262,6 +267,9 @@ type arcState struct {
 // arc (i, j) against the router's current bookkeeping.
 func (r *router) arcState(i, j int) arcState {
 	if i == j {
+		return arcState{forbidden: true}
+	}
+	if r.allowed != nil && !r.allowed[[2]int{i, j}] {
 		return arcState{forbidden: true}
 	}
 	t := r.top

@@ -250,6 +250,30 @@ type RequestOptions struct {
 	// N-dimensional design-space explorer (sunfloor3d.WithSpace). Checkpoint
 	// files and shards are per-process concerns and are not exposed here.
 	Space *SpaceRequest `json:"space,omitempty"`
+	// Sparing provisions spare TSVs/wires for a target functional yield
+	// (sunfloor3d.WithSparing); Fault replays deterministic fault plans and
+	// attaches the survivability report to every valid point
+	// (sunfloor3d.WithFaultModel). Both are fingerprint-relevant.
+	Sparing *SparingRequest `json:"sparing,omitempty"`
+	Fault   *FaultRequest   `json:"fault,omitempty"`
+}
+
+// SparingRequest mirrors sunfloor3d.WithSparing: the manufacturing process —
+// one of the standard names (wafer-level-A, wafer-level-B, die-to-wafer) —
+// and the functional-yield target in (0, 1).
+type SparingRequest struct {
+	Process     string  `json:"process"`
+	TargetYield float64 `json:"target_yield"`
+}
+
+// FaultRequest mirrors sunfloor3d.FaultModelConfig; unset fields keep the
+// defaults of sunfloor3d.DefaultFaultModelConfig.
+type FaultRequest struct {
+	Plans         *int   `json:"plans,omitempty"`
+	FaultsPerPlan *int   `json:"faults_per_plan,omitempty"`
+	Seed          *int64 `json:"seed,omitempty"`
+	ExhaustiveMax *int   `json:"exhaustive_max,omitempty"`
+	FaultCycle    *int   `json:"fault_cycle,omitempty"`
 }
 
 // SpaceRequest mirrors sunfloor3d.Space in the JSON request body.
@@ -378,6 +402,32 @@ func (s *Server) parseRequest(req *SynthesizeRequest) (*sunfloor3d.Design, []sun
 	}
 	if o.Parallelism != nil {
 		opts = append(opts, sunfloor3d.WithParallelism(*o.Parallelism))
+	}
+	if o.Sparing != nil {
+		proc, err := sunfloor3d.ProcessByName(o.Sparing.Process)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts = append(opts, sunfloor3d.WithSparing(proc, o.Sparing.TargetYield))
+	}
+	if o.Fault != nil {
+		fc := sunfloor3d.DefaultFaultModelConfig()
+		if o.Fault.Plans != nil {
+			fc.Plans = *o.Fault.Plans
+		}
+		if o.Fault.FaultsPerPlan != nil {
+			fc.FaultsPerPlan = *o.Fault.FaultsPerPlan
+		}
+		if o.Fault.Seed != nil {
+			fc.Seed = *o.Fault.Seed
+		}
+		if o.Fault.ExhaustiveMax != nil {
+			fc.ExhaustiveMax = *o.Fault.ExhaustiveMax
+		}
+		if o.Fault.FaultCycle != nil {
+			fc.FaultCycle = *o.Fault.FaultCycle
+		}
+		opts = append(opts, sunfloor3d.WithFaultModel(fc))
 	}
 	if o.Space != nil {
 		sp := sunfloor3d.Space{NoPrune: o.Space.NoPrune}

@@ -343,6 +343,9 @@ func TestServerValidation(t *testing.T) {
 		{"bad switch layer", fmt.Sprintf(`{"gen":%q,"options":{"switch_layer":"median"}}`, fastGen)},
 		{"half objective", fmt.Sprintf(`{"gen":%q,"options":{"power_weight":1}}`, fastGen)},
 		{"bad option value", fmt.Sprintf(`{"gen":%q,"options":{"alpha":7.5}}`, fastGen)},
+		{"unknown sparing process", fmt.Sprintf(`{"gen":%q,"options":{"sparing":{"process":"nope","target_yield":0.99}}}`, fastGen)},
+		{"bad sparing target", fmt.Sprintf(`{"gen":%q,"options":{"sparing":{"process":"wafer-level-A","target_yield":2}}}`, fastGen)},
+		{"bad fault model", fmt.Sprintf(`{"gen":%q,"options":{"fault":{"plans":0,"exhaustive_max":0}}}`, fastGen)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -372,6 +375,36 @@ func TestServerValidation(t *testing.T) {
 		if resp.StatusCode != http.StatusNotFound {
 			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
 		}
+	}
+}
+
+// TestServerFaultOptionsRoundTrip: a request with sparing and fault options
+// returns exactly the bytes the in-process facade produces for the same
+// configuration, survivability reports included.
+func TestServerFaultOptionsRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	body := fmt.Sprintf(`{"gen":%q,"options":{"sparing":{"process":"wafer-level-A","target_yield":0.99},"fault":{"plans":4,"seed":7}}}`, fastGen)
+
+	resp := submit(t, ts, body, true)
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	proc, err := sunfloor3d.ProcessByName("wafer-level-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := sunfloor3d.DefaultFaultModelConfig()
+	fc.Plans = 4
+	fc.Seed = 7
+	want := directResult(t, fastGen,
+		sunfloor3d.WithSparing(proc, 0.99), sunfloor3d.WithFaultModel(fc))
+	if !bytes.Equal(got, want) {
+		t.Fatalf("served fault-aware result differs from direct synthesis:\nserved %d bytes, direct %d bytes", len(got), len(want))
+	}
+	if !bytes.Contains(got, []byte(`"survivability"`)) {
+		t.Fatal("served result carries no survivability report")
 	}
 }
 

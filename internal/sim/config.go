@@ -136,6 +136,16 @@ type Config struct {
 	// StatsLevel selects how much of the Stats breakdown the run collects
 	// (StatsFull, the zero value, collects everything).
 	StatsLevel StatsLevel
+	// DeadLinks lists inter-switch links, as (from, to) switch-ID pairs, that
+	// fail during the run: from cycle FaultCycle on a listed link forwards no
+	// further flit (flits already in its pipeline still arrive). Listing a
+	// link the topology does not have is a build error — fault plans are
+	// always expressed against the committed routes. Injection and ejection
+	// links cannot fail; manufacturing faults hit the switch fabric.
+	DeadLinks [][2]int
+	// FaultCycle is the cycle at which the DeadLinks fail (0 = dead from the
+	// start of the run).
+	FaultCycle int
 	// Reference runs the retained pre-optimization execution core instead of
 	// the production engine: pointer-based packets allocated per injection,
 	// slice-backed queues, map-based routing lookups and a dense cycle loop
@@ -184,6 +194,7 @@ func (c Config) Validate() error {
 		{c.BurstFactor >= 1, "BurstFactor must be at least 1"},
 		{c.MeanBurstCycles > 0, "MeanBurstCycles must be positive"},
 		{c.HotspotFactor >= 1, "HotspotFactor must be at least 1"},
+		{c.FaultCycle >= 0, "FaultCycle must be non-negative"},
 		{c.StatsLevel == StatsFull || c.StatsLevel == StatsSummary, "StatsLevel must be StatsFull or StatsSummary"},
 	}
 	for _, chk := range checks {

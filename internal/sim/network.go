@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"sunfloor3d/internal/geom"
 	"sunfloor3d/internal/topology"
@@ -29,8 +30,39 @@ type link struct {
 	// stages is the number of pipeline stages the planar span of the link
 	// requires at the operating frequency (noclib.LinkPipelineStages).
 	stages int
+	// deadAt is the cycle the link fails (Config.DeadLinks/FaultCycle);
+	// neverDead for a healthy link. From that cycle on the upstream output
+	// port forwards nothing onto the link; flits already in its pipeline
+	// still arrive.
+	deadAt int64
 
 	busy int64 // cycles on which a flit was forwarded onto this link
+}
+
+// neverDead is the deadAt value of a link that never fails.
+const neverDead = int64(math.MaxInt64)
+
+// applyDeadLinks marks the links named by cfg.DeadLinks dead at
+// cfg.FaultCycle. It is shared by both engines so the fault semantics cannot
+// drift; a pair naming no inter-switch link of the topology is an error.
+func applyDeadLinks(links []*link, cfg Config) error {
+	if len(cfg.DeadLinks) == 0 {
+		return nil
+	}
+	byPair := make(map[[2]int]*link)
+	for _, l := range links {
+		if l.kind == linkInternal {
+			byPair[[2]int{l.from, l.to}] = l
+		}
+	}
+	for _, dl := range cfg.DeadLinks {
+		l, ok := byPair[dl]
+		if !ok {
+			return fmt.Errorf("sim: dead link %d->%d is not an inter-switch link of the topology", dl[0], dl[1])
+		}
+		l.deadAt = int64(cfg.FaultCycle)
+	}
+	return nil
 }
 
 // packet is one in-flight packet: PacketFlits flits following the committed
@@ -244,6 +276,7 @@ func buildNetwork(t *topology.Topology, cfg Config) (*network, error) {
 
 	addLink := func(l *link) *link {
 		l.id = len(net.links)
+		l.deadAt = neverDead
 		net.links = append(net.links, l)
 		return l
 	}
@@ -294,6 +327,10 @@ func buildNetwork(t *topology.Topology, cfg Config) (*network, error) {
 		stages := t.Lib.LinkPipelineStages(geom.Manhattan(planar, t.Switches[sw].Pos), t.FreqMHz)
 		l := addLink(&link{kind: linkEjection, from: sw, to: -1, core: c, stages: stages})
 		nodes[sw].outEject[c] = attachOutput(sw, l, nil)
+	}
+
+	if err := applyDeadLinks(net.links, cfg); err != nil {
+		return nil, err
 	}
 
 	// One backing block for every VC ring: bounded, contiguous, allocated

@@ -123,6 +123,7 @@ func buildRefNetwork(t *topology.Topology, cfg Config) (*refNetwork, error) {
 
 	addLink := func(l *link) *link {
 		l.id = len(net.links)
+		l.deadAt = neverDead
 		net.links = append(net.links, l)
 		return l
 	}
@@ -173,6 +174,9 @@ func buildRefNetwork(t *topology.Topology, cfg Config) (*refNetwork, error) {
 		stages := t.Lib.LinkPipelineStages(geom.Manhattan(planar, t.Switches[sw].Pos), t.FreqMHz)
 		l := addLink(&link{kind: linkEjection, from: sw, to: -1, core: c, stages: stages})
 		nodes[sw].outEject[c] = attachOutput(sw, l, nil)
+	}
+	if err := applyDeadLinks(net.links, cfg); err != nil {
+		return nil, err
 	}
 	return net, nil
 }
@@ -321,6 +325,9 @@ func (net *refNetwork) step(now int64, st *runState) bool {
 	for _, s := range net.nodes {
 		ncand := len(s.inputs) * net.vcs
 		for _, o := range s.outputs {
+			if o.link.deadAt <= now {
+				continue // failed link: nothing is granted or forwarded onto it
+			}
 			if o.alloc < 0 && ncand > 0 {
 				net.arbitrate(s, o, ncand, now)
 			}

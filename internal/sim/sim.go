@@ -311,6 +311,9 @@ func (net *network) step(now int64, st *runState) bool {
 			continue // no owned VC: nothing buffered, granted or requested
 		}
 		for oi, o := range s.outputs {
+			if o.link.deadAt <= now {
+				continue // failed link: nothing is granted or forwarded onto it
+			}
 			if o.alloc < 0 {
 				if o.waiters == 0 {
 					continue

@@ -71,15 +71,18 @@ func exploreSpace(ctx context.Context, g *model.CommGraph, opt Options, cache *p
 		}
 	}
 	// finish records a computed cell and hands it to the checkpoint hook.
-	// Done calls are serialised across the concurrently-finishing cells.
+	// Done calls are serialised across the concurrently-finishing cells, and
+	// a Done error aborts the exploration: continuing would leave the caller
+	// with a checkpoint that silently lags the computation.
 	var doneMu sync.Mutex
-	finish := func(ci int, pts []DesignPoint) {
+	finish := func(ci int, pts []DesignPoint) error {
 		perCell[ci] = pts
 		if hooks.Done != nil {
 			doneMu.Lock()
-			hooks.Done(ci, pts)
-			doneMu.Unlock()
+			defer doneMu.Unlock()
+			return hooks.Done(ci, pts)
 		}
+		return nil
 	}
 	restore := func(ci int) bool {
 		if hooks.Restore == nil {
@@ -99,8 +102,7 @@ func exploreSpace(ctx context.Context, g *model.CommGraph, opt Options, cache *p
 		if err != nil {
 			return err
 		}
-		finish(ci, pts)
-		return nil
+		return finish(ci, pts)
 	}
 	// cellShape returns the point skeleton of a cell — one entry per point
 	// the full sweep would produce, in order — without building anything.

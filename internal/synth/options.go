@@ -17,6 +17,7 @@ package synth
 import (
 	"fmt"
 
+	"sunfloor3d/internal/fault"
 	"sunfloor3d/internal/noclib"
 	"sunfloor3d/internal/partition"
 	"sunfloor3d/internal/sim"
@@ -138,6 +139,20 @@ type Options struct {
 	// the point's evaluation and is deterministic for a fixed config, so it
 	// does not perturb the ordering or identity of the returned points.
 	Sim *sim.Config
+	// Sparing, when non-nil, provisions spare TSVs (vertical links) and spare
+	// wires (planar links) on every valid design point so the fabricated link
+	// set reaches the configured target yield on the configured process. The
+	// spare counts are reported in Metrics.SpareTSVMacros and consumed by the
+	// fault replay (faults on spared links are absorbed without re-routing).
+	Sparing *fault.SparingConfig
+	// Fault, when non-nil, replays deterministic fault plans against every
+	// valid design point — spares absorb what they can, stranded flows are
+	// re-routed over the surviving fabricated links, and the result is
+	// attached to DesignPoint.Survivability. With Sim also set, every
+	// non-absorbed plan is additionally cross-validated in the flit simulator
+	// (fault injection on the unrepaired topology, clean run on the repaired
+	// one).
+	Fault *fault.ModelConfig
 	// Space, when non-nil, replaces the classic frequency x switch-count
 	// sweep with the N-dimensional design-space explorer: the cross product
 	// of the space's axes is enumerated in a deterministic order, provably
@@ -211,6 +226,16 @@ func (o Options) Validate() error {
 	}
 	if o.Sim != nil {
 		if err := o.Sim.Validate(); err != nil {
+			return err
+		}
+	}
+	if o.Sparing != nil {
+		if err := o.Sparing.Validate(); err != nil {
+			return err
+		}
+	}
+	if o.Fault != nil {
+		if err := o.Fault.Validate(); err != nil {
 			return err
 		}
 	}

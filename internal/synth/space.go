@@ -220,8 +220,11 @@ type ExplorationHooks struct {
 	// Restored cells are not re-evaluated and not re-passed to Done.
 	Restore func(cell int) ([]DesignPoint, bool)
 	// Done receives the points of every cell this run evaluated, in
-	// completion order, exactly once per cell and never concurrently.
-	Done func(cell int, points []DesignPoint)
+	// completion order, exactly once per cell and never concurrently. A
+	// non-nil error fails the exploration immediately: a hook that cannot
+	// persist a cell must stop the run rather than let it continue against
+	// silently stale state.
+	Done func(cell int, points []DesignPoint) error
 }
 
 // SetExplorationHooks installs the checkpoint/shard hooks on the options.

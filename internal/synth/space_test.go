@@ -1,11 +1,38 @@
 package synth
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"sunfloor3d/internal/topology"
 )
+
+// TestExplorationDoneErrorFailsRun asserts that a Done hook returning an
+// error aborts the exploration with that error — the contract the facade's
+// fail-fast checkpoint writer depends on.
+func TestExplorationDoneErrorFailsRun(t *testing.T) {
+	g := smallDesign(t)
+	opt := DefaultOptions()
+	opt.Space = &Space{Axes: []Axis{
+		{Name: AxisLinkWidthBits, Values: []float64{16, 32}},
+	}}
+	sinkErr := errors.New("checkpoint sink failed")
+	var calls int
+	opt.SetExplorationHooks(ExplorationHooks{
+		Done: func(cell int, pts []DesignPoint) error {
+			calls++
+			return sinkErr
+		},
+	})
+	_, err := Synthesize(g, opt)
+	if !errors.Is(err, sinkErr) {
+		t.Fatalf("Synthesize error = %v, want %v", err, sinkErr)
+	}
+	if calls == 0 {
+		t.Fatal("Done hook was never called")
+	}
+}
 
 func TestSpaceCellEnumeration(t *testing.T) {
 	sp := Space{Axes: []Axis{

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"sunfloor3d/internal/fault"
 	"sunfloor3d/internal/graph"
 	"sunfloor3d/internal/model"
 	"sunfloor3d/internal/partition"
@@ -50,6 +51,9 @@ type DesignPoint struct {
 	// Sim holds the flit-level traffic simulation of the point (nil unless
 	// Options.Sim requested simulation and the point is valid).
 	Sim *sim.Stats
+	// Survivability holds the fault-replay report of the point (nil unless
+	// Options.Fault requested the fault model and the point is valid).
+	Survivability *fault.Survivability
 	// SimElapsed is the wall-clock time spent simulating the point (zero
 	// when simulation was not requested or the point was invalid). It is
 	// part of Elapsed.
@@ -250,6 +254,17 @@ func refineBest(res *Result, opt Options, refine func(*topology.Topology) error)
 		}
 		best.Sim = stats
 		best.SimElapsed = time.Since(simStart) //determlint:wallclock SimElapsed is json-excluded observability plumbing and never reaches the serialised Result
+	}
+	if opt.Sparing != nil || opt.Fault != nil {
+		// The refinement moved the switches, which changes the latency
+		// baseline the survivability report inflates against; recompute it
+		// for the refined geometry.
+		rep, spareTSVs, err := faultReport(refined, opt, routeConfig(opt, best.FreqMHz, best.Phase == 2))
+		if err != nil {
+			return
+		}
+		best.Survivability = rep
+		m.SpareTSVMacros = spareTSVs
 	}
 	best.Topology = refined
 	best.Metrics = m
@@ -593,7 +608,46 @@ func runAndEvaluate(top *topology.Topology, opt Options, cfg route.Config, dp De
 		dp.Sim = stats
 		dp.SimElapsed = time.Since(simStart) //determlint:wallclock SimElapsed is json-excluded observability plumbing and never reaches the serialised Result
 	}
+	if opt.Sparing != nil || opt.Fault != nil {
+		rep, spareTSVs, err := faultReport(top, opt, cfg)
+		if err != nil {
+			dp.Valid = false
+			dp.FailReason = fmt.Sprintf("fault model: %v", err)
+			return dp
+		}
+		dp.Survivability = rep
+		dp.Metrics.SpareTSVMacros = spareTSVs
+	}
 	return dp
+}
+
+// faultReport provisions the spare plan (when sparing is configured) and
+// replays the fault model (when the fault model is configured) against a
+// valid, routed design point. It returns the survivability report (nil
+// without a fault model) and the number of spare TSV macros the sparing pass
+// added (0 without sparing). Both passes are deterministic, so the report is
+// byte-identical between serial, parallel, cached and uncached runs.
+func faultReport(top *topology.Topology, opt Options, cfg route.Config) (*fault.Survivability, int, error) {
+	var sp *fault.SparingPlan
+	if opt.Sparing != nil {
+		var err error
+		sp, err = fault.BuildSparing(top, *opt.Sparing)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	spareTSVs := 0
+	if sp != nil {
+		spareTSVs = sp.SpareTSVs
+	}
+	if opt.Fault == nil {
+		return nil, spareTSVs, nil
+	}
+	rep, err := fault.Replay(top, cfg, *opt.Fault, sp, opt.Sim)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rep, spareTSVs, nil
 }
 
 // validateTopology checks an evaluated topology against the run's

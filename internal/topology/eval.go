@@ -48,6 +48,11 @@ type Metrics struct {
 	// LatencyViolations counts flows whose zero-load latency exceeds their
 	// latency constraint.
 	LatencyViolations int
+	// SpareTSVMacros is the number of spare TSVs provisioned by the
+	// fault-aware sparing pass (0 when sparing is disabled). Evaluate never
+	// sets it — sparing is sized after evaluation from the committed routes
+	// and stamped onto the metrics by the synthesis engine.
+	SpareTSVMacros int
 }
 
 // switchDistance returns the planar Manhattan distance between two switches

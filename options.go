@@ -3,6 +3,7 @@ package sunfloor3d
 import (
 	"fmt"
 
+	"sunfloor3d/internal/fault"
 	"sunfloor3d/internal/noclib"
 	"sunfloor3d/internal/synth"
 )
@@ -65,6 +66,17 @@ type Process = noclib.Process
 // StandardProcesses returns the processes of the paper's yield study
 // (Fig. 1).
 func StandardProcesses() []Process { return noclib.StandardProcesses() }
+
+// ProcessByName returns the standard process with the given name (see
+// StandardProcesses).
+func ProcessByName(name string) (Process, error) {
+	for _, p := range noclib.StandardProcesses() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Process{}, fmt.Errorf("sunfloor3d: unknown process %q (valid: wafer-level-A, wafer-level-B, die-to-wafer)", name)
+}
 
 // Axis is one dimension of an exploration Space: a named parameter and the
 // ordered values to sweep (see the Axis* constants).
@@ -328,4 +340,53 @@ func WithShard(index, count int) Option {
 // simulated number (see SimStatsLevel).
 func WithSimulation(cfg SimConfig) Option {
 	return func(c *config) { c.opt.Sim = &cfg }
+}
+
+// FaultModelConfig configures the fault-injection replay of WithFaultModel:
+// how many fault plans to draw, how many links fail per plan, the sampling
+// seed, the exhaustive-enumeration threshold and the simulated fault cycle.
+type FaultModelConfig = fault.ModelConfig
+
+// DefaultFaultModelConfig returns the replay configuration the CLI uses for
+// -faults: 16 single-fault plans with exhaustive single-fault enumeration on
+// designs of up to 24 inter-switch links.
+func DefaultFaultModelConfig() FaultModelConfig { return fault.DefaultModelConfig() }
+
+// Survivability is the per-point fault report of WithFaultModel: how many
+// plans the design survived (absorbed by spares or repaired by re-routing),
+// how many are certified dead, the worst latency inflation among repairs and
+// the spare utilization.
+type Survivability = fault.Survivability
+
+// WithSparing provisions spare TSVs (on vertical links) and spare wires (on
+// planar links) on every valid design point, sized so the fabricated
+// inter-switch link set reaches targetYield on the given manufacturing
+// process (the per-link spare count is the smallest whose binomial survival
+// probability meets the evenly-split per-link target). The spare TSV count is
+// reported in Metrics.SpareTSVMacros, and the fault replay of WithFaultModel
+// absorbs faults on spared links without re-routing. Sizing is deterministic:
+// equal inputs provision byte-identical spare plans.
+func WithSparing(proc Process, targetYield float64) Option {
+	return func(c *config) {
+		c.opt.Sparing = &fault.SparingConfig{Process: proc, TargetYield: targetYield}
+	}
+}
+
+// WithFaultModel replays deterministic link-fault plans against every valid
+// design point and attaches the resulting Survivability report to
+// DesignPoint.Survivability (serialised under "survivability"). Plans are
+// either the exhaustive single-fault enumeration (small designs) or a
+// seed-deterministic weighted random sample; each plan ends absorbed (a
+// spare masked every fault), repaired (stranded flows re-routed
+// deadlock-free over the surviving links) or certified dead (some flow
+// provably has no surviving path). Combined with WithSimulation, every
+// non-absorbed plan is additionally cross-validated in the flit simulator —
+// faults are injected into the unrepaired topology at cfg.FaultCycle, and
+// the repaired topology must run without tripping the deadlock watchdog;
+// those counters are the one place the simulation reaches the serialised
+// Result, and the request fingerprint covers the simulation config, so the
+// cache stays sound. The replay is fully deterministic: equal inputs produce
+// byte-identical reports across serial, parallel, cached and uncached runs.
+func WithFaultModel(cfg FaultModelConfig) Option {
+	return func(c *config) { c.opt.Fault = &cfg }
 }

@@ -275,6 +275,125 @@ func TestExplorerProperties(t *testing.T) {
 	}
 }
 
+// TestFaultProperties extends the harness to the fault-aware flow. Over
+// generated workloads of every shape, with sparing enabled, a k-random-fault
+// replay of every valid design point must end every fault plan in exactly one
+// of the three certified outcomes — absorbed by a spare, repaired into a
+// deadlock-free re-routed route set, or certified dead — and the whole
+// survivability report must be byte-identical between serial and parallel
+// sweeps (the replay runs inside the synthesis workers, so this is the
+// determinism contract extended to fault injection). A subset of workloads
+// additionally cross-validates with the flit simulator: the runtime watchdog
+// must never trip on a repaired topology.
+func TestFaultProperties(t *testing.T) {
+	n := (propertyN(t) + 3) / 4
+	for _, shape := range workload.Shapes() {
+		shape := shape
+		t.Run(shape.String(), func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < n; i++ {
+				i := i
+				t.Run(fmt.Sprintf("w%02d", i), func(t *testing.T) {
+					t.Parallel()
+					checkFaultWorkload(t, propertySpec(shape, i), i)
+				})
+			}
+		})
+	}
+}
+
+func checkFaultWorkload(t *testing.T, spec GenSpec, i int) {
+	bench, err := GenerateBenchmark(spec)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	design := bench.Graph3D
+	proc, err := ProcessByName("wafer-level-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := DefaultFaultModelConfig()
+	fc.Plans = 6
+	fc.FaultsPerPlan = 1 + i%2
+	fc.Seed = int64(i + 1)
+	fc.ExhaustiveMax = 12
+	opts := []Option{WithSparing(proc, 0.99), WithFaultModel(fc)}
+	withSim := i%3 == 0
+	if withSim {
+		scfg := DefaultSimConfig()
+		scfg.Cycles = 400
+		scfg.DrainCycles = 400
+		fc2 := fc
+		fc2.FaultCycle = 100
+		opts = []Option{WithSparing(proc, 0.99), WithFaultModel(fc2), WithSimulation(scfg)}
+	}
+
+	ctx := context.Background()
+	res, err := Synthesize(ctx, design, opts...)
+	if err != nil {
+		t.Fatalf("fault-aware synthesize %s: %v", bench.Name, err)
+	}
+	best := res.Best()
+	if best == nil {
+		t.Fatalf("%s: no valid design point", bench.Name)
+	}
+
+	reports := 0
+	for pi := range res.Points {
+		p := &res.Points[pi]
+		if !p.Valid {
+			continue
+		}
+		rep := p.Survivability
+		if rep == nil {
+			t.Fatalf("valid point %d carries no survivability report", pi)
+		}
+		reports++
+		// Every plan ends in exactly one certified outcome.
+		if rep.Survived+rep.Dead != rep.Plans {
+			t.Errorf("point %d: survived %d + dead %d != plans %d", pi, rep.Survived, rep.Dead, rep.Plans)
+		}
+		if rep.Absorbed+rep.Repaired != rep.Survived {
+			t.Errorf("point %d: absorbed %d + repaired %d != survived %d", pi, rep.Absorbed, rep.Repaired, rep.Survived)
+		}
+		if rep.Plans > 0 && rep.WorstLatencyInflation < 1 {
+			t.Errorf("point %d: latency inflation %v below 1", pi, rep.WorstLatencyInflation)
+		}
+		if f := rep.SurvivedFraction(); f < 0 || f > 1 {
+			t.Errorf("point %d: survived fraction %v out of range", pi, f)
+		}
+		// The graceful-degradation headline: the watchdog never trips on a
+		// repaired topology.
+		if rep.SimDeadlocks != 0 {
+			t.Errorf("point %d: %d post-repair watchdog trips, want 0", pi, rep.SimDeadlocks)
+		}
+		if withSim && rep.SimChecked != rep.Repaired {
+			t.Errorf("point %d: %d post-repair sims for %d repaired plans", pi, rep.SimChecked, rep.Repaired)
+		}
+	}
+	if reports == 0 {
+		t.Fatal("no valid point carried a survivability report")
+	}
+
+	// Determinism: the serial and parallel sweeps agree byte for byte,
+	// survivability reports included.
+	first, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Synthesize(ctx, design, append(opts, WithParallelism(4))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, pj) {
+		t.Error("parallel fault-aware sweep differs from serial sweep")
+	}
+}
+
 func checkExplorerWorkload(t *testing.T, spec GenSpec, i int) {
 	bench, err := GenerateBenchmark(spec)
 	if err != nil {

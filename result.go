@@ -50,6 +50,9 @@ type Metrics struct {
 	// LatencyViolations counts flows whose zero-load latency exceeds their
 	// latency constraint.
 	LatencyViolations int `json:"latency_violations"`
+	// SpareTSVMacros is the number of spare TSVs provisioned by WithSparing
+	// (0 when sparing is disabled).
+	SpareTSVMacros int `json:"spare_tsv_macros,omitempty"`
 	// WireLengthsMM lists the planar length of every physical link.
 	WireLengthsMM []float64 `json:"wire_lengths_mm,omitempty"`
 }
@@ -70,6 +73,7 @@ func metricsFromInternal(m topology.Metrics) Metrics {
 		TSVMacros:         m.TSVMacros,
 		NumSwitches:       m.NumSwitches,
 		LatencyViolations: m.LatencyViolations,
+		SpareTSVMacros:    m.SpareTSVMacros,
 		WireLengthsMM:     append([]float64(nil), m.WireLengthsMM...),
 	}
 }
@@ -117,6 +121,11 @@ type DesignPoint struct {
 	Metrics Metrics `json:"metrics"`
 	// Route reports what the router did for this point.
 	Route RouteStats `json:"route_stats"`
+	// Survivability is the fault-replay report of the point (nil unless the
+	// run used WithFaultModel and the point is valid). Unlike Sim it is part
+	// of the serialised Result: the replay is deterministic and the request
+	// fingerprint covers the fault and sparing configuration.
+	Survivability *Survivability `json:"survivability,omitempty"`
 	// Elapsed is the wall-clock time spent building, routing and evaluating
 	// this point. It is excluded from JSON so that serialised results stay
 	// byte-identical across runs, parallelism levels and cache settings.
@@ -151,7 +160,8 @@ func pointFromInternal(dp synth.DesignPoint) DesignPoint {
 			IndirectSwitches: dp.Route.IndirectSwitches,
 			DeadlockRetries:  dp.Route.DeadlockRetries,
 		},
-		Elapsed:    dp.Elapsed,
+		Survivability: dp.Survivability,
+		Elapsed:       dp.Elapsed,
 		Sim:        dp.Sim,
 		SimElapsed: dp.SimElapsed,
 		topo:       dp.Topology,
@@ -188,6 +198,7 @@ func internalFromPoint(p DesignPoint) synth.DesignPoint {
 			TSVMacros:         p.Metrics.TSVMacros,
 			NumSwitches:       p.Metrics.NumSwitches,
 			LatencyViolations: p.Metrics.LatencyViolations,
+			SpareTSVMacros:    p.Metrics.SpareTSVMacros,
 			WireLengthsMM:     append([]float64(nil), p.Metrics.WireLengthsMM...),
 		},
 		Route: route.Result{
@@ -195,6 +206,7 @@ func internalFromPoint(p DesignPoint) synth.DesignPoint {
 			IndirectSwitches: p.Route.IndirectSwitches,
 			DeadlockRetries:  p.Route.DeadlockRetries,
 		},
+		Survivability: p.Survivability,
 	}
 	if p.Route.FailedFlows > 0 {
 		dp.Route.Failed = make([]int, p.Route.FailedFlows)
@@ -232,7 +244,21 @@ func (p *DesignPoint) Report() string {
 	fmt.Fprintf(&b, "max_latency_cycles %.3f\n", m.MaxLatencyCycles)
 	fmt.Fprintf(&b, "max_inter_layer_links %d\n", m.MaxILL)
 	fmt.Fprintf(&b, "tsv_macros %d\n", m.TSVMacros)
+	if m.SpareTSVMacros > 0 {
+		fmt.Fprintf(&b, "spare_tsv_macros %d\n", m.SpareTSVMacros)
+	}
 	fmt.Fprintf(&b, "noc_area_mm2 %.4f\n", m.NoCAreaMM2)
+	if s := p.Survivability; s != nil {
+		fmt.Fprintf(&b, "fault_plans %d\n", s.Plans)
+		fmt.Fprintf(&b, "fault_survived_fraction %.4f\n", s.SurvivedFraction())
+		fmt.Fprintf(&b, "fault_absorbed %d\n", s.Absorbed)
+		fmt.Fprintf(&b, "fault_repaired %d\n", s.Repaired)
+		fmt.Fprintf(&b, "fault_dead %d\n", s.Dead)
+		fmt.Fprintf(&b, "fault_worst_latency_inflation %.4f\n", s.WorstLatencyInflation)
+		if s.SpareTSVs > 0 || s.SpareWires > 0 {
+			fmt.Fprintf(&b, "spare_utilization %.4f\n", s.SpareUtilization)
+		}
+	}
 	return b.String()
 }
 
