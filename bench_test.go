@@ -441,16 +441,16 @@ func BenchmarkExplorer(b *testing.B) {
 	b.ReportMetric(speedup, "speedup")
 	b.ReportMetric(rate/float64(len(results)), "pruning_rate")
 	out := struct {
-		Description string                         `json:"description"`
-		Speedup     float64                        `json:"geomean_speedup"`
-		Explorations    []sunfloor3d.ExplorerBenchmark `json:"explorations"`
+		Description  string                         `json:"description"`
+		Speedup      float64                        `json:"geomean_speedup"`
+		Explorations []sunfloor3d.ExplorerBenchmark `json:"explorations"`
 	}{
 		Description: "N-dimensional design-space exploration: brute force (every (frequency, " +
 			"link width, switch count) point evaluated) vs pruned (duplicate (vcs, link width) " +
 			"cells eliminated, switch counts cut by analytic power/latency floors). Pareto " +
 			"fronts and best points are verified byte-identical before reporting. " +
 			"Regenerate with: go test -bench=Explorer -benchtime=1x",
-		Speedup:  speedup,
+		Speedup:      speedup,
 		Explorations: results,
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -681,5 +681,62 @@ func BenchmarkSwitchPositionLP(b *testing.B) {
 		if err := place.OptimizeSwitchPositions(top); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFidelityLadder measures the PR 10 fidelity ladder on the paper
+// suite: a WithSpace+WithSimulation baseline that simulates every valid
+// point of the frequency sweep against a triaged run where the analytic
+// M/D/1 contention estimate cuts the Pareto band and only band members are
+// simulated. RunFidelityLadderBenchmark gates every pair on byte-identical
+// Pareto fronts and best points before timing is reported, so a triage bug
+// fails the benchmark rather than skewing a number. Besides ns/op it
+// reports the geometric-mean speedup and the mean front recall, and records
+// the per-design numbers to BENCH_PR10.json (the CI smoke step runs it with
+// -benchtime=1x).
+func BenchmarkFidelityLadder(b *testing.B) {
+	suite := []string{"D_26_media", "D_35_bot", "D_36_4"}
+	var results []sunfloor3d.FidelityLadderBenchmark
+	for i := 0; i < b.N; i++ {
+		results = results[:0]
+		for _, name := range suite {
+			r, err := sunfloor3d.RunFidelityLadderBenchmark(name, 1, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results = append(results, r)
+		}
+	}
+	logSpeedup, recall := 0.0, 0.0
+	for _, r := range results {
+		logSpeedup += math.Log(r.Speedup)
+		recall += r.Recall
+	}
+	speedup := math.Exp(logSpeedup / float64(len(results)))
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(recall/float64(len(results)), "recall")
+	out := struct {
+		Description string                               `json:"description"`
+		Speedup     float64                              `json:"geomean_speedup"`
+		Recall      float64                              `json:"mean_recall"`
+		Ladders     []sunfloor3d.FidelityLadderBenchmark `json:"ladders"`
+	}{
+		Description: "Fidelity ladder: WithSpace+WithSimulation with full flit-level simulation of " +
+			"every valid design point vs estimate-triaged simulation of the Pareto band only " +
+			"(analytic M/D/1 contention estimate over committed routes, band 0.05, converged " +
+			"48k-cycle simulations, 64-bit links). Pareto fronts and best points are verified " +
+			"byte-identical before reporting; the reference front for recall uses a 10% " +
+			"epsilon-indicator margin against single-seed simulator noise. " +
+			"Regenerate with: go test -bench=FidelityLadder -benchtime=1x",
+		Speedup: speedup,
+		Recall:  recall / float64(len(results)),
+		Ladders: results,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR10.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }

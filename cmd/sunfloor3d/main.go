@@ -56,6 +56,14 @@
 // deadlock-watchdog report is written to sim.txt. Under -progress each
 // simulated point also reports its simulation wall time.
 //
+// -contention attaches the analytic M/D/1 contention estimate (per-flow
+// waiting time on top of the exact zero-load latency) to every valid design
+// point; it costs microseconds per point and is part of the serialised
+// result. -sim-band F climbs the fidelity ladder: the estimate triages the
+// sweep and only the points within fraction F of the estimated
+// power/latency Pareto front are simulated (requires -simulate, implies
+// -contention). Under -progress every point reports its triage decision.
+//
 // -cpuprofile and -memprofile write pprof profiles covering the whole run,
 // so synthesis or simulation hot-path regressions can be diagnosed straight
 // from the CLI (go tool pprof <file>).
@@ -74,6 +82,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -128,6 +137,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		yieldTarget = fs.Float64("yield-target", 0.99, "functional-yield target of -spares, in (0, 1)")
 		procName    = fs.String("process", "wafer-level-A", "manufacturing process of -spares: wafer-level-A, wafer-level-B or die-to-wafer")
 
+		contention = fs.Bool("contention", false, "attach the analytic M/D/1 contention estimate to every valid design point")
+		simBand    = fs.Float64("sim-band", 0, "fidelity ladder: simulate only the points within this fractional band of the estimated Pareto front (requires -simulate; implies -contention)")
+
 		simulate   = fs.Bool("simulate", false, "run the flit-level traffic simulator on every valid design point")
 		simCycles  = fs.Int("sim-cycles", 0, "simulation injection horizon in cycles (0 = default)")
 		simProfile = fs.String("sim-profile", "uniform", "traffic profile: uniform, bursty or hotspot")
@@ -145,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		shardSpec  = fs.String("shard", "", "evaluate one shard of the -axis space, e.g. -shard 0/4; merge shards by concatenating their -checkpoint files")
 	)
 	var axes axisFlags
-	fs.Var(&axes, "axis", "explore a design-space axis as name=v1,v2,... (repeatable; names: freq_mhz, switch_count, vcs, link_width_bits)")
+	fs.Var(&axes, "axis", "explore a design-space axis as name=v1,v2,... (repeatable; names: freq_mhz, switch_count, layer_count, tsv_budget, vcs, link_width_bits)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil // -h/-help: usage already printed, exit 0
@@ -157,6 +169,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *simulate && (*serverURL != "" || *cacheDir != "") {
 		return fmt.Errorf("-simulate cannot be combined with -server or -cache-dir: simulation statistics are not part of the serialised result")
+	}
+	if *simBand != 0 && !*simulate {
+		return fmt.Errorf("-sim-band requires -simulate (there is no simulation to triage)")
+	}
+	if *simBand != 0 {
+		// The band is cut on the contention estimate, so the ladder always
+		// carries the estimator with it.
+		*contention = true
 	}
 	if len(axes) == 0 && (*noPrune || *checkpoint != "" || *shardSpec != "") {
 		return fmt.Errorf("-no-prune, -checkpoint and -shard require an exploration space (-axis)")
@@ -261,6 +281,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		opts = append(opts, sunfloor3d.WithSimulation(simCfg))
 	}
+	if *contention {
+		opts = append(opts, sunfloor3d.WithContention())
+	}
+	if *simBand != 0 {
+		opts = append(opts, sunfloor3d.WithSimBand(*simBand))
+	}
 	if *progress {
 		opts = append(opts, sunfloor3d.WithProgress(func(ev sunfloor3d.Event) {
 			status := "ok"
@@ -271,8 +297,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if ev.Point.Sim != nil {
 				simTime = fmt.Sprintf(" (sim %.2fms)", ev.Point.SimElapsed.Seconds()*1e3)
 			}
-			fmt.Fprintf(stderr, "[%d/%d] %d switches @ %.0f MHz (phase %d): %s%s\n",
-				ev.Done, ev.Total, ev.Point.SwitchCount, ev.Point.FreqMHz, ev.Point.Phase, status, simTime)
+			triage := ""
+			if ev.Point.SimTriage != "" {
+				triage = " [triage " + ev.Point.SimTriage + "]"
+			}
+			fmt.Fprintf(stderr, "[%d/%d] %d switches @ %.0f MHz (phase %d): %s%s%s\n",
+				ev.Done, ev.Total, ev.Point.SwitchCount, ev.Point.FreqMHz, ev.Point.Phase, status, simTime, triage)
 		}))
 	}
 
@@ -290,6 +320,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if *withFaults {
 			req.Options.Fault = &server.FaultRequest{Plans: faultPlans, FaultsPerPlan: faultsPer, Seed: faultSeed}
+		}
+		if *contention {
+			req.Options.Contention = contention
 		}
 		return runViaServer(ctx, *serverURL, req, *outDir, *asJSON, *progress, stdout, stderr)
 	}
@@ -554,6 +587,14 @@ func (a *axisFlags) Set(s string) error {
 	if !ok || name == "" {
 		return fmt.Errorf("-axis wants name=v1,v2,..., got %q", s)
 	}
+	// Reject the malformed spellings here, at flag-parse time, so the user
+	// sees which -axis argument is wrong instead of a late engine error; the
+	// engine re-validates the assembled Space anyway.
+	for _, ax := range *a {
+		if ax.Name == name {
+			return fmt.Errorf("duplicate axis %s", name)
+		}
+	}
 	var vals []float64
 	for _, part := range strings.Split(list, ",") {
 		part = strings.TrimSpace(part)
@@ -563,6 +604,11 @@ func (a *axisFlags) Set(s string) error {
 		v, err := strconv.ParseFloat(part, 64)
 		if err != nil {
 			return fmt.Errorf("invalid value %q for axis %s", part, name)
+		}
+		// ParseFloat happily accepts "NaN" and "Inf", so the positivity
+		// check must name them explicitly.
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("axis %s value %q is not a positive number", name, part)
 		}
 		vals = append(vals, v)
 	}

@@ -164,6 +164,52 @@ func TestCLIInputValidation(t *testing.T) {
 	}
 }
 
+// TestAxisFlagValidation pins the exact flag-parse-time diagnostics of the
+// repeatable -axis flag: malformed forms, duplicate names, empty value lists
+// and non-positive (including NaN/Inf, which ParseFloat accepts) values must
+// all be rejected before the engine ever sees the space.
+func TestAxisFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		sets    []string // fed to Set in order; the last one carries the expectation
+		wantErr string   // exact error of the last Set; "" means it must succeed
+	}{
+		{"two distinct axes", []string{"freq_mhz=400,600", "vcs=1,2"}, ""},
+		{"missing equals", []string{"freq_mhz"}, `-axis wants name=v1,v2,..., got "freq_mhz"`},
+		{"empty name", []string{"=400"}, `-axis wants name=v1,v2,..., got "=400"`},
+		{"duplicate name", []string{"freq_mhz=400", "freq_mhz=600"}, "duplicate axis freq_mhz"},
+		{"empty value list", []string{"vcs="}, "axis vcs lists no values"},
+		{"only separators", []string{"vcs=,,"}, "axis vcs lists no values"},
+		{"unparsable value", []string{"vcs=abc"}, `invalid value "abc" for axis vcs`},
+		{"zero value", []string{"freq_mhz=0"}, `axis freq_mhz value "0" is not a positive number`},
+		{"negative value", []string{"freq_mhz=400,-600"}, `axis freq_mhz value "-600" is not a positive number`},
+		{"NaN value", []string{"vcs=NaN"}, `axis vcs value "NaN" is not a positive number`},
+		{"positive infinity", []string{"vcs=Inf"}, `axis vcs value "Inf" is not a positive number`},
+		{"negative infinity", []string{"vcs=-Inf"}, `axis vcs value "-Inf" is not a positive number`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var a axisFlags
+			var err error
+			for _, s := range tc.sets {
+				if err = a.Set(s); err != nil {
+					break
+				}
+			}
+			switch {
+			case tc.wantErr == "" && err != nil:
+				t.Fatalf("Set(%q): unexpected error %v", tc.sets, err)
+			case tc.wantErr == "" && len(a) != len(tc.sets):
+				t.Fatalf("Set(%q) collected %d axes, want %d", tc.sets, len(a), len(tc.sets))
+			case tc.wantErr != "" && err == nil:
+				t.Fatalf("Set(%q) should fail with %q", tc.sets, tc.wantErr)
+			case tc.wantErr != "" && err.Error() != tc.wantErr:
+				t.Fatalf("Set(%q) error = %q, want %q", tc.sets, err, tc.wantErr)
+			}
+		})
+	}
+}
+
 // runCLIWithStderr drives run() and returns stdout and stderr.
 func runCLIWithStderr(t *testing.T, args ...string) (string, string) {
 	t.Helper()

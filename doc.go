@@ -95,6 +95,46 @@
 // before/after timings to BENCH_PR4.json. DesignPoint.SimElapsed reports
 // each point's simulation wall time.
 //
+// # The fidelity ladder
+//
+// WithContention() inserts an analytic rung between the exact zero-load
+// model and the flit simulator: an M/D/1-style waiting-time estimate
+// computed from the committed routes in microseconds per point. Each link's
+// offered load is the sum of its flows' bandwidths, its service time
+// follows from link width and frequency, and a flow's estimated latency is
+// its exact zero-load latency plus the sum of per-hop waiting estimates;
+// links at or beyond capacity are counted in ContentionEstimate
+// SaturatedLinks and their waits clamped, so the estimate is never NaN or
+// Inf. The result is attached to every valid point as
+// DesignPoint.Contention, serialised under "contention", and is
+// byte-deterministic across serial, parallel, cached, checkpointed and
+// sharded runs.
+//
+// The estimate is trustworthy exactly where its assumptions hold: at low to
+// moderate link utilization it tracks the simulator closely (the property
+// suite bounds the error at a factor of two below 50% utilization), while
+// at saturation it still ranks points usefully but its absolute waits are
+// model artifacts — SaturatedLinks and MaxUtilization say which regime a
+// point is in.
+//
+// WithSimBand(frac) builds the ladder's triage step on top: instead of
+// simulating every valid point, only the points within the estimated Pareto
+// band on (power, estimated latency) are simulated (SimTriage "sim"), the
+// rest keep their analytic estimate (SimTriage "skip"). The band respects
+// where the estimate can be wrong: a skip requires an outright dominator
+// that clears a (1+frac) factor on the exactly-computed power coordinate,
+// or a latency win that survives hedging both points' estimated waiting
+// components by (1+frac) each way. Triage decisions are order-independent
+// and flow through progress events, the server stream and checkpoint
+// records; memo keys include the band so triaged and full-sim results never
+// alias. With WithSpace the band is cut per exploration cell, which keeps
+// checkpointed and sharded cells final and exactly mergeable, and the
+// estimated latency doubles as the branch-and-bound witness coordinate so
+// pruning stays exact for the triage band. BenchmarkFidelityLadder
+// ("go test -bench=FidelityLadder -benchtime=1x") gates the triaged sweep
+// on byte-identical fronts and best points against a full-simulation
+// baseline and records speedup, precision and recall to BENCH_PR10.json.
+//
 // # Generating and loading custom workloads
 //
 // Beyond the paper's seven fixed benchmarks (Benchmarks, BenchmarkByName),

@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"testing"
@@ -259,6 +260,22 @@ func TestExplorerOptionValidation(t *testing.T) {
 			sunfloor3d.WithPhase(sunfloor3d.Phase2Only),
 			sunfloor3d.WithSpace(sunfloor3d.Space{
 				Axes: []sunfloor3d.Axis{{Name: sunfloor3d.AxisSwitchCount, Values: []float64{2}}}})}},
+		{"fractional layer count", []sunfloor3d.Option{sunfloor3d.WithSpace(sunfloor3d.Space{
+			Axes: []sunfloor3d.Axis{{Name: sunfloor3d.AxisLayerCount, Values: []float64{1.5}}}})}},
+		{"fractional tsv budget", []sunfloor3d.Option{sunfloor3d.WithSpace(sunfloor3d.Space{
+			Axes: []sunfloor3d.Axis{{Name: sunfloor3d.AxisTSVBudget, Values: []float64{7.5}}}})}},
+		{"sim band without simulation", []sunfloor3d.Option{
+			sunfloor3d.WithContention(), sunfloor3d.WithSimBand(0.2)}},
+		{"sim band without contention", []sunfloor3d.Option{
+			sunfloor3d.WithSimulation(sunfloor3d.DefaultSimConfig()), sunfloor3d.WithSimBand(0.2)}},
+		{"negative sim band", []sunfloor3d.Option{
+			sunfloor3d.WithContention(),
+			sunfloor3d.WithSimulation(sunfloor3d.DefaultSimConfig()),
+			sunfloor3d.WithSimBand(-0.1)}},
+		{"NaN sim band", []sunfloor3d.Option{
+			sunfloor3d.WithContention(),
+			sunfloor3d.WithSimulation(sunfloor3d.DefaultSimConfig()),
+			sunfloor3d.WithSimBand(math.NaN())}},
 		{"checkpoint without space", []sunfloor3d.Option{sunfloor3d.WithCheckpoint("x.ckpt")}},
 		{"shard without space", []sunfloor3d.Option{sunfloor3d.WithShard(0, 2)}},
 		{"shard index out of range", []sunfloor3d.Option{
@@ -288,5 +305,94 @@ func TestExplorerCheckpointFingerprintMismatch(t *testing.T) {
 	other.NoPrune = true
 	if _, err := sunfloor3d.Synthesize(ctx, d, sunfloor3d.WithSpace(other), sunfloor3d.WithCheckpoint(ckpt)); err == nil {
 		t.Error("checkpoint of a different request resumed without error")
+	}
+}
+
+// TestExplorerCheckpointTornMiddleLine: a torn record in the MIDDLE of a
+// checkpoint — the shape `cat` produces when an interrupted shard file (torn
+// trailing line, no newline) is concatenated before an intact one — must be
+// skipped, its cells recomputed, and the resumed result must stay
+// byte-identical to the uninterrupted run.
+func TestExplorerCheckpointTornMiddleLine(t *testing.T) {
+	d := apiDesign(t)
+	ctx := context.Background()
+	ckpt := filepath.Join(t.TempDir(), "explore.ckpt")
+	sp := exploreSpace3()
+	// Evaluate every cell so the checkpoint holds one line per cell; with
+	// pruning on, dominated cells are stubbed without a checkpoint record
+	// and the file can be too short to tear in the middle.
+	sp.NoPrune = true
+
+	live, err := sunfloor3d.Synthesize(ctx, d, sunfloor3d.WithSpace(sp), sunfloor3d.WithCheckpoint(ckpt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	if len(lines) < 4 {
+		t.Fatalf("fixture checkpoint has only %d lines, need at least 4 to tear the middle", len(lines))
+	}
+	// Tear a middle record in half and splice the next line onto it without
+	// a separating newline, exactly as a concatenated torn shard would.
+	mid := len(lines) / 2
+	torn := append([]byte(nil), lines[mid][:len(lines[mid])/2]...)
+	torn = append(torn, lines[mid+1]...)
+	var rebuilt [][]byte
+	rebuilt = append(rebuilt, lines[:mid]...)
+	rebuilt = append(rebuilt, torn)
+	rebuilt = append(rebuilt, lines[mid+2:]...)
+	if err := os.WriteFile(ckpt, append(bytes.Join(rebuilt, []byte("\n")), '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := sunfloor3d.Synthesize(ctx, d, sunfloor3d.WithSpace(sp), sunfloor3d.WithCheckpoint(ckpt))
+	if err != nil {
+		t.Fatalf("resume over torn middle line: %v", err)
+	}
+	if !bytes.Equal(stable(t, live), stable(t, resumed)) {
+		t.Error("result resumed over a torn middle line differs from the uninterrupted run")
+	}
+}
+
+// TestExplorerCheckpointSimBandFingerprint: toggling the fidelity ladder
+// changes the request fingerprint, so a checkpoint written with WithSimBand
+// cannot resume a run without it — and vice versa. Without this, a triaged
+// checkpoint (some points never simulated) would silently seed a full-sim
+// resume.
+func TestExplorerCheckpointSimBandFingerprint(t *testing.T) {
+	d := apiDesign(t)
+	ctx := context.Background()
+	sp := sunfloor3d.Space{Axes: []sunfloor3d.Axis{
+		{Name: sunfloor3d.AxisFreqMHz, Values: []float64{400, 600}},
+	}}
+	cfg := sunfloor3d.DefaultSimConfig()
+	cfg.Cycles = 500
+	cfg.DrainCycles = 500
+	base := []sunfloor3d.Option{
+		sunfloor3d.WithSpace(sp),
+		sunfloor3d.WithSimulation(cfg),
+		sunfloor3d.WithContention(),
+	}
+	withBand := append(append([]sunfloor3d.Option(nil), base...), sunfloor3d.WithSimBand(0.25))
+
+	// Checkpoint written without the band, resumed with it: rejected.
+	ckpt := filepath.Join(t.TempDir(), "full.ckpt")
+	if _, err := sunfloor3d.Synthesize(ctx, d, append(base, sunfloor3d.WithCheckpoint(ckpt))...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sunfloor3d.Synthesize(ctx, d, append(withBand, sunfloor3d.WithCheckpoint(ckpt))...); err == nil {
+		t.Error("full-sim checkpoint resumed under WithSimBand without error")
+	}
+
+	// Checkpoint written with the band, resumed without it: rejected.
+	ckpt2 := filepath.Join(t.TempDir(), "band.ckpt")
+	if _, err := sunfloor3d.Synthesize(ctx, d, append(withBand, sunfloor3d.WithCheckpoint(ckpt2))...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sunfloor3d.Synthesize(ctx, d, append(base, sunfloor3d.WithCheckpoint(ckpt2))...); err == nil {
+		t.Error("triaged checkpoint resumed without WithSimBand without error")
 	}
 }

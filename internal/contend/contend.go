@@ -1,0 +1,148 @@
+// Package contend estimates queueing contention on a synthesized topology
+// analytically, without running the flit-level simulator. It layers an
+// M/D/1-style per-link waiting-time model on top of the exact zero-load
+// latencies of internal/topology: every physical link's utilization is the
+// sum of the bandwidths of the flows routed over it divided by the link
+// capacity (width x frequency), the deterministic service time of a packet
+// is its flit count, and each flow's estimated latency is its zero-load
+// latency plus the waiting estimate of every link it traverses. The result
+// costs microseconds per design point, which is what lets a design-space
+// sweep triage which points deserve full simulation (the fidelity ladder).
+//
+// The model is deliberately conservative about its own domain: the M/D/1
+// waiting term W = rho*S/(2*(1-rho)) diverges as utilization approaches 1,
+// so utilizations are clamped just below saturation and any link offered
+// more traffic than its capacity is counted in SaturatedLinks instead of
+// producing an infinite estimate. An Estimate therefore never contains NaN
+// or Inf; a non-zero SaturatedLinks is the signal that the point is past
+// the validity range of the model and only full simulation can rank it.
+package contend
+
+import (
+	"math"
+
+	"sunfloor3d/internal/topology"
+)
+
+// rhoMax is the utilization clamp applied inside the waiting-time term. It
+// bounds the M/D/1 estimate at roughly 512 service times per hop, keeping
+// saturated points finite (and comparable) instead of infinite.
+const rhoMax = 1 - 1.0/1024
+
+// defaultPacketFlits matches sim.DefaultConfig().PacketFlits so that the
+// estimator and the simulator agree on the service time when the caller has
+// not configured a simulation.
+const defaultPacketFlits = 4
+
+// Estimate is the JSON-stable analytic contention estimate for one design
+// point. All fields are finite by construction.
+type Estimate struct {
+	// AvgLatencyCycles is the mean estimated per-flow latency: zero-load
+	// latency plus the per-hop M/D/1 waiting estimates, averaged over the
+	// routed flows.
+	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
+	// MaxLatencyCycles is the largest estimated per-flow latency.
+	MaxLatencyCycles float64 `json:"max_latency_cycles"`
+	// AvgWaitCycles is the mean estimated queueing wait per flow (the
+	// contention excess over zero load).
+	AvgWaitCycles float64 `json:"avg_wait_cycles"`
+	// MaxUtilization is the highest offered load over capacity across all
+	// physical links (unclamped, so it can exceed 1 on saturated links).
+	MaxUtilization float64 `json:"max_utilization"`
+	// SaturatedLinks counts directed physical links whose offered load
+	// meets or exceeds capacity. Non-zero means the waiting estimates were
+	// clamped and the point should not be trusted without simulation.
+	SaturatedLinks int `json:"saturated_links,omitempty"`
+}
+
+// wait returns the M/D/1 waiting estimate in cycles for a link with the
+// given utilization, with the packet service time of flits cycles. The
+// utilization is clamped below 1 so the result is always finite.
+func wait(rho float64, flits int) float64 {
+	if rho <= 0 {
+		return 0
+	}
+	if rho > rhoMax {
+		rho = rhoMax
+	}
+	return rho * float64(flits) / (2 * (1 - rho))
+}
+
+// EstimatePoint scores a routed topology. packetFlits is the deterministic
+// packet service time in flits (use the simulation config's PacketFlits when
+// one is set); non-positive values fall back to the simulator default. The
+// returned estimate is byte-deterministic: it depends only on the topology's
+// committed routes and flow order, never on map iteration or scheduling.
+func EstimatePoint(t *topology.Topology, packetFlits int) *Estimate {
+	if packetFlits <= 0 {
+		packetFlits = defaultPacketFlits
+	}
+	// Link capacity in MB/s: FreqMHz cycles/us times LinkWidthBits/8 bytes
+	// per cycle. Guard impossible libraries by treating the capacity as
+	// saturated rather than dividing by zero.
+	capacityMBps := t.FreqMHz * float64(t.Lib.LinkWidthBits) / 8
+
+	est := &Estimate{}
+	utilization := func(bwMBps float64) float64 {
+		if capacityMBps <= 0 {
+			return math.Inf(1) // flagged and clamped below, never returned
+		}
+		return bwMBps / capacityMBps
+	}
+	record := func(u float64) float64 {
+		if u >= 1 {
+			est.SaturatedLinks++
+		}
+		if u > est.MaxUtilization && !math.IsInf(u, 1) {
+			est.MaxUtilization = u
+		}
+		return wait(u, packetFlits)
+	}
+
+	// Per-link waits, keyed the same way the aggregations are sorted. Both
+	// SwitchLinks and CoreLinks return deterministic slices; the maps here
+	// are only lookup tables indexed by fully-determined keys.
+	switchWait := make(map[[2]int]float64)
+	for _, l := range t.SwitchLinks() {
+		switchWait[[2]int{l.From, l.To}] = record(utilization(l.BandwidthMBps))
+	}
+	type coreKey struct {
+		core   int
+		toCore bool
+	}
+	coreWait := make(map[coreKey]float64)
+	for _, l := range t.CoreLinks() {
+		coreWait[coreKey{l.Core, l.ToCore}] = record(utilization(l.BandwidthMBps))
+	}
+	if math.IsInf(est.MaxUtilization, 1) || math.IsNaN(est.MaxUtilization) {
+		est.MaxUtilization = 0
+	}
+
+	var latSum, waitSum float64
+	routed := 0
+	for f := range t.Design.Flows {
+		r := t.Routes[f]
+		if len(r.Switches) == 0 {
+			continue // unrouted: no committed path to score
+		}
+		fl := t.Design.Flows[f]
+		w := coreWait[coreKey{fl.Src, false}]
+		for i := 1; i < len(r.Switches); i++ {
+			w += switchWait[[2]int{r.Switches[i-1], r.Switches[i]}]
+		}
+		w += coreWait[coreKey{fl.Dst, true}]
+
+		lat := t.FlowLatencyCycles(f) + w
+		latSum += lat
+		waitSum += w
+		if lat > est.MaxLatencyCycles {
+			est.MaxLatencyCycles = lat
+		}
+		routed++
+	}
+	if routed > 0 {
+		est.AvgLatencyCycles = latSum / float64(routed)
+		est.AvgWaitCycles = waitSum / float64(routed)
+	}
+	return est
+}

@@ -1,0 +1,149 @@
+package contend
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"sunfloor3d/internal/model"
+	"sunfloor3d/internal/noclib"
+	"sunfloor3d/internal/topology"
+)
+
+// buildPair returns a 2-core, 2-switch topology with a single routed flow of
+// the given bandwidth: c0 -> s0 -> s1 -> c1.
+func buildPair(t *testing.T, bwMBps float64) *topology.Topology {
+	t.Helper()
+	g, err := model.NewCommGraph(
+		[]model.Core{
+			{Name: "c0", Width: 1, Height: 1, X: 0, Y: 0, Layer: 0},
+			{Name: "c1", Width: 1, Height: 1, X: 2, Y: 0, Layer: 0},
+		},
+		[]model.Flow{{Src: 0, Dst: 1, BandwidthMBps: bwMBps}},
+	)
+	if err != nil {
+		t.Fatalf("NewCommGraph: %v", err)
+	}
+	top := topology.New(g, noclib.DefaultLibrary(), 400)
+	s0 := top.AddSwitch(0)
+	s1 := top.AddSwitch(0)
+	top.AttachCore(0, s0)
+	top.AttachCore(1, s1)
+	top.SetRoute(0, []int{s0, s1})
+	top.EstimateSwitchPositions()
+	return top
+}
+
+func TestEstimateMatchesHandComputation(t *testing.T) {
+	top := buildPair(t, 100)
+	est := EstimatePoint(top, 4)
+
+	// Capacity: 400 MHz x 32 bits / 8 = 1600 MB/s; utilization 100/1600.
+	u := 100.0 / 1600.0
+	if math.Abs(est.MaxUtilization-u) > 1e-12 {
+		t.Fatalf("MaxUtilization = %g, want %g", est.MaxUtilization, u)
+	}
+	// The flow crosses three links (ingress, s0->s1, ejection), each at the
+	// same utilization, so the wait is 3 x rho*S/(2*(1-rho)).
+	wantWait := 3 * u * 4 / (2 * (1 - u))
+	if math.Abs(est.AvgWaitCycles-wantWait) > 1e-12 {
+		t.Fatalf("AvgWaitCycles = %g, want %g", est.AvgWaitCycles, wantWait)
+	}
+	zero := top.FlowLatencyCycles(0)
+	if math.Abs(est.AvgLatencyCycles-(zero+wantWait)) > 1e-12 {
+		t.Fatalf("AvgLatencyCycles = %g, want zero-load %g + wait %g", est.AvgLatencyCycles, zero, wantWait)
+	}
+	if est.MaxLatencyCycles != est.AvgLatencyCycles {
+		t.Fatalf("single flow: MaxLatencyCycles %g != AvgLatencyCycles %g", est.MaxLatencyCycles, est.AvgLatencyCycles)
+	}
+	if est.SaturatedLinks != 0 {
+		t.Fatalf("SaturatedLinks = %d, want 0", est.SaturatedLinks)
+	}
+}
+
+func TestEstimateSaturatedLinkIsFiniteAndFlagged(t *testing.T) {
+	// 10x the 1600 MB/s capacity: every one of the three links saturates.
+	top := buildPair(t, 16000)
+	est := EstimatePoint(top, 4)
+	if est.SaturatedLinks != 3 {
+		t.Fatalf("SaturatedLinks = %d, want 3", est.SaturatedLinks)
+	}
+	if math.Abs(est.MaxUtilization-10) > 1e-12 {
+		t.Fatalf("MaxUtilization = %g, want 10", est.MaxUtilization)
+	}
+	assertFinite(t, est)
+	// The clamp caps each hop at rhoMax, so the estimate stays bounded.
+	maxWait := 3 * rhoMax * 4 / (2 * (1 - rhoMax))
+	if est.AvgWaitCycles > maxWait+1e-9 {
+		t.Fatalf("AvgWaitCycles = %g exceeds the clamp bound %g", est.AvgWaitCycles, maxWait)
+	}
+}
+
+func TestEstimateUnroutedFlowsSkipped(t *testing.T) {
+	top := buildPair(t, 100)
+	top.SetRoute(0, nil) // drop the only route
+	est := EstimatePoint(top, 4)
+	if est.AvgLatencyCycles != 0 || est.MaxLatencyCycles != 0 || est.AvgWaitCycles != 0 {
+		t.Fatalf("unrouted flow must contribute nothing, got %+v", est)
+	}
+	assertFinite(t, est)
+}
+
+func TestEstimateDefaultsPacketFlits(t *testing.T) {
+	top := buildPair(t, 100)
+	got := EstimatePoint(top, 0)
+	want := EstimatePoint(top, defaultPacketFlits)
+	if *got != *want {
+		t.Fatalf("packetFlits<=0 fallback: got %+v, want %+v", got, want)
+	}
+}
+
+func TestEstimateMonotoneInLoad(t *testing.T) {
+	lo := EstimatePoint(buildPair(t, 100), 4)
+	hi := EstimatePoint(buildPair(t, 800), 4)
+	if hi.AvgLatencyCycles <= lo.AvgLatencyCycles {
+		t.Fatalf("higher load must raise the estimate: %g <= %g", hi.AvgLatencyCycles, lo.AvgLatencyCycles)
+	}
+	if hi.AvgWaitCycles <= lo.AvgWaitCycles {
+		t.Fatalf("higher load must raise the wait: %g <= %g", hi.AvgWaitCycles, lo.AvgWaitCycles)
+	}
+}
+
+func TestEstimateZeroCapacityNeverNaN(t *testing.T) {
+	top := buildPair(t, 100)
+	top.Lib.LinkWidthBits = 0 // impossible library: zero capacity
+	est := EstimatePoint(top, 4)
+	assertFinite(t, est)
+	if est.SaturatedLinks != 3 {
+		t.Fatalf("zero capacity must saturate all 3 links, got %d", est.SaturatedLinks)
+	}
+}
+
+func TestEstimateDeterministicBytes(t *testing.T) {
+	a, err := json.Marshal(EstimatePoint(buildPair(t, 300), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(EstimatePoint(buildPair(t, 300), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("estimate bytes diverged:\n%s\n%s", a, b)
+	}
+}
+
+func assertFinite(t *testing.T, est *Estimate) {
+	t.Helper()
+	for name, v := range map[string]float64{
+		"AvgLatencyCycles": est.AvgLatencyCycles,
+		"MaxLatencyCycles": est.MaxLatencyCycles,
+		"AvgWaitCycles":    est.AvgWaitCycles,
+		"MaxUtilization":   est.MaxUtilization,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s is not finite: %g", name, v)
+		}
+	}
+}

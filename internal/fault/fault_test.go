@@ -3,6 +3,7 @@ package fault
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"reflect"
 	"testing"
 
@@ -376,6 +377,54 @@ func TestReplayRandomPath(t *testing.T) {
 	}
 	if rep.Survived+rep.Dead != rep.Plans {
 		t.Errorf("survived %d + dead %d != plans %d", rep.Survived, rep.Dead, rep.Plans)
+	}
+}
+
+// TestReplayAllAbsorbedReportFinite is the regression test for the
+// degenerate-ratio bugs: with every fault absorbed by a spare there are zero
+// repaired flows, so neither worst_latency_inflation nor spare_utilization
+// has a populated numerator path, and with zero provisioned spares the
+// utilization denominator is zero. In both cases the JSON-stable report must
+// stay finite — encoding/json rejects NaN and Inf outright, so a successful
+// marshal doubles as the finiteness check.
+func TestReplayAllAbsorbedReportFinite(t *testing.T) {
+	mc := ModelConfig{Plans: 4, FaultsPerPlan: 1, Seed: 1, ExhaustiveMax: 24}
+
+	// Every fault absorbed: zero repaired flows.
+	top := triangle(t, 2)
+	sp, err := BuildSparing(top, SparingConfig{Process: highRateProcess(), TargetYield: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(top, route.DefaultConfig(), mc, sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired != 0 || rep.ReroutedFlows != 0 || rep.Absorbed != rep.Plans {
+		t.Fatalf("fixture not fully absorbed: %+v", rep)
+	}
+	if rep.WorstLatencyInflation != 1 {
+		t.Errorf("WorstLatencyInflation = %v with zero repairs, want the neutral 1", rep.WorstLatencyInflation)
+	}
+	if math.IsNaN(rep.SpareUtilization) || math.IsInf(rep.SpareUtilization, 0) {
+		t.Errorf("SpareUtilization = %v, want finite", rep.SpareUtilization)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("all-absorbed report does not serialise: %v", err)
+	}
+
+	// Zero provisioned spares: the utilization denominator Plans*TotalSpares
+	// is zero and the ratio must not be computed at all.
+	empty := &SparingPlan{Process: highRateProcess()}
+	rep, err = Replay(triangle(t, 1), route.DefaultConfig(), mc, empty, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SpareUtilization != 0 {
+		t.Errorf("SpareUtilization = %v with zero spares, want 0", rep.SpareUtilization)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("zero-spare report does not serialise: %v", err)
 	}
 }
 

@@ -166,8 +166,13 @@ func Replay(t *topology.Topology, rcfg route.Config, mc ModelConfig, sp *Sparing
 		}
 		rep.ReroutedFlows += rr.Rerouted
 		m := clone.Evaluate()
-		if infl := m.AvgLatencyCycles / baseline; infl > rep.WorstLatencyInflation {
-			rep.WorstLatencyInflation = infl
+		// A degenerate baseline (no routed flows, zero-length routes) would
+		// turn the ratio into NaN or Inf; the inflation then stays at its
+		// neutral value of 1 rather than poisoning the JSON-stable report.
+		if baseline > 0 {
+			if infl := m.AvgLatencyCycles / baseline; infl > rep.WorstLatencyInflation {
+				rep.WorstLatencyInflation = infl
+			}
 		}
 		rep.Repaired++
 		rep.Survived++

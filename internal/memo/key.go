@@ -31,7 +31,7 @@ import (
 // (a golden-corpus diff): entries written under an old version must never be
 // returned for a new one. The version string is hashed into every key, so a
 // bump invalidates the whole store without touching it.
-const Version = "sunfloor3d-memo/v3"
+const Version = "sunfloor3d-memo/v4"
 
 // executionKnobs classifies every field reachable from Key's parameters that
 // the canonical encoder deliberately does NOT hash, keyed by its dotted path
@@ -211,6 +211,15 @@ func Key(g *model.CommGraph, opt synth.Options) string {
 		e.i64(int64(s.ExhaustiveMax))
 		e.i64(int64(s.FaultCycle))
 	}
+
+	// Section 7: the fidelity ladder. Contend adds the serialised contention
+	// estimate to every valid point, and SimBand decides which points carry
+	// simulation-backed validity and the serialised sim_triage marker, so a
+	// triaged run must never alias a full-sim (or estimate-free) run of the
+	// same request — the v4 bump plus this section guarantees it.
+	e.str("contend")
+	e.bool(opt.Contend)
+	e.f64(opt.SimBand)
 
 	return hex.EncodeToString(h.Sum(nil))
 }

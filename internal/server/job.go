@@ -40,6 +40,10 @@ type ProgressEvent struct {
 	// Pruned marks explorer stubs that were skipped by exact pruning instead
 	// of being evaluated ("progress" only).
 	Pruned bool `json:"pruned,omitempty"`
+	// SimTriage relays the fidelity-ladder decision for the point: "sim"
+	// (simulated, inside the estimated Pareto band) or "skip" (triaged out
+	// by the contention estimate); empty when the ladder is off.
+	SimTriage string `json:"sim_triage,omitempty"`
 	// Status and the optional fields below are set on the terminal event.
 	Status JobStatus       `json:"status,omitempty"`
 	Cache  memo.Provenance `json:"cache,omitempty"`
@@ -193,6 +197,15 @@ func (r *registry) get(id string) (*job, bool) {
 	defer r.mu.Unlock()
 	j, ok := r.jobs[id]
 	return j, ok
+}
+
+// evict applies the retention policy immediately. It runs after every
+// terminal transition so that an evicted job's endpoints 404 as soon as the
+// backlog overflows, not at the next submission.
+func (r *registry) evict() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evictLocked()
 }
 
 // evictLocked drops the oldest terminal jobs while more than retain are

@@ -205,6 +205,7 @@ func (s *Server) run(q queued) {
 				SwitchCount: ev.Point.SwitchCount,
 				Valid:       ev.Point.Valid,
 				Pruned:      ev.Point.Pruned,
+				SimTriage:   ev.Point.SimTriage,
 			})
 		}))
 		res, err := sunfloor3d.Synthesize(s.baseCtx, q.design, opts...)
@@ -215,6 +216,7 @@ func (s *Server) run(q queued) {
 	}
 	body, prov, err := s.cache.GetOrCompute(s.baseCtx, q.job.key, compute)
 	q.job.finish(body, prov, err)
+	s.reg.evict()
 }
 
 // SynthesizeRequest is the JSON body of POST /v1/synthesize. The design is
@@ -256,6 +258,11 @@ type RequestOptions struct {
 	// (sunfloor3d.WithFaultModel). Both are fingerprint-relevant.
 	Sparing *SparingRequest `json:"sparing,omitempty"`
 	Fault   *FaultRequest   `json:"fault,omitempty"`
+	// Contention attaches the analytic M/D/1 contention estimate to every
+	// valid point (sunfloor3d.WithContention). Fingerprint-relevant: the
+	// estimate is part of the serialised result. The WithSimBand triage is
+	// not exposed here because simulation itself is not server-exposed.
+	Contention *bool `json:"contention,omitempty"`
 }
 
 // SparingRequest mirrors sunfloor3d.WithSparing: the manufacturing process —
@@ -436,6 +443,9 @@ func (s *Server) parseRequest(req *SynthesizeRequest) (*sunfloor3d.Design, []sun
 		}
 		opts = append(opts, sunfloor3d.WithSpace(sp))
 	}
+	if o.Contention != nil && *o.Contention {
+		opts = append(opts, sunfloor3d.WithContention())
+	}
 	return design, opts, nil
 }
 
@@ -478,6 +488,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		j.setRunning()
 		j.finish(body, prov, nil)
+		s.reg.evict()
 		s.respondTerminal(w, r, j)
 		return
 	}

@@ -408,6 +408,34 @@ func TestServerFaultOptionsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestServerContentionOptionRoundTrip: the contention flag reaches the
+// engine (the served result carries the estimate), matches a direct run byte
+// for byte, and changes the fingerprint relative to an estimate-free run.
+func TestServerContentionOptionRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	plain := submit(t, ts, fmt.Sprintf(`{"gen":%q}`, fastGen), true)
+	io.Copy(io.Discard, plain.Body)
+	plain.Body.Close()
+
+	resp := submit(t, ts, fmt.Sprintf(`{"gen":%q,"options":{"contention":true}}`, fastGen), true)
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if plain.Header.Get("X-Sunfloor-Key") == resp.Header.Get("X-Sunfloor-Key") {
+		t.Fatal("contention option did not change the fingerprint")
+	}
+	if !bytes.Contains(got, []byte(`"contention"`)) {
+		t.Fatal("served result carries no contention estimate")
+	}
+	want := directResult(t, fastGen, sunfloor3d.WithContention())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("served contention result differs from direct synthesis:\nserved %d bytes, direct %d bytes", len(got), len(want))
+	}
+}
+
 // TestServerStats: the stats endpoint reports cache activity and scheduler
 // shape.
 func TestServerStats(t *testing.T) {
@@ -536,5 +564,85 @@ func TestServerQueueFull(t *testing.T) {
 	}
 	if ok == 0 {
 		t.Fatalf("no submission succeeded: %v", codes)
+	}
+}
+
+// TestServerStreamAfterEviction: with -retain 1, finishing a second job
+// must evict the first terminal job immediately — its stream (and status)
+// endpoints 404 without waiting for a third submission to trigger the
+// retention sweep.
+func TestServerStreamAfterEviction(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{RetainJobs: 1})
+
+	// runJob submits asynchronously and polls the job to a terminal state.
+	runJob := func(gen string) string {
+		t.Helper()
+		resp := submit(t, ts, fmt.Sprintf(`{"gen":%q}`, gen), false)
+		ack, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: status %d: %s", resp.StatusCode, ack)
+		}
+		var view server.JobView
+		if err := json.Unmarshal(ack, &view); err != nil {
+			t.Fatalf("parsing ack %q: %v", ack, err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			r, err := http.Get(ts.URL + "/v1/jobs/" + view.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var v server.JobView
+			json.NewDecoder(r.Body).Decode(&v)
+			r.Body.Close()
+			if v.Status == server.StatusDone {
+				return view.ID
+			}
+			if v.Status == server.StatusFailed {
+				t.Fatalf("job failed: %+v", v)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job not done in time: %+v", v)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	first := runJob(fastGen)
+	second := runJob("shape=pipeline,cores=8,layers=2,seed=2")
+
+	// The second finish overflows the retain=1 backlog and sweeps the first
+	// job out. The sweep runs just after the terminal transition the poll
+	// observed, so allow a brief convergence window — but no third submit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + first + "/stream")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode == http.StatusNotFound {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream of evicted job %s = %d, want 404", first, r.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The surviving job still streams its full history.
+	r, err := http.Get(ts.URL + "/v1/jobs/" + second + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("stream of retained job %s = %d: %s", second, r.StatusCode, lines)
+	}
+	if !strings.Contains(string(lines), `"done"`) {
+		t.Fatalf("retained job stream missing terminal event: %s", lines)
 	}
 }

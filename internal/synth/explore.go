@@ -11,9 +11,13 @@ import (
 )
 
 // exploreSpace runs the N-dimensional design-space explorer: the cross
-// product of Options.Space's axes, enumerated as (frequency, vcs, link
-// width) cells whose interior is the switch-count sweep of the classic
-// engine. Cells are the unit of pruning, checkpointing and sharding.
+// product of Options.Space's axes, enumerated as (frequency, layer count,
+// TSV budget, vcs, link width) cells whose interior is the switch-count
+// sweep of the classic engine. Cells are the unit of pruning, checkpointing
+// and sharding. A layer_count axis folds the design onto each requested
+// stacking depth (core layer mod L, planar positions kept), with one
+// partition cache per fold; a tsv_budget axis re-evaluates validity under
+// each TSV macro cap.
 //
 // Unless Space.NoPrune is set, two exact pruning rules apply:
 //
@@ -60,6 +64,19 @@ func exploreSpace(ctx context.Context, g *model.CommGraph, opt Options, cache *p
 	hooks := opt.explore
 	owns := func(ci int) bool { return hooks.Own == nil || hooks.Own(ci) }
 
+	// One graph variant per layer_count value (the design itself without the
+	// axis), each with its own partition cache: partitions are a function of
+	// the layered graph, so folds can never share entries. The variants are
+	// built upfront in axis order, which keeps the table deterministic.
+	variants := []graphVariant{{g: g, cache: cache}}
+	if lcVals := sp.intValues(AxisLayerCount); lcVals != nil {
+		variants = make([]graphVariant, len(lcVals))
+		for i, lc := range lcVals {
+			fg := foldLayers(g, lc)
+			variants[i] = graphVariant{g: fg, cache: newPartitionCache(fg, opt.Partition, !opt.DisablePartitionCache)}
+		}
+	}
+
 	perCell := make([][]DesignPoint, len(cells))
 
 	// emitAll surfaces points that did not run through forEach (restored,
@@ -97,18 +114,27 @@ func exploreSpace(ctx context.Context, g *model.CommGraph, opt Options, cache *p
 		return true
 	}
 	compute := func(ci int, pruneFn func(int) string) error {
+		v := variants[cells[ci].lcIdx]
 		co := cellOptions(opt, cells[ci], counts, pruneFn)
-		pts, err := synthesizeAtFrequency(g, co, cells[ci].freq, cache, p)
+		pts, err := synthesizeAtFrequency(v.g, co, cells[ci].freq, v.cache, p)
 		if err != nil {
+			return err
+		}
+		// Fidelity ladder: triage the cell before it is recorded, so
+		// checkpointed cells hold their final (triaged) points and restored
+		// or shard-merged cells are never re-triaged. The band is cut per
+		// cell; any point on the whole sweep's estimated front is also on
+		// its own cell's front, so per-cell triage only widens the band.
+		if err := triageSimBand(pts, co, p); err != nil {
 			return err
 		}
 		return finish(ci, pts)
 	}
 	// cellShape returns the point skeleton of a cell — one entry per point
 	// the full sweep would produce, in order — without building anything.
-	cellShape := func(freq float64) []DesignPoint {
+	cellShape := func(ci int) []DesignPoint {
 		if opt.Phase == Phase2Only {
-			_, _, maxExtra := phase2Plan(opt, freq, cache)
+			_, _, maxExtra := phase2Plan(opt, cells[ci].freq, variants[cells[ci].lcIdx].cache)
 			return make([]DesignPoint, maxExtra+1)
 		}
 		pts := make([]DesignPoint, g.NumCores())
@@ -125,7 +151,7 @@ func exploreSpace(ctx context.Context, g *model.CommGraph, opt Options, cache *p
 		return pts
 	}
 	stubCell := func(ci int, pruned bool, reason string) {
-		pts := cellShape(cells[ci].freq)
+		pts := cellShape(ci)
 		for i := range pts {
 			pts[i].FreqMHz = cells[ci].freq
 			pts[i].Pruned = pruned
@@ -160,11 +186,26 @@ func exploreSpace(ctx context.Context, g *model.CommGraph, opt Options, cache *p
 			}
 		}
 	}
+	// witnessLatency is the latency coordinate a witness must clear against
+	// the floor. With contention enabled it is the estimated latency, which
+	// upper-bounds the zero-load latency: a witness at or below the floor in
+	// estimated coordinates then dominates every pruned point in both the
+	// exact (power, zero-load) and the estimated (power, contention) Pareto
+	// space, so pruning stays exact for the fidelity ladder's triage band
+	// too. (The latency floor itself is planar, hence identical across
+	// layer-count folds, and the power floor never depends on the fold or
+	// the TSV budget, so one witness set serves every variant.)
+	witnessLatency := func(w DesignPoint) float64 {
+		if opt.Contend && w.Contention != nil {
+			return w.Contention.AvgLatencyCycles
+		}
+		return w.Metrics.AvgLatencyCycles
+	}
 	minPAt := func(freq float64) float64 {
 		latFloor := topology.LatencyFloorCycles(g, opt.Lib, freq)
 		minP := math.Inf(1)
 		for _, w := range witnesses {
-			if w.Metrics.AvgLatencyCycles <= latFloor && w.Metrics.Power.TotalMW() < minP {
+			if witnessLatency(w) <= latFloor && w.Metrics.Power.TotalMW() < minP {
 				minP = w.Metrics.Power.TotalMW()
 			}
 		}
@@ -246,15 +287,40 @@ func exploreSpace(ctx context.Context, g *model.CommGraph, opt Options, cache *p
 		res.Points = append(res.Points, pts...)
 	}
 	res.Best = pickBest(res.Points, opt)
-	res.Cache = cache.stats()
+	// With a layer_count axis the work ran on the per-fold caches; sum their
+	// activity (in the deterministic variant order) so the report covers the
+	// whole run.
+	for _, v := range variants {
+		st := v.cache.stats()
+		res.Cache.Hits += st.Hits
+		res.Cache.Misses += st.Misses
+	}
 	return res, nil
 }
 
+// graphVariant is one layer-count fold of the design with its own partition
+// cache.
+type graphVariant struct {
+	g     *model.CommGraph
+	cache *partitionCache
+}
+
+// foldLayers returns a copy of the design with every core re-assigned to
+// layer (original layer mod lc), keeping planar positions. lc at or above
+// the design's layer count is the identity fold.
+func foldLayers(g *model.CommGraph, lc int) *model.CommGraph {
+	c := g.Clone()
+	for i := range c.Cores {
+		c.Cores[i].Layer %= lc
+	}
+	return c
+}
+
 // probeCellIndex returns the index of the probe cell sharing cell ci's
-// frequency.
+// (frequency, layer count, TSV budget) group.
 func probeCellIndex(cells []cellSpec, ci int) int {
 	for j := ci; j >= 0; j-- {
-		if cells[j].freqIdx == cells[ci].freqIdx && cells[j].probe {
+		if cells[j].group == cells[ci].group && cells[j].probe {
 			return j
 		}
 	}
@@ -276,6 +342,9 @@ func cellOptions(opt Options, c cellSpec, counts []int, pruneFn func(int) string
 	}
 	if c.lw > 0 {
 		co.Lib.LinkWidthBits = c.lw
+	}
+	if c.tsv > 0 {
+		co.explTSVBudget = c.tsv
 	}
 	co.explCounts = counts
 	co.explPrune = pruneFn

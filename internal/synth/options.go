@@ -16,6 +16,7 @@ package synth
 
 import (
 	"fmt"
+	"math"
 
 	"sunfloor3d/internal/fault"
 	"sunfloor3d/internal/noclib"
@@ -153,6 +154,26 @@ type Options struct {
 	// (fault injection on the unrepaired topology, clean run on the repaired
 	// one).
 	Fault *fault.ModelConfig
+	// Contend attaches the analytic M/D/1 contention estimate of
+	// internal/contend to every valid design point (DesignPoint.Contention).
+	// The estimate is computed from the committed routes in microseconds and
+	// is byte-deterministic, so it never perturbs ordering or best-point
+	// identity; it only adds data.
+	Contend bool
+	// SimBand, when positive, turns full simulation into a triage step (the
+	// fidelity ladder): instead of simulating every valid point, only the
+	// points within the given fractional band of the estimated-contention
+	// Pareto front are simulated; the rest keep their analytic estimate and
+	// are marked SimTriage "skip". Requires Sim and Contend. A point p is
+	// skipped when some other valid point q dominates it outright (no worse
+	// in power or estimated latency, strictly better in one) and clears a
+	// SimBand margin in one coordinate: the exact power coordinate by a
+	// plain (1+SimBand) factor, or the latency coordinate with only the
+	// estimated waiting component — the part that can actually be wrong —
+	// hedged by (1+SimBand) each way. The band thus keeps the whole
+	// estimated front plus every near-tie, and widening it absorbs more
+	// estimator error.
+	SimBand float64
 	// Space, when non-nil, replaces the classic frequency x switch-count
 	// sweep with the N-dimensional design-space explorer: the cross product
 	// of the space's axes is enumerated in a deterministic order, provably
@@ -177,6 +198,11 @@ type Options struct {
 	// stub without being partitioned, routed or evaluated. Set by the
 	// explorer (branch-and-bound rule) on per-cell option copies.
 	explPrune func(switches int) string
+	// explTSVBudget, when positive, invalidates design points that need more
+	// TSV macros than the budget. Set by the explorer from the tsv_budget
+	// axis on per-cell option copies; the axis values are covered by the
+	// cache fingerprint through the Space section of memo.Key.
+	explTSVBudget int
 }
 
 // DefaultOptions returns the options used throughout the paper's experiments:
@@ -227,6 +253,17 @@ func (o Options) Validate() error {
 	if o.Sim != nil {
 		if err := o.Sim.Validate(); err != nil {
 			return err
+		}
+	}
+	if math.IsNaN(o.SimBand) || math.IsInf(o.SimBand, 0) || o.SimBand < 0 {
+		return fmt.Errorf("synth: SimBand must be a finite non-negative fraction, got %g", o.SimBand)
+	}
+	if o.SimBand > 0 {
+		if o.Sim == nil {
+			return fmt.Errorf("synth: SimBand requires Sim (there is no simulation to triage)")
+		}
+		if !o.Contend {
+			return fmt.Errorf("synth: SimBand requires Contend (the band is cut on the contention estimate)")
 		}
 	}
 	if o.Sparing != nil {

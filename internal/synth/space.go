@@ -22,6 +22,17 @@ const (
 	// AxisLinkWidthBits sweeps the link width of the component library
 	// (which feeds the TSV macro area model and the simulator's flit width).
 	AxisLinkWidthBits = "link_width_bits"
+	// AxisLayerCount sweeps the number of stacked layers the design is
+	// folded onto: each value L re-assigns every core to layer (original
+	// layer mod L) before synthesis, so one exploration compares 3-D
+	// stacking depths (L = 1 is the flattened 2-D baseline). Planar core
+	// positions are kept as-is.
+	AxisLayerCount = "layer_count"
+	// AxisTSVBudget sweeps a hard cap on the TSV macro count: a design
+	// point needing more TSV macros than the budget is invalid. Distinct
+	// budgets genuinely re-evaluate (validity differs), unlike the
+	// vcs/link-width duplicates.
+	AxisTSVBudget = "tsv_budget"
 )
 
 // Axis is one dimension of an exploration Space: a named parameter and the
@@ -40,9 +51,10 @@ type Axis struct {
 // classic frequency x switch-count sweep to the explorer.
 //
 // The cross product is enumerated in a deterministic order — frequency
-// outermost, then VC count, then link width, each in declared value order,
-// with the switch-count sweep innermost — so Result.Points is byte-identical
-// across runs, parallelism levels, shards and resumes.
+// outermost, then layer count, then TSV budget, then VC count, then link
+// width, each in declared value order, with the switch-count sweep innermost
+// — so Result.Points is byte-identical across runs, parallelism levels,
+// shards and resumes.
 //
 // Unless NoPrune is set, the explorer prunes provably dominated regions
 // before partitioning and routing: (vcs, link width) cells beyond the first
@@ -98,10 +110,10 @@ func (s *Space) validate(o Options) error {
 	seen := map[string]bool{}
 	for _, a := range s.Axes {
 		switch a.Name {
-		case AxisFreqMHz, AxisSwitchCount, AxisVCs, AxisLinkWidthBits:
+		case AxisFreqMHz, AxisSwitchCount, AxisVCs, AxisLinkWidthBits, AxisLayerCount, AxisTSVBudget:
 		default:
-			return fmt.Errorf("synth: unknown axis %q (valid: %s, %s, %s, %s)",
-				a.Name, AxisFreqMHz, AxisSwitchCount, AxisVCs, AxisLinkWidthBits)
+			return fmt.Errorf("synth: unknown axis %q (valid: %s, %s, %s, %s, %s, %s)",
+				a.Name, AxisFreqMHz, AxisSwitchCount, AxisVCs, AxisLinkWidthBits, AxisLayerCount, AxisTSVBudget)
 		}
 		if seen[a.Name] {
 			return fmt.Errorf("synth: duplicate axis %q", a.Name)
@@ -151,29 +163,51 @@ func (s *Space) validate(o Options) error {
 	return nil
 }
 
-// cellSpec identifies one cell of the exploration: a fixed (frequency, VC
-// count, link width) combination whose interior is the switch-count sweep.
+// cellSpec identifies one cell of the exploration: a fixed (frequency, layer
+// count, TSV budget, VC count, link width) combination whose interior is the
+// switch-count sweep.
 type cellSpec struct {
 	// index is the cell's position in the deterministic enumeration.
 	index int
 	// freqIdx and freq identify the frequency.
 	freqIdx int
 	freq    float64
+	// lcIdx and lc identify the layer-count fold (lc 0 when the space has no
+	// layer_count axis: the design's own layering). lcIdx always indexes the
+	// explorer's graph-variant table, including the no-axis case.
+	lcIdx int
+	lc    int
+	// tsv is the TSV macro budget (0 when the space has no tsv_budget axis).
+	tsv int
+	// group numbers the (frequency, layer count, TSV budget) combination the
+	// cell belongs to. Cells of one group differ only in (vcs, lw), which
+	// changes no result-affecting metric, so the group is the unit of
+	// duplicate-cell pruning.
+	group int
 	// vcs is the simulator VC count (0 when the space has no vcs axis).
 	vcs int
 	// lw is the link width in bits (0 when the space has no link-width axis).
 	lw int
-	// probe marks the first (vcs, lw) combination of its frequency: the cell
+	// probe marks the first (vcs, lw) combination of its group: the cell
 	// that is evaluated for real and that duplicate cells are pruned against.
 	probe bool
 }
 
 // cells enumerates the space's cells in deterministic order: frequency
-// outermost, then VC count, then link width.
+// outermost, then layer count, then TSV budget, then VC count, then link
+// width.
 func (s *Space) cells(opt Options) []cellSpec {
 	freqs := opt.FrequenciesMHz
 	if a := s.axis(AxisFreqMHz); a != nil {
 		freqs = a.Values
+	}
+	lcVals := []int{0}
+	if lv := s.intValues(AxisLayerCount); lv != nil {
+		lcVals = lv
+	}
+	tsvVals := []int{0}
+	if tv := s.intValues(AxisTSVBudget); tv != nil {
+		tsvVals = tv
 	}
 	vcsVals := []int{0}
 	if vv := s.intValues(AxisVCs); vv != nil {
@@ -184,25 +218,35 @@ func (s *Space) cells(opt Options) []cellSpec {
 		lwVals = lv
 	}
 	var out []cellSpec
+	group := 0
 	for fi, f := range freqs {
-		for vi, vcs := range vcsVals {
-			for li, lw := range lwVals {
-				out = append(out, cellSpec{
-					index:   len(out),
-					freqIdx: fi,
-					freq:    f,
-					vcs:     vcs,
-					lw:      lw,
-					probe:   vi == 0 && li == 0,
-				})
+		for lci, lc := range lcVals {
+			for _, tsv := range tsvVals {
+				for vi, vcs := range vcsVals {
+					for li, lw := range lwVals {
+						out = append(out, cellSpec{
+							index:   len(out),
+							freqIdx: fi,
+							freq:    f,
+							lcIdx:   lci,
+							lc:      lc,
+							tsv:     tsv,
+							group:   group,
+							vcs:     vcs,
+							lw:      lw,
+							probe:   vi == 0 && li == 0,
+						})
+					}
+				}
+				group++
 			}
 		}
 	}
 	return out
 }
 
-// NumCells returns the number of (frequency, vcs, link width) cells the
-// space enumerates with the given options. Cell indices — the unit of
+// NumCells returns the number of (frequency, layer count, TSV budget, vcs,
+// link width) cells the space enumerates with the given options. Cell indices — the unit of
 // checkpointing and sharding — run from 0 to NumCells-1 in deterministic
 // order.
 func (s *Space) NumCells(opt Options) int { return len(s.cells(opt)) }

@@ -46,16 +46,17 @@ func TestSpaceCellEnumeration(t *testing.T) {
 		t.Fatalf("NumCells = %d, want 8", len(cells))
 	}
 	// Frequency outermost, then VCs, then link width — regardless of the
-	// order the axes were declared in.
+	// order the axes were declared in. Without layer_count/tsv_budget axes
+	// the (freq, fold, budget) group degenerates to one group per frequency.
 	want := []cellSpec{
-		{index: 0, freqIdx: 0, freq: 400, vcs: 1, lw: 16, probe: true},
-		{index: 1, freqIdx: 0, freq: 400, vcs: 1, lw: 32},
-		{index: 2, freqIdx: 0, freq: 400, vcs: 2, lw: 16},
-		{index: 3, freqIdx: 0, freq: 400, vcs: 2, lw: 32},
-		{index: 4, freqIdx: 1, freq: 600, vcs: 1, lw: 16, probe: true},
-		{index: 5, freqIdx: 1, freq: 600, vcs: 1, lw: 32},
-		{index: 6, freqIdx: 1, freq: 600, vcs: 2, lw: 16},
-		{index: 7, freqIdx: 1, freq: 600, vcs: 2, lw: 32},
+		{index: 0, freqIdx: 0, freq: 400, group: 0, vcs: 1, lw: 16, probe: true},
+		{index: 1, freqIdx: 0, freq: 400, group: 0, vcs: 1, lw: 32},
+		{index: 2, freqIdx: 0, freq: 400, group: 0, vcs: 2, lw: 16},
+		{index: 3, freqIdx: 0, freq: 400, group: 0, vcs: 2, lw: 32},
+		{index: 4, freqIdx: 1, freq: 600, group: 1, vcs: 1, lw: 16, probe: true},
+		{index: 5, freqIdx: 1, freq: 600, group: 1, vcs: 1, lw: 32},
+		{index: 6, freqIdx: 1, freq: 600, group: 1, vcs: 2, lw: 16},
+		{index: 7, freqIdx: 1, freq: 600, group: 1, vcs: 2, lw: 32},
 	}
 	for i, c := range cells {
 		if c != want[i] {

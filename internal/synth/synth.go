@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"sunfloor3d/internal/contend"
 	"sunfloor3d/internal/fault"
 	"sunfloor3d/internal/graph"
 	"sunfloor3d/internal/model"
@@ -51,6 +52,14 @@ type DesignPoint struct {
 	// Sim holds the flit-level traffic simulation of the point (nil unless
 	// Options.Sim requested simulation and the point is valid).
 	Sim *sim.Stats
+	// Contention holds the analytic M/D/1 contention estimate of the point
+	// (nil unless Options.Contend is set and the point is valid).
+	Contention *contend.Estimate
+	// SimTriage records the fidelity-ladder decision for the point when
+	// Options.SimBand is active: "sim" for points inside the estimated
+	// Pareto band (fully simulated), "skip" for points outside it (analytic
+	// estimate only). Empty without SimBand.
+	SimTriage string
 	// Survivability holds the fault-replay report of the point (nil unless
 	// Options.Fault requested the fault model and the point is valid).
 	Survivability *fault.Survivability
@@ -213,6 +222,13 @@ func SynthesizeContext(ctx context.Context, g *model.CommGraph, opt Options) (*R
 	for _, pts := range perFreq {
 		res.Points = append(res.Points, pts...)
 	}
+	// Fidelity ladder: with SimBand active, evaluation above attached only
+	// the analytic estimate; cut the band over the whole sweep and simulate
+	// just the points inside it. (Explorer runs triage per cell instead, in
+	// exploreSpace, so checkpointed cells are final.)
+	if err := triageSimBand(res.Points, opt, p); err != nil {
+		return nil, err
+	}
 	res.Best = pickBest(res.Points, opt)
 	if opt.LPOnBest && !opt.RunLPPlacement {
 		refineBest(res, opt, place.OptimizeSwitchPositions)
@@ -244,9 +260,10 @@ func refineBest(res *Result, opt Options, refine func(*topology.Topology) error)
 	if cost > best.Cost(opt.PowerWeight, opt.LatencyWeight) {
 		return
 	}
-	if opt.Sim != nil {
+	if opt.Sim != nil && (opt.SimBand == 0 || best.SimTriage == "sim") {
 		// The refinement moved the switches, which changes link pipeline
 		// depths; the attached simulation must describe the refined geometry.
+		// Points the fidelity ladder triaged out stay unsimulated.
 		simStart := time.Now() //determlint:wallclock SimElapsed is json-excluded observability plumbing and never reaches the serialised Result
 		stats, err := sim.Run(refined, *opt.Sim)
 		if err != nil {
@@ -265,6 +282,15 @@ func refineBest(res *Result, opt Options, refine func(*topology.Topology) error)
 		}
 		best.Survivability = rep
 		m.SpareTSVMacros = spareTSVs
+	}
+	if opt.Contend {
+		// The estimate depends on the switch positions through the zero-load
+		// latencies; recompute it for the accepted refined geometry.
+		flits := 0
+		if opt.Sim != nil {
+			flits = opt.Sim.PacketFlits
+		}
+		best.Contention = contend.EstimatePoint(refined, flits)
 	}
 	best.Topology = refined
 	best.Metrics = m
@@ -597,7 +623,16 @@ func runAndEvaluate(top *topology.Topology, opt Options, cfg route.Config, dp De
 		return dp
 	}
 	dp.Valid = true
-	if opt.Sim != nil {
+	if opt.Contend {
+		flits := 0
+		if opt.Sim != nil {
+			flits = opt.Sim.PacketFlits
+		}
+		dp.Contention = contend.EstimatePoint(top, flits)
+	}
+	// With SimBand active, simulation is deferred to the triage pass
+	// (triageSimBand), which simulates only the estimated Pareto band.
+	if opt.Sim != nil && opt.SimBand == 0 {
 		simStart := time.Now() //determlint:wallclock SimElapsed is json-excluded observability plumbing and never reaches the serialised Result
 		stats, err := sim.Run(top, *opt.Sim)
 		if err != nil {
@@ -666,6 +701,9 @@ func validateTopology(top *topology.Topology, opt Options, m topology.Metrics, f
 	}
 	if opt.RequireLatencyMet && m.LatencyViolations > 0 {
 		return fmt.Sprintf("%d flows violate their latency constraint", m.LatencyViolations)
+	}
+	if opt.explTSVBudget > 0 && m.TSVMacros > opt.explTSVBudget {
+		return fmt.Sprintf("needs %d TSV macros (budget %d)", m.TSVMacros, opt.explTSVBudget)
 	}
 	return ""
 }

@@ -195,9 +195,13 @@ func (t *Topology) FlowLatencyCycles(flow int) float64 {
 }
 
 // WireLengthHistogram buckets the link lengths into bins of the given width
-// (in mm) and returns the counts; used to reproduce Fig. 12.
+// (in mm) and returns the counts; used to reproduce Fig. 12. A non-positive,
+// NaN or infinite bin width returns an empty histogram: NaN in particular
+// fails every ordered comparison, so without the explicit guard it would
+// slip past the <= 0 check and turn the bin index computation into an
+// undefined float-to-int conversion.
 func (t *Topology) WireLengthHistogram(binMM float64) []int {
-	if binMM <= 0 {
+	if binMM <= 0 || math.IsNaN(binMM) || math.IsInf(binMM, 0) {
 		return nil
 	}
 	m := t.Evaluate()

@@ -360,8 +360,23 @@ func TestWireLengthHistogram(t *testing.T) {
 	if total != len(m.WireLengthsMM) {
 		t.Errorf("histogram total %d != %d links", total, len(m.WireLengthsMM))
 	}
-	if top.WireLengthHistogram(0) != nil {
-		t.Error("zero bin width should return nil")
+	// Degenerate bin widths: every one must yield an empty histogram, never
+	// a panic (NaN slips past a plain <= 0 check and used to make the bin
+	// count conversion undefined) and never an unbounded allocation.
+	for _, tc := range []struct {
+		name  string
+		binMM float64
+	}{
+		{"zero", 0},
+		{"negative", -0.5},
+		{"negative zero", math.Copysign(0, -1)},
+		{"NaN", math.NaN()},
+		{"+Inf", math.Inf(1)},
+		{"-Inf", math.Inf(-1)},
+	} {
+		if got := top.WireLengthHistogram(tc.binMM); got != nil {
+			t.Errorf("WireLengthHistogram(%s) = %v, want nil", tc.name, got)
+		}
 	}
 	sorted := top.SortedWireLengths()
 	for i := 1; i < len(sorted); i++ {

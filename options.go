@@ -3,6 +3,7 @@ package sunfloor3d
 import (
 	"fmt"
 
+	"sunfloor3d/internal/contend"
 	"sunfloor3d/internal/fault"
 	"sunfloor3d/internal/noclib"
 	"sunfloor3d/internal/synth"
@@ -99,6 +100,14 @@ const (
 	AxisVCs = synth.AxisVCs
 	// AxisLinkWidthBits sweeps the library link width.
 	AxisLinkWidthBits = synth.AxisLinkWidthBits
+	// AxisLayerCount sweeps the stacking depth: each value L folds the design
+	// onto L layers (core layer mod L, planar positions kept) before
+	// synthesis, so one exploration compares 3-D depths down to the L=1
+	// 2-D baseline.
+	AxisLayerCount = synth.AxisLayerCount
+	// AxisTSVBudget sweeps a hard cap on the TSV macro count; points needing
+	// more TSV macros than the budget are invalid.
+	AxisTSVBudget = synth.AxisTSVBudget
 )
 
 // config collects the effect of the functional options of a run.
@@ -340,6 +349,46 @@ func WithShard(index, count int) Option {
 // simulated number (see SimStatsLevel).
 func WithSimulation(cfg SimConfig) Option {
 	return func(c *config) { c.opt.Sim = &cfg }
+}
+
+// ContentionEstimate is the analytic M/D/1 contention estimate attached to
+// valid design points by WithContention: per-link utilizations derived from
+// the committed routes and flow bandwidths, an estimated per-flow latency of
+// zero-load latency plus per-hop queueing waits, and an explicit saturated-
+// link count. All fields are finite by construction (saturation is clamped
+// and flagged, never propagated as Inf), and the estimate is byte-
+// deterministic, so it serialises identically across serial, parallel,
+// cached, checkpointed and sharded runs.
+type ContentionEstimate = contend.Estimate
+
+// WithContention attaches a ContentionEstimate to every valid design point
+// (DesignPoint.Contention, serialised under "contention"). The estimate
+// costs microseconds per point — orders of magnitude below flit-level
+// simulation — and is the cheap rung of the fidelity ladder: combine it with
+// WithSimulation and WithSimBand to run full simulation only on the
+// estimated Pareto band. It also sharpens the explorer's branch-and-bound
+// bound (witnesses qualify on estimated rather than zero-load latency).
+func WithContention() Option {
+	return func(c *config) { c.opt.Contend = true }
+}
+
+// WithSimBand turns full simulation into a triage step (the fidelity
+// ladder): instead of simulating every valid point, only points within frac
+// of the estimated-contention Pareto front are simulated (SimTriage "sim");
+// the rest keep their analytic estimate (SimTriage "skip"). A point is
+// skipped only when another valid point dominates it outright and clears a
+// frac margin in one coordinate — a (1+frac) factor on the exact power
+// coordinate, or a latency win that survives hedging the estimated waiting
+// components (the only part the estimator can get wrong) by (1+frac) each
+// way — so every point on the estimated front and every near-tie is always
+// simulated, and larger fractions absorb more estimator error. Requires
+// WithContention and
+// WithSimulation; composable with WithSpace (the band is then cut per
+// exploration cell, so checkpointed and sharded cells stay final and
+// exactly mergeable). Triage decisions are deterministic and flow through
+// progress events, the server stream and checkpoint records.
+func WithSimBand(frac float64) Option {
+	return func(c *config) { c.opt.SimBand = frac }
 }
 
 // FaultModelConfig configures the fault-injection replay of WithFaultModel:

@@ -30,6 +30,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -500,5 +501,199 @@ func checkExplorerWorkload(t *testing.T, spec GenSpec, i int) {
 	}
 	if !bytes.Equal(baseJSON, mj) {
 		t.Errorf("%d-way shard merge differs from unsharded run", shards)
+	}
+}
+
+// TestContentionProperties extends the harness to the fidelity ladder. Over
+// generated workloads of every shape it asserts the estimator contract —
+// every valid point carries a finite contention estimate that never drops
+// below the exact zero-load latency, and at low-to-moderate load (no
+// saturated link, utilization at most 1/2) the estimated average latency
+// lands within a factor of two of the flit simulator's measurement — plus
+// the determinism contract (serial and parallel runs, with and without the
+// triage band, are byte-identical) and the triage contract (the "skip"/"sim"
+// split equals the epsilon-dominance band recomputed from the final point
+// set, skipped points stay unsimulated, band members carry simulation
+// statistics).
+func TestContentionProperties(t *testing.T) {
+	n := (propertyN(t) + 3) / 4
+	for _, shape := range workload.Shapes() {
+		shape := shape
+		t.Run(shape.String(), func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < n; i++ {
+				i := i
+				t.Run(fmt.Sprintf("w%02d", i), func(t *testing.T) {
+					t.Parallel()
+					checkContentionWorkload(t, propertySpec(shape, i), i)
+				})
+			}
+		})
+	}
+}
+
+func checkContentionWorkload(t *testing.T, spec GenSpec, i int) {
+	bench, err := GenerateBenchmark(spec)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	design := bench.Graph3D
+	scfg := DefaultSimConfig()
+	scfg.Cycles = 400
+	scfg.DrainCycles = 400
+	base := []Option{WithFrequenciesMHz(400, 600), WithContention(), WithSimulation(scfg)}
+	ctx := context.Background()
+
+	full, err := Synthesize(ctx, design, append(base, WithParallelism(1))...)
+	if err != nil {
+		t.Fatalf("contention synthesize %s: %v", bench.Name, err)
+	}
+	for pi := range full.Points {
+		p := &full.Points[pi]
+		if !p.Valid {
+			continue
+		}
+		ce := p.Contention
+		if ce == nil {
+			t.Fatalf("valid point %d carries no contention estimate", pi)
+		}
+		for name, v := range map[string]float64{
+			"avg_latency_cycles": ce.AvgLatencyCycles,
+			"max_latency_cycles": ce.MaxLatencyCycles,
+			"avg_wait_cycles":    ce.AvgWaitCycles,
+			"max_utilization":    ce.MaxUtilization,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Errorf("point %d: contention %s = %v, want finite and non-negative", pi, name, v)
+			}
+		}
+		// The estimate is zero-load plus queuing waits: never below the
+		// exact zero-load average, max never below the average.
+		if ce.AvgLatencyCycles < p.Metrics.AvgLatencyCycles-1e-9 {
+			t.Errorf("point %d: estimated avg %v below zero-load avg %v",
+				pi, ce.AvgLatencyCycles, p.Metrics.AvgLatencyCycles)
+		}
+		if ce.MaxLatencyCycles < ce.AvgLatencyCycles-1e-9 {
+			t.Errorf("point %d: estimated max %v below avg %v", pi, ce.MaxLatencyCycles, ce.AvgLatencyCycles)
+		}
+		// Low-to-moderate load: the M/D/1 estimate must track the
+		// simulator within a factor of two (plus a small absolute slack
+		// for flit serialization, which the head-latency estimate omits).
+		if p.Sim != nil && ce.SaturatedLinks == 0 && ce.MaxUtilization <= 0.5 && p.Sim.AvgLatencyCycles > 0 {
+			est, measured := ce.AvgLatencyCycles, p.Sim.AvgLatencyCycles
+			if est > 2*measured+8 || measured > 2*est+8 {
+				t.Errorf("point %d: estimate %v vs simulated %v exceeds the 2x low-load error bound (max utilization %v)",
+					pi, est, measured, ce.MaxUtilization)
+			}
+		}
+	}
+
+	// Byte determinism of the estimator: serial == parallel.
+	fullJSON, err := full.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Synthesize(ctx, design, append(base, WithParallelism(4))...)
+	if err != nil {
+		t.Fatalf("parallel contention synthesize: %v", err)
+	}
+	pj, err := par.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fullJSON, pj) {
+		t.Error("parallel contention run differs from serial run")
+	}
+
+	// The fidelity ladder: triage decisions are a pure function of the
+	// valid point set, so the band recomputed from the result must equal
+	// the recorded "sim"/"skip" split, in serial and parallel runs alike.
+	// LP placement runs per point here (not as the post-sweep best-point
+	// refinement, which moves the winner's coordinates after triage and
+	// would make the recomputed band disagree by construction).
+	const frac = 0.25
+	bandBase := append([]Option{WithLPPlacement(true)}, base...)
+	banded, err := Synthesize(ctx, design, append(bandBase, WithSimBand(frac), WithParallelism(1))...)
+	if err != nil {
+		t.Fatalf("banded synthesize: %v", err)
+	}
+	bandedJSON, err := banded.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpar, err := Synthesize(ctx, design, append(bandBase, WithSimBand(frac), WithParallelism(4))...)
+	if err != nil {
+		t.Fatalf("parallel banded synthesize: %v", err)
+	}
+	bpj, err := bpar.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bandedJSON, bpj) {
+		t.Error("parallel banded run differs from serial banded run")
+	}
+
+	// cand is the triage-time valid set: every point that received a
+	// decision (a later simulation failure flips Valid but keeps the mark).
+	var cand []int
+	for pi := range banded.Points {
+		p := &banded.Points[pi]
+		switch p.SimTriage {
+		case "":
+			if p.Valid {
+				t.Errorf("valid point %d received no triage decision", pi)
+			}
+		case "sim":
+			cand = append(cand, pi)
+			if p.Sim == nil && p.Valid {
+				t.Errorf("band member %d was never simulated", pi)
+			}
+		case "skip":
+			cand = append(cand, pi)
+			if p.Sim != nil {
+				t.Errorf("skipped point %d carries simulation statistics", pi)
+			}
+			if !p.Valid {
+				t.Errorf("skipped point %d is invalid (%s): only simulation may invalidate after triage", pi, p.FailReason)
+			}
+		default:
+			t.Errorf("point %d: unknown triage decision %q", pi, p.SimTriage)
+		}
+	}
+	wait := func(i int) float64 {
+		w := banded.Points[i].Contention.AvgLatencyCycles - banded.Points[i].Metrics.AvgLatencyCycles
+		if w < 0 {
+			return 0
+		}
+		return w
+	}
+	for _, pi := range cand {
+		pw := banded.Points[pi].Metrics.Power.TotalMW()
+		lat := banded.Points[pi].Contention.AvgLatencyCycles
+		zl := banded.Points[pi].Metrics.AvgLatencyCycles
+		dominated := false
+		for _, pj := range cand {
+			if pj == pi {
+				continue
+			}
+			qw := banded.Points[pj].Metrics.Power.TotalMW()
+			ql := banded.Points[pj].Contention.AvgLatencyCycles
+			if !(qw <= pw && ql <= lat && (qw < pw || ql < lat)) {
+				continue
+			}
+			qz := banded.Points[pj].Metrics.AvgLatencyCycles
+			if qw*(1+frac) <= pw ||
+				qz+(1+frac)*wait(pj) <= zl+wait(pi)/(1+frac) {
+				dominated = true
+				break
+			}
+		}
+		want := "sim"
+		if dominated {
+			want = "skip"
+		}
+		if got := banded.Points[pi].SimTriage; got != want {
+			t.Errorf("point %d: triage %q, epsilon-dominance says %q", pi, got, want)
+		}
 	}
 }

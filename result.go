@@ -126,6 +126,16 @@ type DesignPoint struct {
 	// of the serialised Result: the replay is deterministic and the request
 	// fingerprint covers the fault and sparing configuration.
 	Survivability *Survivability `json:"survivability,omitempty"`
+	// Contention is the analytic M/D/1 contention estimate of the point (nil
+	// unless the run used WithContention and the point is valid). Like
+	// Survivability it is part of the serialised Result: the estimate is
+	// byte-deterministic and the request fingerprint covers the option.
+	Contention *ContentionEstimate `json:"contention,omitempty"`
+	// SimTriage is the fidelity-ladder decision for the point when the run
+	// used WithSimBand: "sim" for points inside the estimated Pareto band
+	// (fully simulated), "skip" for points outside it (analytic estimate
+	// only). Empty without WithSimBand.
+	SimTriage string `json:"sim_triage,omitempty"`
 	// Elapsed is the wall-clock time spent building, routing and evaluating
 	// this point. It is excluded from JSON so that serialised results stay
 	// byte-identical across runs, parallelism levels and cache settings.
@@ -161,10 +171,12 @@ func pointFromInternal(dp synth.DesignPoint) DesignPoint {
 			DeadlockRetries:  dp.Route.DeadlockRetries,
 		},
 		Survivability: dp.Survivability,
+		Contention:    dp.Contention,
+		SimTriage:     dp.SimTriage,
 		Elapsed:       dp.Elapsed,
-		Sim:        dp.Sim,
-		SimElapsed: dp.SimElapsed,
-		topo:       dp.Topology,
+		Sim:           dp.Sim,
+		SimElapsed:    dp.SimElapsed,
+		topo:          dp.Topology,
 	}
 }
 
@@ -207,6 +219,8 @@ func internalFromPoint(p DesignPoint) synth.DesignPoint {
 			DeadlockRetries:  p.Route.DeadlockRetries,
 		},
 		Survivability: p.Survivability,
+		Contention:    p.Contention,
+		SimTriage:     p.SimTriage,
 	}
 	if p.Route.FailedFlows > 0 {
 		dp.Route.Failed = make([]int, p.Route.FailedFlows)
@@ -248,6 +262,17 @@ func (p *DesignPoint) Report() string {
 		fmt.Fprintf(&b, "spare_tsv_macros %d\n", m.SpareTSVMacros)
 	}
 	fmt.Fprintf(&b, "noc_area_mm2 %.4f\n", m.NoCAreaMM2)
+	if e := p.Contention; e != nil {
+		fmt.Fprintf(&b, "contention_avg_latency_cycles %.3f\n", e.AvgLatencyCycles)
+		fmt.Fprintf(&b, "contention_max_latency_cycles %.3f\n", e.MaxLatencyCycles)
+		fmt.Fprintf(&b, "contention_max_utilization %.4f\n", e.MaxUtilization)
+		if e.SaturatedLinks > 0 {
+			fmt.Fprintf(&b, "contention_saturated_links %d\n", e.SaturatedLinks)
+		}
+	}
+	if p.SimTriage != "" {
+		fmt.Fprintf(&b, "sim_triage %s\n", p.SimTriage)
+	}
 	if s := p.Survivability; s != nil {
 		fmt.Fprintf(&b, "fault_plans %d\n", s.Plans)
 		fmt.Fprintf(&b, "fault_survived_fraction %.4f\n", s.SurvivedFraction())
